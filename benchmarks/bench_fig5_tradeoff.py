@@ -1,0 +1,55 @@
+"""Figure 5 — latency/energy trade-off scatter: where each controller lands
+in the (average latency, energy per flit) plane on the phased workload."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, save_rows_csv
+from repro.baselines import StaticPolicy
+from repro.core import evaluate_controller
+
+
+def test_fig5_latency_energy_tradeoff(
+    benchmark, report, results_dir, default_experiment, controller_traces
+):
+    # Add the intermediate static levels so the static trade-off curve is
+    # visible alongside the adaptive controllers.
+    def evaluate_static_mid_levels():
+        return {
+            f"static-L{level}": evaluate_controller(
+                default_experiment, StaticPolicy(level, name=f"static-L{level}")
+            )
+            for level in (1, 2)
+        }
+
+    mid_traces = benchmark.pedantic(evaluate_static_mid_levels, rounds=1, iterations=1)
+    traces = {**controller_traces, **mid_traces}
+
+    rows = []
+    for name, trace in traces.items():
+        rows.append(
+            {
+                "policy": name,
+                "average_latency": trace.average_latency,
+                "energy_per_flit_pj": trace.energy_per_flit_pj,
+                "edp": trace.energy_delay_product,
+                "mean_reward": trace.mean_reward,
+            }
+        )
+    rows.sort(key=lambda row: row["energy_per_flit_pj"])
+    report(
+        "Figure 5 — latency vs energy-per-flit operating points "
+        "(phased workload, one point per controller)",
+        format_table(rows),
+    )
+    save_rows_csv(rows, results_dir / "fig5_tradeoff.csv")
+
+    by_name = {row["policy"]: row for row in rows}
+    # Reproduction checks: the static ladder spans the trade-off (max = fastest
+    # & most energy-hungry, min = slowest & cheapest); the DRL controller sits
+    # strictly inside the static extremes on both axes, i.e. it trades a little
+    # latency for energy rather than landing on either corner.
+    assert by_name["static-max"]["average_latency"] < by_name["static-min"]["average_latency"]
+    assert by_name["static-max"]["energy_per_flit_pj"] > by_name["static-min"]["energy_per_flit_pj"]
+    drl = by_name["drl"]
+    assert drl["energy_per_flit_pj"] < by_name["static-max"]["energy_per_flit_pj"]
+    assert drl["average_latency"] < by_name["static-min"]["average_latency"]

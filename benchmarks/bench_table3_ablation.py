@@ -1,0 +1,95 @@
+"""Table III — agent ablation: DQN vs Double-DQN vs Dueling-DQN vs tabular
+Q-learning vs the threshold heuristic.
+
+Each learned variant is trained with the same (reduced) episode budget and
+evaluated on the held-out phased workload; the heuristic needs no training.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import format_table, save_rows_csv, summarize_trace
+from repro.core import evaluate_controller, train_dqn_controller, train_tabular_controller
+
+ABLATION_EPISODES = int(os.environ.get("REPRO_BENCH_ABLATION_EPISODES", "12"))
+
+
+@pytest.fixture(scope="module")
+def ablation_results(default_experiment):
+    """Train the ablation variants with a reduced, equal episode budget."""
+    decay = ABLATION_EPISODES * 18
+    variants = {
+        "dqn": dict(double=False, dueling=False),
+        "double-dqn": dict(double=True, dueling=False),
+        "dueling-dqn": dict(double=False, dueling=True),
+    }
+    results = {}
+    for name, flags in variants.items():
+        env = default_experiment.build_environment()
+        results[name] = train_dqn_controller(
+            env, episodes=ABLATION_EPISODES, epsilon_decay_steps=decay, seed=3, **flags
+        )
+    env = default_experiment.build_environment()
+    results["tabular-q"] = train_tabular_controller(
+        env, episodes=ABLATION_EPISODES, bins_per_feature=3, seed=3
+    )
+    return results
+
+
+def test_table3_agent_ablation(
+    benchmark, report, results_dir, default_experiment, ablation_results, baseline_policies
+):
+    def evaluate_all():
+        rows = []
+        for name, training in ablation_results.items():
+            trace = evaluate_controller(default_experiment, training.to_policy(name))
+            summary = summarize_trace(trace)
+            rows.append(
+                {
+                    "agent": name,
+                    "final_training_return": training.final_return,
+                    "best_training_return": training.best_return,
+                    "eval_mean_reward": summary["mean_reward"],
+                    "eval_latency": summary["average_latency"],
+                    "eval_energy_per_flit_pj": summary["energy_per_flit_pj"],
+                    "eval_edp": summary["edp"],
+                }
+            )
+        heuristic_trace = evaluate_controller(
+            default_experiment, baseline_policies["heuristic"]
+        )
+        heuristic_summary = summarize_trace(heuristic_trace)
+        rows.append(
+            {
+                "agent": "heuristic (no training)",
+                "final_training_return": float("nan"),
+                "best_training_return": float("nan"),
+                "eval_mean_reward": heuristic_summary["mean_reward"],
+                "eval_latency": heuristic_summary["average_latency"],
+                "eval_energy_per_flit_pj": heuristic_summary["energy_per_flit_pj"],
+                "eval_edp": heuristic_summary["edp"],
+            }
+        )
+        return rows
+
+    rows = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+    report(
+        f"Table III — agent ablation ({ABLATION_EPISODES} training episodes per variant)",
+        format_table(rows),
+    )
+    save_rows_csv(rows, results_dir / "table3_ablation.csv")
+
+    by_name = {row["agent"]: row for row in rows}
+    learned = [by_name["dqn"], by_name["double-dqn"], by_name["dueling-dqn"]]
+    # Reproduction checks: every DQN variant trains to a sensible controller —
+    # its evaluation reward stays out of the static-min/random regime (-4.6 to
+    # -4.9 in Table I) — and the DQN family is not worse than tabular
+    # Q-learning by a large margin (the deep variants should generalise at
+    # least as well as the discretised table).
+    for row in learned:
+        assert row["eval_mean_reward"] > -4.5
+    best_deep = max(row["eval_mean_reward"] for row in learned)
+    assert best_deep >= by_name["tabular-q"]["eval_mean_reward"] - 0.5

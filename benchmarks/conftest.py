@@ -1,0 +1,95 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy artefacts (the trained DQN controller and the per-policy evaluation
+traces) are produced once per session and shared by every table/figure
+module.  Each benchmark module prints the rows/series it regenerates and
+also appends them to ``benchmarks/results/report.txt`` plus a CSV per
+experiment, so a full `pytest benchmarks/ --benchmark-only` run leaves the
+complete reconstructed evaluation behind as plain-text artefacts.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_EPISODES`` — training episodes for the main DQN controller
+  (default 18);
+* ``REPRO_BENCH_ABLATION_EPISODES`` — training episodes per ablation variant
+  (default 12).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import (
+    RandomPolicy,
+    ThresholdDvfsPolicy,
+    static_max_performance,
+    static_min_energy,
+)
+from repro.core import ExperimentConfig, evaluate_controller, train_dqn_controller
+
+RESULTS_DIR = Path(__file__).parent / "results"
+TRAIN_EPISODES = int(os.environ.get("REPRO_BENCH_EPISODES", "22"))
+EPSILON_DECAY_STEPS = int(os.environ.get("REPRO_BENCH_EPS_DECAY", "400"))
+ABLATION_EPISODES = int(os.environ.get("REPRO_BENCH_ABLATION_EPISODES", "12"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Print a report block and append it to benchmarks/results/report.txt."""
+    report_path = results_dir / "report.txt"
+
+    def _report(title: str, body: str) -> None:
+        block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n"
+        print(block)
+        with report_path.open("a", encoding="utf-8") as handle:
+            handle.write(block)
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def default_experiment() -> ExperimentConfig:
+    """The standard 4x4 phased-workload DVFS-control experiment."""
+    return ExperimentConfig.default()
+
+
+@pytest.fixture(scope="session")
+def training_result(default_experiment):
+    """The DQN controller trained once and reused by every figure/table."""
+    env = default_experiment.build_environment()
+    return train_dqn_controller(
+        env,
+        episodes=TRAIN_EPISODES,
+        epsilon_decay_steps=EPSILON_DECAY_STEPS,
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def baseline_policies(default_experiment):
+    num_levels = len(default_experiment.simulator.dvfs_levels)
+    return {
+        "static-max": static_max_performance(),
+        "static-min": static_min_energy(num_levels),
+        "heuristic": ThresholdDvfsPolicy(num_levels),
+        "random": RandomPolicy(num_levels, seed=7),
+    }
+
+
+@pytest.fixture(scope="session")
+def controller_traces(default_experiment, training_result, baseline_policies):
+    """Evaluation traces (held-out traffic seed) for the DRL controller and
+    every baseline, over one full pass of the phased workload."""
+    traces = {"drl": evaluate_controller(default_experiment, training_result.to_policy())}
+    for name, policy in baseline_policies.items():
+        traces[name] = evaluate_controller(default_experiment, policy)
+    return traces

@@ -1,0 +1,60 @@
+"""Routing algorithm comparison under adversarial traffic.
+
+Compares deterministic XY routing with the turn-model adaptive algorithms
+(odd-even, west-first) under transpose and hotspot traffic, sweeping the
+injection rate towards saturation — the classical Figure-2-style study, and
+the reason the joint action space exposes the routing algorithm as a
+configuration knob.
+
+Run with::
+
+    python examples/adaptive_routing_hotspot.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_series, routing_throughput_sweep
+from repro.noc import SimulatorConfig
+
+RATES = [0.05, 0.15, 0.25, 0.35]
+ALGORITHMS = ["xy", "odd_even", "west_first"]
+
+
+def compare(pattern: str) -> None:
+    config = SimulatorConfig(width=4, num_vcs=2, buffer_depth=4, packet_size=4)
+    results = routing_throughput_sweep(
+        config,
+        RATES,
+        ALGORITHMS,
+        pattern=pattern,
+        warmup_cycles=400,
+        measure_cycles=1_200,
+    )
+    latency_series = {
+        name: [point.average_latency for point in points] for name, points in results.items()
+    }
+    throughput_series = {
+        name: [point.throughput for point in points] for name, points in results.items()
+    }
+    print(format_series("rate", RATES, latency_series, title=f"Average latency — {pattern}"))
+    print()
+    print(
+        format_series(
+            "rate", RATES, throughput_series, title=f"Accepted throughput — {pattern}"
+        )
+    )
+    print()
+
+
+def main() -> None:
+    for pattern in ("transpose", "hotspot"):
+        compare(pattern)
+    print(
+        "Adaptive (odd-even / west-first) routing spreads the transpose and hotspot\n"
+        "load over more links, sustaining equal or higher throughput near saturation\n"
+        "than deterministic XY, at comparable low-load latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The execution environment is offline and has no ``wheel`` package, so modern
+PEP-517 editable installs fail with ``invalid command 'bdist_wheel'``.  This
+shim enables the legacy path::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro — reproduction of "Deep Reinforcement Learning for Self-Configurable NoC".
+
+The package is organised as one subpackage per subsystem:
+
+* :mod:`repro.noc` — cycle-level Network-on-Chip simulator substrate;
+* :mod:`repro.traffic` — synthetic and phase-based workload generators;
+* :mod:`repro.rl` — numpy-based deep reinforcement learning substrate;
+* :mod:`repro.core` — the paper's contribution: the DRL self-configuration
+  environment, controller and training harness;
+* :mod:`repro.baselines` — static, heuristic and random comparator controllers;
+* :mod:`repro.analysis` — metrics, parameter sweeps and report formatting.
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the system inventory
+and the per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,23 @@
+"""Analysis tooling: metrics, parameter sweeps and paper-style reporting."""
+
+from repro.analysis.metrics import (
+    energy_delay_product,
+    percent_change,
+    relative_improvement,
+    summarize_trace,
+)
+from repro.analysis.reporting import format_series, format_table, save_rows_csv
+from repro.analysis.sweep import LoadLatencyPoint, load_latency_sweep, routing_throughput_sweep
+
+__all__ = [
+    "LoadLatencyPoint",
+    "energy_delay_product",
+    "format_series",
+    "format_table",
+    "load_latency_sweep",
+    "percent_change",
+    "relative_improvement",
+    "routing_throughput_sweep",
+    "save_rows_csv",
+    "summarize_trace",
+]

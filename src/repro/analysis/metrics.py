@@ -1,0 +1,37 @@
+"""Metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+from repro.core.controller import ControllerTrace
+
+
+def energy_delay_product(energy_per_flit_pj: float, average_latency_cycles: float) -> float:
+    """EDP = energy per flit x average packet latency (lower is better)."""
+    if energy_per_flit_pj < 0 or average_latency_cycles < 0:
+        raise ValueError("EDP inputs must be non-negative")
+    return energy_per_flit_pj * average_latency_cycles
+
+
+def percent_change(baseline: float, value: float) -> float:
+    """Signed percent change of ``value`` relative to ``baseline``.
+
+    Positive means ``value`` is larger than ``baseline``.
+    """
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero for a percent change")
+    return 100.0 * (value - baseline) / abs(baseline)
+
+
+def relative_improvement(baseline: float, value: float) -> float:
+    """Percent *reduction* of ``value`` relative to ``baseline`` (positive = better
+    when lower-is-better, e.g. energy, latency, EDP)."""
+    return -percent_change(baseline, value)
+
+
+def summarize_trace(trace: ControllerTrace) -> dict[str, float]:
+    """Flat summary of a controller trace (one Table-I row)."""
+    summary = trace.summary()
+    summary["edp"] = energy_delay_product(
+        trace.energy_per_flit_pj, trace.average_latency
+    )
+    return summary

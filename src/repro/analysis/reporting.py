@@ -1,0 +1,88 @@
+"""Paper-style table and series formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    headers: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if headers is None:
+        headers = list(rows[0].keys())
+    formatted_rows = [
+        [_format_value(row.get(header, "")) for header in headers] for row in rows
+    ]
+    widths = [
+        max(len(str(header)), *(len(row[index]) for row in formatted_rows))
+        for index, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Iterable[object],
+    series: Mapping[str, Iterable[object]],
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against an x axis (a 'figure' as text)."""
+    x_values = list(x_values)
+    rows = []
+    series_lists = {name: list(values) for name, values in series.items()}
+    for name, values in series_lists.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points but the x axis has {len(x_values)}"
+            )
+    for index, x in enumerate(x_values):
+        row = {x_label: x}
+        for name, values in series_lists.items():
+            row[name] = values[index]
+        rows.append(row)
+    return format_table(rows, headers=[x_label, *series_lists.keys()], title=title)
+
+
+def save_rows_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Persist rows to CSV (used by the benchmarks to leave artefacts behind)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    headers = list(rows[0].keys())
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=headers)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in headers})
+    return path

@@ -1,0 +1,133 @@
+"""Parameter sweeps over the simulator (no learning involved).
+
+These drive the classical NoC characterisation plots — the load/latency
+curve (Figure 1) and the routing throughput comparison (Figure 2) — and are
+also used by the tests to confirm the simulator reproduces the canonical
+saturation behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.network import NoCSimulator, SimulatorConfig
+from repro.traffic.generator import TrafficGenerator
+
+
+@dataclass(frozen=True)
+class LoadLatencyPoint:
+    """One point of a load/latency/throughput sweep."""
+
+    injection_rate: float
+    average_latency: float
+    average_network_latency: float
+    throughput: float
+    offered_load: float
+    energy_per_flit_pj: float
+    delivered_packets: int
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic saturation flag: accepted load clearly below offered."""
+        if self.offered_load == 0:
+            return False
+        return self.throughput < 0.92 * self.offered_load
+
+
+def _measure_point(
+    simulator_config: SimulatorConfig,
+    pattern: str,
+    rate: float,
+    warmup_cycles: int,
+    measure_cycles: int,
+    seed: int,
+    dvfs_level: int,
+    **pattern_kwargs,
+) -> LoadLatencyPoint:
+    simulator = NoCSimulator(simulator_config)
+    simulator.set_global_dvfs_level(dvfs_level)
+    simulator.traffic = TrafficGenerator.from_names(
+        simulator.topology,
+        pattern,
+        rate,
+        packet_size=simulator_config.packet_size,
+        seed=seed,
+        **pattern_kwargs,
+    )
+    if warmup_cycles:
+        simulator.run(warmup_cycles)
+    telemetry = simulator.run_epoch(measure_cycles)
+    return LoadLatencyPoint(
+        injection_rate=rate,
+        average_latency=telemetry.average_total_latency,
+        average_network_latency=telemetry.average_network_latency,
+        throughput=telemetry.throughput_flits_per_node_cycle,
+        offered_load=telemetry.offered_load_flits_per_node_cycle,
+        energy_per_flit_pj=telemetry.energy_per_flit_pj,
+        delivered_packets=telemetry.packets_delivered,
+    )
+
+
+def load_latency_sweep(
+    simulator_config: SimulatorConfig,
+    injection_rates: list[float],
+    pattern: str = "uniform",
+    warmup_cycles: int = 500,
+    measure_cycles: int = 1_500,
+    seed: int = 0,
+    dvfs_level: int = 0,
+    **pattern_kwargs,
+) -> list[LoadLatencyPoint]:
+    """Average latency and accepted throughput as the offered load sweeps up."""
+    if not injection_rates:
+        raise ValueError("at least one injection rate is required")
+    if any(rate < 0 for rate in injection_rates):
+        raise ValueError("injection rates must be non-negative")
+    return [
+        _measure_point(
+            simulator_config,
+            pattern,
+            rate,
+            warmup_cycles,
+            measure_cycles,
+            seed,
+            dvfs_level,
+            **pattern_kwargs,
+        )
+        for rate in injection_rates
+    ]
+
+
+def routing_throughput_sweep(
+    simulator_config: SimulatorConfig,
+    injection_rates: list[float],
+    routing_algorithms: list[str],
+    pattern: str = "transpose",
+    warmup_cycles: int = 500,
+    measure_cycles: int = 1_500,
+    seed: int = 0,
+) -> dict[str, list[LoadLatencyPoint]]:
+    """Load sweep repeated for several routing algorithms (Figure 2)."""
+    from dataclasses import replace
+
+    results: dict[str, list[LoadLatencyPoint]] = {}
+    for routing in routing_algorithms:
+        config = replace(simulator_config, routing=routing)
+        results[routing] = load_latency_sweep(
+            config,
+            injection_rates,
+            pattern=pattern,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+            seed=seed,
+        )
+    return results
+
+
+def saturation_rate(points: list[LoadLatencyPoint]) -> float:
+    """The lowest injection rate at which the sweep saturates (or the max rate
+    if it never does)."""
+    for point in points:
+        if point.saturated:
+            return point.injection_rate
+    return points[-1].injection_rate if points else 0.0

@@ -1,0 +1,20 @@
+"""Comparator controllers: static configurations, the classical threshold
+heuristic, and a random policy.
+
+All baselines implement the :class:`repro.core.controller.ControllerPolicy`
+protocol, so they are driven through the exact same
+:class:`~repro.core.controller.SelfConfigController` loop as the DRL
+controller — the comparison in Tables I/II is therefore apples to apples.
+"""
+
+from repro.baselines.heuristic import ThresholdDvfsPolicy
+from repro.baselines.random_policy import RandomPolicy
+from repro.baselines.static import StaticPolicy, static_max_performance, static_min_energy
+
+__all__ = [
+    "RandomPolicy",
+    "StaticPolicy",
+    "ThresholdDvfsPolicy",
+    "static_max_performance",
+    "static_min_energy",
+]

@@ -1,0 +1,68 @@
+"""The classical threshold-based DVFS heuristic.
+
+This is the standard non-learning comparator in the DVFS-for-NoC literature:
+watch a congestion signal (link utilisation and source-queue backlog) over
+the last epoch and move one DVFS step up when congestion exceeds an upper
+threshold, one step down when it falls below a lower threshold.  It adapts,
+but only along the DVFS axis, only one step per epoch, and only according to
+hand-tuned thresholds — which is exactly the gap the learned controller is
+meant to close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.stats import EpochTelemetry
+
+
+class ThresholdDvfsPolicy:
+    """Hysteresis controller over a DVFS-level action space.
+
+    The policy assumes the action space indexes DVFS levels from fastest
+    (index 0) to slowest (index ``num_levels - 1``), which matches
+    :class:`repro.core.actions.DvfsActionSpace`.
+    """
+
+    def __init__(
+        self,
+        num_levels: int,
+        upper_threshold: float = 0.30,
+        lower_threshold: float = 0.10,
+        backlog_threshold: float = 2.0,
+        initial_level: int | None = None,
+        name: str = "heuristic",
+    ) -> None:
+        if num_levels < 2:
+            raise ValueError("the heuristic needs at least two DVFS levels")
+        if not 0.0 <= lower_threshold < upper_threshold:
+            raise ValueError("thresholds must satisfy 0 <= lower < upper")
+        if backlog_threshold < 0:
+            raise ValueError("backlog threshold must be non-negative")
+        self.num_levels = num_levels
+        self.upper_threshold = upper_threshold
+        self.lower_threshold = lower_threshold
+        self.backlog_threshold = backlog_threshold
+        self.level = initial_level if initial_level is not None else 0
+        if not 0 <= self.level < num_levels:
+            raise ValueError("initial level out of range")
+        self.name = name
+
+    def congestion_signal(self, telemetry: EpochTelemetry) -> float:
+        """The utilisation signal the thresholds are compared against."""
+        return telemetry.link_utilization
+
+    def select_action(self, observation: np.ndarray, telemetry: EpochTelemetry) -> int:
+        congestion = self.congestion_signal(telemetry)
+        backlog = telemetry.average_source_queue_flits
+        if backlog > 4.0 * self.backlog_threshold:
+            # Panic mode: the network is falling badly behind, jump straight
+            # to the fastest level (the standard emergency ramp).
+            self.level = 0
+        elif congestion > self.upper_threshold or backlog > self.backlog_threshold:
+            # Congested: speed up (towards level 0).
+            self.level = max(self.level - 1, 0)
+        elif congestion < self.lower_threshold and backlog < self.backlog_threshold / 2:
+            # Idle-ish: slow down to save energy.
+            self.level = min(self.level + 1, self.num_levels - 1)
+        return self.level

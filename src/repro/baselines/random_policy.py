@@ -1,0 +1,21 @@
+"""A uniformly random configuration policy (sanity-check lower bound)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.stats import EpochTelemetry
+
+
+class RandomPolicy:
+    """Selects a uniformly random action every epoch."""
+
+    def __init__(self, num_actions: int, seed: int = 0, name: str = "random") -> None:
+        if num_actions < 1:
+            raise ValueError("need at least one action")
+        self.num_actions = num_actions
+        self.name = name
+        self._rng = np.random.default_rng(seed)
+
+    def select_action(self, observation: np.ndarray, telemetry: EpochTelemetry) -> int:
+        return int(self._rng.integers(self.num_actions))

@@ -1,0 +1,37 @@
+"""Static (design-time) configuration baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.stats import EpochTelemetry
+
+
+class StaticPolicy:
+    """Always selects the same action index (a fixed configuration).
+
+    ``static_max_performance`` (always the highest DVFS level) and
+    ``static_min_energy`` (always the lowest level) are the two ends of the
+    static spectrum the paper compares against.
+    """
+
+    def __init__(self, action_index: int, name: str | None = None) -> None:
+        if action_index < 0:
+            raise ValueError("action index must be non-negative")
+        self.action_index = action_index
+        self.name = name or f"static[{action_index}]"
+
+    def select_action(self, observation: np.ndarray, telemetry: EpochTelemetry) -> int:
+        return self.action_index
+
+
+def static_max_performance() -> StaticPolicy:
+    """Always run at the highest-performance DVFS level (level index 0)."""
+    return StaticPolicy(0, name="static-max")
+
+
+def static_min_energy(num_levels: int = 4) -> StaticPolicy:
+    """Always run at the lowest-power DVFS level (the last level index)."""
+    if num_levels < 1:
+        raise ValueError("need at least one DVFS level")
+    return StaticPolicy(num_levels - 1, name="static-min")

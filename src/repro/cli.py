@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Installed as the ``repro-noc`` console script (or invoked as
+``python -m repro.cli``).  Four subcommands cover the everyday workflows:
+
+* ``sweep``    — load/latency characterisation of a mesh (no learning);
+* ``train``    — train the DQN self-configuration controller and optionally
+  save a checkpoint;
+* ``evaluate`` — deploy a trained checkpoint or a named baseline on a held-out
+  workload and print its summary;
+* ``compare``  — evaluate the baselines (and optionally a checkpoint) side by
+  side, Table-I style.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import format_series, format_table, summarize_trace
+from repro.analysis.sweep import load_latency_sweep
+from repro.baselines import (
+    RandomPolicy,
+    ThresholdDvfsPolicy,
+    static_max_performance,
+    static_min_energy,
+)
+from repro.core import ExperimentConfig, TrafficSpec, checkpoint, evaluate_controller
+from repro.core.training import train_dqn_controller
+from repro.noc import SimulatorConfig
+
+BASELINE_NAMES = ("static-max", "static-min", "heuristic", "random")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-noc",
+        description="DRL self-configurable NoC: sweeps, training, evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subparsers.add_parser("sweep", help="load/latency sweep of a mesh")
+    sweep.add_argument("--width", type=int, default=4, help="mesh width (and height)")
+    sweep.add_argument("--pattern", default="uniform", help="traffic pattern name")
+    sweep.add_argument("--routing", default="xy", help="routing algorithm name")
+    sweep.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.05, 0.15, 0.25, 0.40],
+        help="offered loads to sweep (flits/node/cycle)",
+    )
+    sweep.add_argument("--cycles", type=int, default=1200, help="measured cycles per point")
+    sweep.add_argument("--dvfs-level", type=int, default=0, help="static DVFS level index")
+
+    train = subparsers.add_parser("train", help="train the DQN controller")
+    train.add_argument("--episodes", type=int, default=20)
+    train.add_argument("--preset", choices=("default", "small", "joint"), default="default")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--checkpoint", help="directory to save the trained controller to")
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate a checkpoint or a named baseline"
+    )
+    evaluate.add_argument(
+        "controller",
+        help=f"checkpoint directory or one of: {', '.join(BASELINE_NAMES)}",
+    )
+    evaluate.add_argument("--preset", choices=("default", "small", "joint"), default="default")
+    evaluate.add_argument("--epochs", type=int, default=None)
+
+    compare = subparsers.add_parser("compare", help="compare baselines (and a checkpoint)")
+    compare.add_argument("--checkpoint", help="optional trained controller to include")
+    compare.add_argument("--preset", choices=("default", "small", "joint"), default="default")
+    compare.add_argument("--epochs", type=int, default=None)
+
+    return parser
+
+
+def _experiment_from_preset(preset: str) -> ExperimentConfig:
+    if preset == "small":
+        return ExperimentConfig.small()
+    if preset == "joint":
+        return ExperimentConfig.joint_configuration()
+    return ExperimentConfig.default()
+
+
+def _baseline_policy(name: str, experiment: ExperimentConfig):
+    num_levels = len(experiment.simulator.dvfs_levels)
+    policies = {
+        "static-max": static_max_performance,
+        "static-min": lambda: static_min_energy(num_levels),
+        "heuristic": lambda: ThresholdDvfsPolicy(num_levels),
+        "random": lambda: RandomPolicy(experiment.build_action_space().size),
+    }
+    return policies[name]()
+
+
+def _resolve_policy(controller: str, experiment: ExperimentConfig):
+    if controller in BASELINE_NAMES:
+        return _baseline_policy(controller, experiment)
+    restored = checkpoint.load_dqn_checkpoint(controller)
+    return restored.to_policy(name=f"drl[{controller}]")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = SimulatorConfig(width=args.width, routing=args.routing)
+    points = load_latency_sweep(
+        config,
+        list(args.rates),
+        pattern=args.pattern,
+        measure_cycles=args.cycles,
+        dvfs_level=args.dvfs_level,
+    )
+    print(
+        format_series(
+            "offered_load",
+            [point.injection_rate for point in points],
+            {
+                "latency": [point.average_latency for point in points],
+                "throughput": [point.throughput for point in points],
+                "energy_per_flit_pj": [point.energy_per_flit_pj for point in points],
+            },
+            title=f"Load sweep — {args.width}x{args.width} mesh, {args.pattern}, {args.routing}",
+        )
+    )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    experiment = _experiment_from_preset(args.preset)
+    env = experiment.build_environment()
+    print(f"Training DQN controller: {args.episodes} episodes on preset '{args.preset}' ...")
+    result = train_dqn_controller(
+        env,
+        episodes=args.episodes,
+        epsilon_decay_steps=max(args.episodes * experiment.episode_epochs // 2, 50),
+        seed=args.seed,
+    )
+    print(f"  first episode return: {result.episode_returns[0]:.1f}")
+    print(f"  final episode return: {result.final_return:.1f}")
+    if args.checkpoint:
+        path = checkpoint.save_dqn_checkpoint(result, args.checkpoint)
+        print(f"  checkpoint saved to {path}")
+    trace = evaluate_controller(experiment, result.to_policy())
+    print(format_table([summarize_trace(trace)], title="Held-out evaluation"))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    experiment = _experiment_from_preset(args.preset)
+    policy = _resolve_policy(args.controller, experiment)
+    trace = evaluate_controller(experiment, policy, num_epochs=args.epochs)
+    print(format_table([summarize_trace(trace)], title=f"Evaluation — {policy.name}"))
+    print(f"DVFS level trace: {trace.dvfs_level_trace}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    experiment = _experiment_from_preset(args.preset)
+    policies = [_baseline_policy(name, experiment) for name in BASELINE_NAMES]
+    if args.checkpoint:
+        policies.insert(0, _resolve_policy(args.checkpoint, experiment))
+    rows = []
+    for policy in policies:
+        trace = evaluate_controller(experiment, policy, num_epochs=args.epochs)
+        rows.append(summarize_trace(trace))
+    print(format_table(rows, title="Controller comparison"))
+    return 0
+
+
+_COMMANDS = {
+    "sweep": cmd_sweep,
+    "train": cmd_train,
+    "evaluate": cmd_evaluate,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Configuration action spaces.
+
+A self-configuration action is a (partial) assignment of the NoC's runtime
+knobs: the global DVFS level, the routing algorithm, and the number of
+enabled virtual channels.  The action spaces below expose them to a discrete
+RL agent either individually or as a joint product space (the paper-style
+"self-configurable" knob set).
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.noc.network import NoCSimulator, SimulatorConfig
+from repro.noc.routing import DEADLOCK_FREE_ALGORITHMS, get_routing_algorithm
+
+
+@dataclass(frozen=True)
+class ConfigurationAction:
+    """A partial reconfiguration; ``None`` fields leave that knob unchanged."""
+
+    dvfs_level: int | None = None
+    routing: str | None = None
+    enabled_vcs: int | None = None
+
+    def apply(self, simulator: NoCSimulator) -> None:
+        """Actuate this action on a simulator."""
+        if self.dvfs_level is not None:
+            simulator.set_global_dvfs_level(self.dvfs_level)
+        if self.routing is not None:
+            simulator.set_routing_algorithm(self.routing)
+        if self.enabled_vcs is not None:
+            simulator.set_enabled_vcs(self.enabled_vcs)
+
+    def label(self) -> str:
+        parts = []
+        if self.dvfs_level is not None:
+            parts.append(f"dvfs=L{self.dvfs_level}")
+        if self.routing is not None:
+            parts.append(f"routing={self.routing}")
+        if self.enabled_vcs is not None:
+            parts.append(f"vcs={self.enabled_vcs}")
+        return ",".join(parts) if parts else "no-op"
+
+
+class ActionSpace(ABC):
+    """A discrete set of :class:`ConfigurationAction` choices."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of discrete actions."""
+
+    @abstractmethod
+    def decode(self, index: int) -> ConfigurationAction:
+        """The configuration corresponding to action ``index``."""
+
+    def apply(self, simulator: NoCSimulator, index: int) -> ConfigurationAction:
+        """Decode and actuate action ``index``; returns the decoded action."""
+        action = self.decode(index)
+        action.apply(simulator)
+        return action
+
+    def labels(self) -> list[str]:
+        return [self.decode(index).label() for index in range(self.size)]
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"action index {index} outside [0, {self.size})")
+
+
+class DvfsActionSpace(ActionSpace):
+    """Choose the global DVFS level (the classical DVFS-control action set)."""
+
+    def __init__(self, num_levels: int) -> None:
+        if num_levels < 2:
+            raise ValueError("a DVFS action space needs at least two levels")
+        self.num_levels = num_levels
+
+    @property
+    def size(self) -> int:
+        return self.num_levels
+
+    def decode(self, index: int) -> ConfigurationAction:
+        self._check_index(index)
+        return ConfigurationAction(dvfs_level=index)
+
+
+class RoutingActionSpace(ActionSpace):
+    """Choose the routing algorithm."""
+
+    def __init__(self, algorithm_names: tuple[str, ...] = ("xy", "odd_even", "west_first")) -> None:
+        if len(algorithm_names) < 2:
+            raise ValueError("a routing action space needs at least two algorithms")
+        for name in algorithm_names:
+            get_routing_algorithm(name)  # validate eagerly
+        self.algorithm_names = tuple(algorithm_names)
+
+    @property
+    def size(self) -> int:
+        return len(self.algorithm_names)
+
+    def decode(self, index: int) -> ConfigurationAction:
+        self._check_index(index)
+        return ConfigurationAction(routing=self.algorithm_names[index])
+
+
+class VcActionSpace(ActionSpace):
+    """Choose how many virtual channels are enabled (buffer power gating)."""
+
+    def __init__(self, max_vcs: int) -> None:
+        if max_vcs < 2:
+            raise ValueError("a VC action space needs at least two VCs to choose from")
+        self.max_vcs = max_vcs
+
+    @property
+    def size(self) -> int:
+        return self.max_vcs
+
+    def decode(self, index: int) -> ConfigurationAction:
+        self._check_index(index)
+        return ConfigurationAction(enabled_vcs=index + 1)
+
+
+@dataclass(frozen=True)
+class RegionalDvfsAction:
+    """Set the DVFS level of one region (a set of routers), leaving the rest.
+
+    This is the per-region extension of the global DVFS knob: the mesh is
+    partitioned into regions (voltage/frequency islands) and each action
+    retunes exactly one island, which keeps the action space linear in the
+    number of regions instead of exponential.
+    """
+
+    nodes: tuple[int, ...]
+    dvfs_level: int
+    region_index: int
+
+    def apply(self, simulator: NoCSimulator) -> None:
+        for node in self.nodes:
+            simulator.set_dvfs_level(node, self.dvfs_level)
+
+    def label(self) -> str:
+        return f"region{self.region_index}:dvfs=L{self.dvfs_level}"
+
+
+class RegionalDvfsActionSpace(ActionSpace):
+    """Per-region DVFS control: one action = (region, level).
+
+    The regions are voltage/frequency islands; ``quadrants`` builds the
+    common four-quadrant partition of a mesh.
+    """
+
+    def __init__(self, num_levels: int, regions: list[tuple[int, ...]]) -> None:
+        if num_levels < 2:
+            raise ValueError("a regional DVFS action space needs at least two levels")
+        if not regions:
+            raise ValueError("at least one region is required")
+        seen: set[int] = set()
+        for region in regions:
+            if not region:
+                raise ValueError("regions must not be empty")
+            overlap = seen.intersection(region)
+            if overlap:
+                raise ValueError(f"regions overlap on nodes {sorted(overlap)}")
+            seen.update(region)
+        self.num_levels = num_levels
+        self.regions = [tuple(region) for region in regions]
+
+    @classmethod
+    def quadrants(cls, simulator_config: SimulatorConfig) -> "RegionalDvfsActionSpace":
+        """Partition the mesh into four quadrant islands."""
+        topology = simulator_config.build_topology()
+        half_x = topology.width / 2
+        half_y = topology.height / 2
+        regions: dict[tuple[bool, bool], list[int]] = {}
+        for node in topology.nodes():
+            coord = topology.coordinates(node)
+            key = (coord.x < half_x, coord.y < half_y)
+            regions.setdefault(key, []).append(node)
+        ordered = [tuple(regions[key]) for key in sorted(regions)]
+        return cls(len(simulator_config.dvfs_levels), ordered)
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def size(self) -> int:
+        return self.num_regions * self.num_levels
+
+    def decode(self, index: int) -> RegionalDvfsAction:
+        self._check_index(index)
+        region_index, level = divmod(index, self.num_levels)
+        return RegionalDvfsAction(
+            nodes=self.regions[region_index],
+            dvfs_level=level,
+            region_index=region_index,
+        )
+
+
+class JointActionSpace(ActionSpace):
+    """The Cartesian product of DVFS x routing (x VCs): the paper's knob set."""
+
+    def __init__(
+        self,
+        num_dvfs_levels: int,
+        routing_names: tuple[str, ...] = ("xy", "odd_even"),
+        vc_counts: tuple[int, ...] | None = None,
+    ) -> None:
+        if num_dvfs_levels < 1:
+            raise ValueError("need at least one DVFS level")
+        for name in routing_names:
+            get_routing_algorithm(name)
+        self.num_dvfs_levels = num_dvfs_levels
+        self.routing_names = tuple(routing_names)
+        self.vc_counts = tuple(vc_counts) if vc_counts else (None,)
+        self._actions = [
+            ConfigurationAction(dvfs_level=level, routing=routing, enabled_vcs=vcs)
+            for level, routing, vcs in itertools.product(
+                range(num_dvfs_levels), self.routing_names, self.vc_counts
+            )
+        ]
+
+    @property
+    def size(self) -> int:
+        return len(self._actions)
+
+    def decode(self, index: int) -> ConfigurationAction:
+        self._check_index(index)
+        return self._actions[index]
+
+
+def make_action_space(kind: str, simulator_config: SimulatorConfig) -> ActionSpace:
+    """Build an action space by name, sized for ``simulator_config``.
+
+    Supported kinds: ``"dvfs"``, ``"routing"``, ``"vcs"``, ``"joint"`` and
+    ``"joint_full"`` (DVFS x routing x VC count).
+    """
+    num_levels = len(simulator_config.dvfs_levels)
+    adaptive_routings = tuple(
+        name for name in ("xy", "odd_even") if name in DEADLOCK_FREE_ALGORITHMS
+    )
+    if kind == "dvfs":
+        return DvfsActionSpace(num_levels)
+    if kind == "routing":
+        return RoutingActionSpace(adaptive_routings + ("west_first",))
+    if kind == "vcs":
+        return VcActionSpace(simulator_config.num_vcs)
+    if kind == "joint":
+        return JointActionSpace(num_levels, adaptive_routings)
+    if kind == "joint_full":
+        return JointActionSpace(
+            num_levels,
+            adaptive_routings,
+            vc_counts=tuple(range(1, simulator_config.num_vcs + 1)),
+        )
+    if kind == "regional_dvfs":
+        return RegionalDvfsActionSpace.quadrants(simulator_config)
+    raise KeyError(
+        f"unknown action space kind {kind!r}; known: dvfs, routing, vcs, joint, "
+        "joint_full, regional_dvfs"
+    )

@@ -1,0 +1,111 @@
+"""Checkpointing: persist trained controllers to disk and restore them.
+
+A checkpoint stores the DQN's learned parameters (as ``.npz`` arrays) next
+to a small JSON manifest carrying the agent configuration and the training
+curve, so a controller trained once (e.g. by the benchmark harness) can be
+re-deployed later without retraining::
+
+    from repro.core import checkpoint, train_dqn_controller
+
+    result = train_dqn_controller(env, episodes=30)
+    checkpoint.save_dqn_checkpoint(result, "controller.ckpt")
+
+    restored = checkpoint.load_dqn_checkpoint("controller.ckpt")
+    policy = restored.to_policy()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.training import TrainingResult
+from repro.rl.dqn import DQNAgent, DQNConfig
+
+_MANIFEST_NAME = "manifest.json"
+_PARAMETERS_NAME = "parameters.npz"
+FORMAT_VERSION = 1
+
+
+def save_dqn_checkpoint(result: TrainingResult, path: str | Path) -> Path:
+    """Persist a trained DQN controller (agent + training curve) to ``path``.
+
+    ``path`` is created as a directory containing ``manifest.json`` and
+    ``parameters.npz``.  Only DQN agents are supported (the tabular agent is
+    cheap enough to retrain).
+    """
+    agent = result.agent
+    if not isinstance(agent, DQNAgent):
+        raise TypeError(f"only DQNAgent checkpoints are supported, got {type(agent).__name__}")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    state = agent.get_state()
+    arrays: dict[str, np.ndarray] = {}
+    for network_name in ("online", "target"):
+        network_state = state[network_name]
+        for index, weight in enumerate(network_state["weights"]):
+            arrays[f"{network_name}_weight_{index}"] = weight
+        for index, bias in enumerate(network_state["biases"]):
+            arrays[f"{network_name}_bias_{index}"] = bias
+    np.savez(path / _PARAMETERS_NAME, **arrays)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "dqn_config": asdict(agent.config),
+        "layer_sizes": state["online"]["layer_sizes"],
+        "activation": state["online"]["activation"],
+        "train_steps": state["train_steps"],
+        "observe_steps": state["observe_steps"],
+        "episode_returns": list(result.episode_returns),
+        "episode_mean_latency": list(result.episode_mean_latency),
+        "episode_mean_energy_per_flit": list(result.episode_mean_energy_per_flit),
+    }
+    (path / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    return path
+
+
+def load_dqn_checkpoint(path: str | Path) -> TrainingResult:
+    """Restore a :class:`TrainingResult` previously saved by
+    :func:`save_dqn_checkpoint`."""
+    path = Path(path)
+    manifest_path = path / _MANIFEST_NAME
+    parameters_path = path / _PARAMETERS_NAME
+    if not manifest_path.exists() or not parameters_path.exists():
+        raise FileNotFoundError(f"{path} does not look like a DQN checkpoint directory")
+
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format version {manifest.get('format_version')!r}"
+        )
+
+    config_payload = dict(manifest["dqn_config"])
+    config_payload["hidden_sizes"] = tuple(config_payload["hidden_sizes"])
+    config = DQNConfig(**config_payload)
+    agent = DQNAgent(config)
+
+    arrays = np.load(parameters_path)
+    num_layers = len(manifest["layer_sizes"]) - 1
+    state = {
+        "train_steps": manifest["train_steps"],
+        "observe_steps": manifest["observe_steps"],
+    }
+    for network_name in ("online", "target"):
+        state[network_name] = {
+            "layer_sizes": list(manifest["layer_sizes"]),
+            "activation": manifest["activation"],
+            "weights": [arrays[f"{network_name}_weight_{i}"] for i in range(num_layers)],
+            "biases": [arrays[f"{network_name}_bias_{i}"] for i in range(num_layers)],
+        }
+    agent.set_state(state)
+
+    return TrainingResult(
+        agent=agent,
+        episode_returns=list(manifest["episode_returns"]),
+        episode_mean_latency=list(manifest["episode_mean_latency"]),
+        episode_mean_energy_per_flit=list(manifest["episode_mean_energy_per_flit"]),
+    )

@@ -1,0 +1,181 @@
+"""Experiment configuration: one object that ties the whole stack together.
+
+An :class:`ExperimentConfig` bundles the simulator parameters, the workload,
+the control-epoch settings, the action space and the reward weighting, and
+knows how to build every component (simulator, environment, feature
+extractor, controllers).  The benchmark harness and the examples are written
+against these presets so that every number in EXPERIMENTS.md can be
+regenerated from a single declarative description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.actions import ActionSpace, make_action_space
+from repro.core.environment import NoCConfigEnv
+from repro.core.features import FeatureExtractor, FeatureScales
+from repro.core.rewards import RewardSpec
+from repro.noc.network import NoCSimulator, SimulatorConfig
+from repro.traffic.application import Phase, PhasedWorkload, default_phases
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.trace import TraceRecord, TraceTrafficSource
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Declarative description of the workload driving an experiment.
+
+    ``kind`` selects between:
+
+    * ``"synthetic"`` — a single spatial pattern at a fixed injection rate;
+    * ``"phased"`` — a cyclic phase workload (the default training/eval
+      workload, standing in for application traces);
+    * ``"trace"`` — replay of explicit trace records.
+    """
+
+    kind: str = "phased"
+    pattern: str = "uniform"
+    rate_flits_per_node_cycle: float = 0.15
+    packet_size: int = 4
+    phases: tuple[Phase, ...] | None = None
+    trace_records: tuple[TraceRecord, ...] | None = None
+    pattern_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("synthetic", "phased", "trace"):
+            raise ValueError(f"unknown traffic kind {self.kind!r}")
+        if self.kind == "trace" and not self.trace_records:
+            raise ValueError("trace traffic requires trace_records")
+
+    def build(self, simulator: NoCSimulator, seed: int = 0):
+        """Instantiate the traffic source for ``simulator``."""
+        topology = simulator.topology
+        if self.kind == "synthetic":
+            return TrafficGenerator.from_names(
+                topology,
+                self.pattern,
+                self.rate_flits_per_node_cycle,
+                packet_size=self.packet_size,
+                seed=seed,
+                **self.pattern_kwargs,
+            )
+        if self.kind == "phased":
+            phases = list(self.phases) if self.phases else default_phases()
+            return PhasedWorkload(topology, phases, seed=seed)
+        return TraceTrafficSource(list(self.trace_records))
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def synthetic(cls, pattern: str, rate: float, packet_size: int = 4, **kwargs) -> "TrafficSpec":
+        return cls(
+            kind="synthetic",
+            pattern=pattern,
+            rate_flits_per_node_cycle=rate,
+            packet_size=packet_size,
+            pattern_kwargs=kwargs,
+        )
+
+    @classmethod
+    def phased(cls, phases: list[Phase] | None = None) -> "TrafficSpec":
+        return cls(kind="phased", phases=tuple(phases) if phases else None)
+
+    @classmethod
+    def trace(cls, records: list[TraceRecord]) -> "TrafficSpec":
+        return cls(kind="trace", trace_records=tuple(records))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to build one self-configuration experiment."""
+
+    simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    action_space_kind: str = "dvfs"
+    reward: RewardSpec = field(default_factory=RewardSpec.balanced)
+    feature_scales: FeatureScales = field(default_factory=FeatureScales)
+    epoch_cycles: int = 500
+    episode_epochs: int = 16
+    warmup_epochs: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epoch_cycles < 1 or self.episode_epochs < 1:
+            raise ValueError("epoch_cycles and episode_epochs must be positive")
+
+    # -- builders -------------------------------------------------------------------
+
+    def build_simulator(self, seed_offset: int = 0) -> NoCSimulator:
+        """A fresh simulator with the experiment's traffic attached."""
+        seed = self.seed + seed_offset
+        config = replace(self.simulator, seed=seed)
+        simulator = NoCSimulator(config)
+        simulator.traffic = self.traffic.build(simulator, seed=seed)
+        return simulator
+
+    def build_feature_extractor(self) -> FeatureExtractor:
+        return FeatureExtractor(self.simulator, scales=self.feature_scales)
+
+    def build_action_space(self) -> ActionSpace:
+        return make_action_space(self.action_space_kind, self.simulator)
+
+    def build_environment(self, seed_offset: int = 0) -> NoCConfigEnv:
+        """The training environment (fresh simulator per episode)."""
+        episode_counter = {"count": 0}
+
+        def factory() -> NoCSimulator:
+            # Vary the traffic seed across episodes so the agent does not
+            # overfit one packet arrival sequence.
+            offset = seed_offset + episode_counter["count"]
+            episode_counter["count"] += 1
+            return self.build_simulator(seed_offset=offset)
+
+        return NoCConfigEnv(
+            simulator_factory=factory,
+            action_space=self.build_action_space(),
+            feature_extractor=self.build_feature_extractor(),
+            reward_spec=self.reward,
+            epoch_cycles=self.epoch_cycles,
+            episode_epochs=self.episode_epochs,
+            warmup_epochs=self.warmup_epochs,
+        )
+
+    # -- presets -----------------------------------------------------------------------
+
+    @classmethod
+    def small(cls, **overrides) -> "ExperimentConfig":
+        """A fast-running preset used by unit tests and smoke benchmarks."""
+        defaults = dict(
+            simulator=SimulatorConfig(width=4, num_vcs=2, buffer_depth=4, packet_size=4),
+            traffic=TrafficSpec.phased(
+                [
+                    Phase(600, "uniform", 0.05),
+                    Phase(600, "hotspot", 0.25, pattern_kwargs={"hotspot_fraction": 0.15}),
+                    Phase(600, "uniform", 0.15),
+                ]
+            ),
+            action_space_kind="dvfs",
+            epoch_cycles=300,
+            episode_epochs=10,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def default(cls, **overrides) -> "ExperimentConfig":
+        """The standard 4x4-mesh phased-workload experiment."""
+        defaults = dict(
+            simulator=SimulatorConfig(width=4, num_vcs=2, buffer_depth=4, packet_size=4),
+            traffic=TrafficSpec.phased(),
+            action_space_kind="dvfs",
+            epoch_cycles=500,
+            episode_epochs=32,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def joint_configuration(cls, **overrides) -> "ExperimentConfig":
+        """DVFS x routing joint action space (the full self-configuration set)."""
+        return cls.default(action_space_kind="joint", **overrides)

@@ -1,0 +1,114 @@
+"""The epoch-level MDP the self-configuration agent is trained in.
+
+:class:`NoCConfigEnv` follows the familiar ``reset() / step(action)``
+environment interface (without depending on gym):
+
+* ``reset()`` builds a fresh simulator (via the supplied factory), runs a
+  warm-up epoch at the initial configuration and returns the first
+  observation;
+* ``step(action_index)`` actuates the chosen reconfiguration, advances the
+  simulator by one control epoch, and returns
+  ``(observation, reward, done, info)`` where ``info`` carries the raw
+  :class:`~repro.noc.stats.EpochTelemetry` and the decoded action.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.actions import ActionSpace
+from repro.core.features import FeatureExtractor
+from repro.core.rewards import RewardSpec
+from repro.noc.network import NoCSimulator
+from repro.noc.stats import EpochTelemetry
+
+
+class NoCConfigEnv:
+    """Gym-style environment over the NoC simulator."""
+
+    def __init__(
+        self,
+        simulator_factory: Callable[[], NoCSimulator],
+        action_space: ActionSpace,
+        feature_extractor: FeatureExtractor,
+        reward_spec: RewardSpec,
+        epoch_cycles: int = 500,
+        episode_epochs: int = 20,
+        warmup_epochs: int = 1,
+    ) -> None:
+        if epoch_cycles < 1:
+            raise ValueError("epoch_cycles must be positive")
+        if episode_epochs < 1:
+            raise ValueError("episode_epochs must be positive")
+        if warmup_epochs < 0:
+            raise ValueError("warmup_epochs must be non-negative")
+        self.simulator_factory = simulator_factory
+        self.action_space = action_space
+        self.feature_extractor = feature_extractor
+        self.reward_spec = reward_spec
+        self.epoch_cycles = epoch_cycles
+        self.episode_epochs = episode_epochs
+        self.warmup_epochs = warmup_epochs
+
+        self.simulator: NoCSimulator | None = None
+        self.last_telemetry: EpochTelemetry | None = None
+        self._epochs_taken = 0
+
+    # -- interface -----------------------------------------------------------------
+
+    @property
+    def observation_dim(self) -> int:
+        return self.feature_extractor.dim
+
+    @property
+    def num_actions(self) -> int:
+        return self.action_space.size
+
+    def reset(self) -> np.ndarray:
+        """Start a fresh episode and return the initial observation."""
+        self.simulator = self.simulator_factory()
+        self._epochs_taken = 0
+        telemetry = None
+        for _ in range(max(self.warmup_epochs, 1)):
+            telemetry = self.simulator.run_epoch(self.epoch_cycles)
+        assert telemetry is not None
+        self.last_telemetry = telemetry
+        return self.feature_extractor.extract(telemetry)
+
+    def step(self, action_index: int) -> tuple[np.ndarray, float, bool, dict]:
+        """Apply one reconfiguration action and advance one control epoch."""
+        if self.simulator is None:
+            raise RuntimeError("call reset() before step()")
+        action = self.action_space.apply(self.simulator, action_index)
+        telemetry = self.simulator.run_epoch(self.epoch_cycles)
+        self.last_telemetry = telemetry
+        self._epochs_taken += 1
+
+        observation = self.feature_extractor.extract(telemetry)
+        reward = self.reward_spec.compute(telemetry)
+        done = self._epochs_taken >= self.episode_epochs
+        info = {
+            "telemetry": telemetry,
+            "action": action,
+            "action_index": action_index,
+            "epoch": self._epochs_taken,
+        }
+        return observation, reward, done, info
+
+    # -- conveniences -------------------------------------------------------------------
+
+    def run_episode(self, policy: Callable[[np.ndarray], int]) -> list[dict]:
+        """Roll out one episode under ``policy``; returns the per-step infos
+        (each augmented with the reward)."""
+        observation = self.reset()
+        records = []
+        done = False
+        while not done:
+            action_index = policy(observation)
+            observation, reward, done, info = self.step(action_index)
+            info = dict(info)
+            info["reward"] = reward
+            records.append(info)
+        return records

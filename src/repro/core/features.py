@@ -1,0 +1,110 @@
+"""Observation features: per-epoch NoC telemetry -> normalised state vector.
+
+The feature set follows the DRL-for-NoC papers: congestion indicators
+(buffer occupancy, source-queue backlog, link utilisation), performance
+indicators (latency, throughput, accepted ratio), energy per flit, and the
+currently applied configuration (so the agent knows what it last chose).
+All features are scaled into roughly [0, 1] and clipped at ``clip_max`` so a
+saturated network produces a bounded, still-informative observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.noc.network import SimulatorConfig
+from repro.noc.stats import EpochTelemetry
+
+
+@dataclass(frozen=True)
+class FeatureScales:
+    """Normalisation constants for the telemetry features."""
+
+    latency_cycles: float = 60.0
+    source_queue_flits: float = 10.0
+    energy_per_flit_pj: float = 30.0
+    clip_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if min(self.latency_cycles, self.source_queue_flits, self.energy_per_flit_pj) <= 0:
+            raise ValueError("feature scales must be positive")
+        if self.clip_max <= 0:
+            raise ValueError("clip_max must be positive")
+
+
+@dataclass
+class FeatureExtractor:
+    """Maps :class:`EpochTelemetry` to the agent's observation vector."""
+
+    simulator_config: SimulatorConfig
+    scales: FeatureScales = field(default_factory=FeatureScales)
+
+    #: Feature names, in the order they appear in the observation vector.
+    FEATURE_NAMES = (
+        "avg_total_latency",
+        "avg_network_latency",
+        "throughput",
+        "offered_load",
+        "accepted_ratio",
+        "buffer_occupancy",
+        "source_queue_backlog",
+        "link_utilization",
+        "energy_per_flit",
+        "dvfs_level",
+        "enabled_vcs",
+    )
+
+    @property
+    def dim(self) -> int:
+        return len(self.FEATURE_NAMES)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self.FEATURE_NAMES
+
+    def _buffer_capacity_per_node(self) -> float:
+        # 5 input ports x VCs x depth on interior routers; border routers have
+        # fewer ports but the constant only needs to be a consistent scale.
+        config = self.simulator_config
+        return 5.0 * config.num_vcs * config.buffer_depth
+
+    def extract(self, telemetry: EpochTelemetry) -> np.ndarray:
+        """Observation vector for one epoch of telemetry."""
+        config = self.simulator_config
+        scales = self.scales
+        num_levels = max(len(config.dvfs_levels) - 1, 1)
+        num_vcs = max(config.num_vcs, 1)
+        features = np.array(
+            [
+                telemetry.average_total_latency / scales.latency_cycles,
+                telemetry.average_network_latency / scales.latency_cycles,
+                telemetry.throughput_flits_per_node_cycle,
+                telemetry.offered_load_flits_per_node_cycle,
+                telemetry.accepted_ratio,
+                telemetry.average_buffer_occupancy / self._buffer_capacity_per_node(),
+                telemetry.average_source_queue_flits / scales.source_queue_flits,
+                telemetry.link_utilization,
+                telemetry.energy_per_flit_pj / scales.energy_per_flit_pj,
+                telemetry.dvfs_level_index / num_levels,
+                telemetry.enabled_vcs / num_vcs,
+            ],
+            dtype=float,
+        )
+        return np.clip(features, 0.0, scales.clip_max)
+
+    __call__ = extract
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lows, highs) of the observation space (used by tabular agents)."""
+        lows = np.zeros(self.dim)
+        highs = np.full(self.dim, self.scales.clip_max)
+        return lows, highs
+
+    def describe(self, observation: np.ndarray) -> dict[str, float]:
+        """Human-readable mapping of feature names to values."""
+        observation = np.asarray(observation, dtype=float)
+        if observation.shape != (self.dim,):
+            raise ValueError(f"expected a {self.dim}-dimensional observation")
+        return dict(zip(self.FEATURE_NAMES, observation.tolist()))

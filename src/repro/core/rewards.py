@@ -1,0 +1,89 @@
+"""Reward specifications for the self-configuration MDP.
+
+The reward trades average packet latency against energy per flit over a
+control epoch.  Weighting is exposed so the same agent can be trained for
+latency-focused, energy-focused or balanced (EDP-like) objectives, and a
+saturation penalty punishes configurations that let the network fall behind
+the offered load (unbounded queue growth is the failure mode a latency-only
+reward can miss when the epoch is short).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.stats import EpochTelemetry
+
+
+@dataclass(frozen=True)
+class RewardSpec:
+    """Weighted latency/energy/throughput reward."""
+
+    latency_weight: float = 1.0
+    energy_weight: float = 1.0
+    throughput_weight: float = 0.0
+    latency_scale_cycles: float = 60.0
+    energy_scale_pj_per_flit: float = 25.0
+    latency_term_max: float = 4.0
+    saturation_penalty: float = 2.0
+    saturation_accepted_ratio: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.latency_scale_cycles <= 0 or self.energy_scale_pj_per_flit <= 0:
+            raise ValueError("reward scales must be positive")
+        if min(self.latency_weight, self.energy_weight, self.throughput_weight) < 0:
+            raise ValueError("reward weights must be non-negative")
+        if self.latency_term_max <= 0:
+            raise ValueError("latency_term_max must be positive")
+        if not 0.0 <= self.saturation_accepted_ratio <= 1.0:
+            raise ValueError("saturation threshold must be in [0, 1]")
+
+    # -- presets ------------------------------------------------------------
+
+    @classmethod
+    def balanced(cls) -> "RewardSpec":
+        """Equal latency and energy weighting (the EDP-style default)."""
+        return cls()
+
+    @classmethod
+    def latency_focused(cls) -> "RewardSpec":
+        return cls(latency_weight=2.0, energy_weight=0.25)
+
+    @classmethod
+    def energy_focused(cls) -> "RewardSpec":
+        return cls(latency_weight=0.5, energy_weight=2.0)
+
+    # -- computation ----------------------------------------------------------
+
+    def latency_term(self, telemetry: EpochTelemetry) -> float:
+        """Normalised latency penalty, capped at ``latency_term_max``.
+
+        The cap bounds the TD targets once the network is saturated (any
+        deeply saturated epoch is "equally unacceptable"); the separate
+        saturation penalty still makes saturation strictly worse than merely
+        slow epochs.
+        """
+        term = telemetry.average_total_latency / self.latency_scale_cycles
+        return min(term, self.latency_term_max)
+
+    def energy_term(self, telemetry: EpochTelemetry) -> float:
+        return telemetry.energy_per_flit_pj / self.energy_scale_pj_per_flit
+
+    def is_saturated(self, telemetry: EpochTelemetry) -> bool:
+        """Whether the epoch failed to keep up with the offered load."""
+        if telemetry.flits_created == 0:
+            return False
+        return telemetry.accepted_ratio < self.saturation_accepted_ratio
+
+    def compute(self, telemetry: EpochTelemetry) -> float:
+        """Scalar reward for one epoch (higher is better, typically negative)."""
+        reward = -(
+            self.latency_weight * self.latency_term(telemetry)
+            + self.energy_weight * self.energy_term(telemetry)
+        )
+        reward += self.throughput_weight * telemetry.throughput_flits_per_node_cycle
+        if self.is_saturated(telemetry):
+            reward -= self.saturation_penalty
+        return reward
+
+    __call__ = compute

@@ -1,0 +1,57 @@
+"""Cycle-level Network-on-Chip (NoC) simulator substrate.
+
+This package models the on-chip interconnect that the paper's deep
+reinforcement learning controller reconfigures at runtime:
+
+* :mod:`repro.noc.topology` — mesh and torus topologies;
+* :mod:`repro.noc.packet` — packets and flits;
+* :mod:`repro.noc.routing` — deterministic and turn-model adaptive routing;
+* :mod:`repro.noc.router` — input-buffered virtual-channel wormhole routers;
+* :mod:`repro.noc.flow_control` — credit-based flow control bookkeeping;
+* :mod:`repro.noc.dvfs` — voltage/frequency operating points;
+* :mod:`repro.noc.power` — event-based energy accounting;
+* :mod:`repro.noc.network` — the :class:`~repro.noc.network.NoCSimulator`
+  cycle loop that wires everything together;
+* :mod:`repro.noc.stats` — latency/throughput/occupancy statistics.
+
+The simulator is flit-accurate: packets are segmented into flits, flits
+advance at most one hop per cycle, and back-pressure propagates through
+credit-based flow control, which is the level of detail that determines the
+latency/throughput/energy trends the RL controller learns from.
+"""
+
+from repro.noc.dvfs import DVFS_LEVELS_DEFAULT, DvfsSchedule, OperatingPoint
+from repro.noc.network import NoCSimulator, SimulatorConfig
+from repro.noc.packet import Flit, FlitType, Packet
+from repro.noc.power import EnergyBreakdown, PowerModel, PowerParameters
+from repro.noc.routing import (
+    ROUTING_ALGORITHMS,
+    RoutingAlgorithm,
+    SelectionPolicy,
+    get_routing_algorithm,
+)
+from repro.noc.stats import EpochTelemetry, NetworkStats
+from repro.noc.topology import Direction, Mesh, Torus
+
+__all__ = [
+    "DVFS_LEVELS_DEFAULT",
+    "Direction",
+    "DvfsSchedule",
+    "EnergyBreakdown",
+    "EpochTelemetry",
+    "Flit",
+    "FlitType",
+    "Mesh",
+    "NetworkStats",
+    "NoCSimulator",
+    "OperatingPoint",
+    "Packet",
+    "PowerModel",
+    "PowerParameters",
+    "ROUTING_ALGORITHMS",
+    "RoutingAlgorithm",
+    "SelectionPolicy",
+    "SimulatorConfig",
+    "Torus",
+    "get_routing_algorithm",
+]

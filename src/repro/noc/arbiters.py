@@ -1,0 +1,60 @@
+"""Arbiters used for switch allocation inside the routers."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+
+class RoundRobinArbiter:
+    """A round-robin arbiter over a fixed universe of requesters.
+
+    The arbiter remembers the last granted requester and, on the next grant,
+    starts the search just after it, which gives the strong fairness property
+    the tests assert: over ``len(universe)`` consecutive grants with all
+    requesters asserting, every requester wins exactly once.
+    """
+
+    def __init__(self, universe: Sequence[Hashable]) -> None:
+        if not universe:
+            raise ValueError("arbiter universe must not be empty")
+        self._universe = list(universe)
+        self._index = {key: i for i, key in enumerate(self._universe)}
+        if len(self._index) != len(self._universe):
+            raise ValueError("arbiter universe must not contain duplicates")
+        self._pointer = 0
+
+    @property
+    def universe(self) -> list[Hashable]:
+        return list(self._universe)
+
+    def grant(self, requests: Iterable[Hashable]) -> Hashable | None:
+        """Grant one of ``requests`` (a subset of the universe) or ``None``."""
+        requesting = set(requests)
+        if not requesting:
+            return None
+        unknown = requesting.difference(self._index)
+        if unknown:
+            raise ValueError(f"requests outside arbiter universe: {sorted(map(str, unknown))}")
+        size = len(self._universe)
+        for offset in range(size):
+            candidate = self._universe[(self._pointer + offset) % size]
+            if candidate in requesting:
+                self._pointer = (self._index[candidate] + 1) % size
+                return candidate
+        return None
+
+
+class PriorityArbiter:
+    """A fixed-priority arbiter: earlier entries in the universe always win."""
+
+    def __init__(self, universe: Sequence[Hashable]) -> None:
+        if not universe:
+            raise ValueError("arbiter universe must not be empty")
+        self._universe = list(universe)
+        self._rank = {key: i for i, key in enumerate(self._universe)}
+
+    def grant(self, requests: Iterable[Hashable]) -> Hashable | None:
+        requesting = [r for r in requests if r in self._rank]
+        if not requesting:
+            return None
+        return min(requesting, key=self._rank.__getitem__)

@@ -1,0 +1,92 @@
+"""Voltage/frequency operating points (DVFS) for routers and links.
+
+The self-configuration action the DRL agent takes most often is a DVFS level
+change.  An :class:`OperatingPoint` couples a supply voltage with a clock
+divider: a router at divider ``d`` performs pipeline work only on cycles
+where ``cycle % d == 0``, which models running at ``f_max / d`` while the
+rest of the chip (and the simulator clock) stays at ``f_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A single DVFS level."""
+
+    name: str
+    voltage: float
+    frequency_ghz: float
+    divider: int
+
+    def __post_init__(self) -> None:
+        if self.voltage <= 0:
+            raise ValueError("voltage must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.divider < 1:
+            raise ValueError("clock divider must be at least 1")
+
+    def is_active_cycle(self, cycle: int) -> bool:
+        """Whether a router at this level performs work on ``cycle``."""
+        return cycle % self.divider == 0
+
+    @property
+    def relative_dynamic_power(self) -> float:
+        """Dynamic power relative to a 1.0 V, divider-1 level (~ V^2 * f)."""
+        return self.voltage**2 / self.divider
+
+    @property
+    def relative_static_power(self) -> float:
+        """Static (leakage) power relative to a 1.0 V level (~ V)."""
+        return self.voltage
+
+
+#: Default four-level DVFS ladder (highest performance first).
+DVFS_LEVELS_DEFAULT: tuple[OperatingPoint, ...] = (
+    OperatingPoint(name="L0-turbo", voltage=1.00, frequency_ghz=2.00, divider=1),
+    OperatingPoint(name="L1-nominal", voltage=0.85, frequency_ghz=1.00, divider=2),
+    OperatingPoint(name="L2-efficient", voltage=0.75, frequency_ghz=0.67, divider=3),
+    OperatingPoint(name="L3-powersave", voltage=0.65, frequency_ghz=0.50, divider=4),
+)
+
+
+class DvfsSchedule:
+    """A scripted (open-loop) DVFS schedule mapping control epochs to levels.
+
+    Used by the static and scripted baselines; the DRL controller instead
+    chooses levels on-line through :class:`repro.core.controller.SelfConfigController`.
+    """
+
+    def __init__(
+        self,
+        levels: tuple[OperatingPoint, ...] = DVFS_LEVELS_DEFAULT,
+        default_level: int = 0,
+    ) -> None:
+        if not levels:
+            raise ValueError("a DVFS schedule needs at least one operating point")
+        if not 0 <= default_level < len(levels):
+            raise ValueError("default level index out of range")
+        self.levels = tuple(levels)
+        self._default_level = default_level
+        self._epoch_levels: dict[int, int] = {}
+
+    def set_epoch_level(self, epoch: int, level_index: int) -> None:
+        if not 0 <= level_index < len(self.levels):
+            raise ValueError(f"level index {level_index} out of range")
+        self._epoch_levels[epoch] = level_index
+
+    def level_index_for_epoch(self, epoch: int) -> int:
+        return self._epoch_levels.get(epoch, self._default_level)
+
+    def level_for_epoch(self, epoch: int) -> OperatingPoint:
+        return self.levels[self.level_index_for_epoch(epoch)]
+
+    @classmethod
+    def constant(
+        cls, level_index: int, levels: tuple[OperatingPoint, ...] = DVFS_LEVELS_DEFAULT
+    ) -> "DvfsSchedule":
+        """A schedule that keeps a single level forever."""
+        return cls(levels=levels, default_level=level_index)

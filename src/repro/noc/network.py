@@ -1,0 +1,388 @@
+"""The cycle loop: :class:`NoCSimulator` wires routers, links and NIs together.
+
+The simulator advances in discrete cycles.  Each cycle it
+
+1. asks the traffic source for newly created packets and queues their flits
+   at the source network interfaces (NIs);
+2. injects at most one flit per node from the NI queue into the local router
+   (respecting virtual-channel assignment and buffer space);
+3. steps every router (route computation, VC allocation, switch allocation);
+4. applies the resulting flit movements: delivers flits to downstream input
+   buffers or ejects them at their destination NI, returning credits
+   upstream; and
+5. accrues leakage energy and occupancy statistics.
+
+The reconfiguration surface used by the DRL controller is exposed as
+``set_global_dvfs_level``, ``set_routing_algorithm`` and
+``set_enabled_vcs``; ``fail_link`` provides a fault-injection hook used by
+the robustness tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.noc.dvfs import DVFS_LEVELS_DEFAULT, OperatingPoint
+from repro.noc.link import Link
+from repro.noc.packet import Flit, Packet
+from repro.noc.power import PowerModel, PowerParameters
+from repro.noc.router import Movement, Router
+from repro.noc.routing import SelectionPolicy, get_routing_algorithm
+from repro.noc.stats import EpochTelemetry, NetworkStats
+from repro.noc.topology import Direction, Mesh, Torus
+
+
+class TrafficSource(Protocol):
+    """Anything that can hand the simulator new packets each cycle."""
+
+    def generate(self, cycle: int) -> list[Packet]:
+        """Packets created at ``cycle`` (creation_cycle must equal ``cycle``)."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Static configuration of the simulated NoC."""
+
+    width: int = 4
+    height: int | None = None
+    torus: bool = False
+    num_vcs: int = 2
+    buffer_depth: int = 4
+    packet_size: int = 4
+    routing: str = "xy"
+    selection: SelectionPolicy = SelectionPolicy.MOST_CREDITS
+    dvfs_levels: tuple[OperatingPoint, ...] = DVFS_LEVELS_DEFAULT
+    initial_dvfs_level: int = 0
+    power: PowerParameters = field(default_factory=PowerParameters)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.packet_size < 1:
+            raise ValueError("packet size must be at least one flit")
+        if not 0 <= self.initial_dvfs_level < len(self.dvfs_levels):
+            raise ValueError("initial DVFS level index out of range")
+        get_routing_algorithm(self.routing)  # validate eagerly
+
+    def build_topology(self) -> Mesh:
+        cls = Torus if self.torus else Mesh
+        return cls(self.width, self.height)
+
+
+class NoCSimulator:
+    """Flit-accurate simulator of a mesh/torus NoC."""
+
+    def __init__(self, config: SimulatorConfig, traffic: TrafficSource | None = None) -> None:
+        self.config = config
+        self.topology = config.build_topology()
+        self.traffic = traffic
+        self.power = PowerModel(parameters=config.power)
+        self.stats = NetworkStats()
+        self.cycle = 0
+
+        self._routing_name = config.routing
+        self._dvfs_level_index = config.initial_dvfs_level
+        self._enabled_vcs = config.num_vcs
+        routing = get_routing_algorithm(config.routing)
+        initial_point = config.dvfs_levels[config.initial_dvfs_level]
+
+        self.routers: dict[int, Router] = {}
+        for node in self.topology.nodes():
+            self.routers[node] = Router(
+                node,
+                self.topology,
+                num_vcs=config.num_vcs,
+                buffer_depth=config.buffer_depth,
+                routing=routing,
+                selection=config.selection,
+                operating_point=initial_point,
+                rng=random.Random(config.seed * 100_003 + node),
+            )
+
+        self.links: dict[tuple[int, int], Link] = {}
+        for src, direction, dst in self.topology.links():
+            self.links[(src, dst)] = Link(src=src, direction=direction, dst=dst)
+
+        self._source_queues: dict[int, deque[Flit]] = {
+            node: deque() for node in self.topology.nodes()
+        }
+        self._ni_active_vc: dict[int, int | None] = {
+            node: None for node in self.topology.nodes()
+        }
+        self._epoch_counter = 0
+
+    # ------------------------------------------------------------------
+    # reconfiguration surface (what the DRL agent actuates)
+    # ------------------------------------------------------------------
+
+    @property
+    def dvfs_level_index(self) -> int:
+        return self._dvfs_level_index
+
+    @property
+    def dvfs_levels(self) -> tuple[OperatingPoint, ...]:
+        return self.config.dvfs_levels
+
+    @property
+    def routing_name(self) -> str:
+        return self._routing_name
+
+    @property
+    def enabled_vcs(self) -> int:
+        return self._enabled_vcs
+
+    def set_global_dvfs_level(self, level_index: int) -> None:
+        if not 0 <= level_index < len(self.config.dvfs_levels):
+            raise ValueError(f"DVFS level index {level_index} out of range")
+        point = self.config.dvfs_levels[level_index]
+        for router in self.routers.values():
+            router.set_operating_point(point)
+        self._dvfs_level_index = level_index
+
+    def set_dvfs_level(self, node: int, level_index: int) -> None:
+        if not 0 <= level_index < len(self.config.dvfs_levels):
+            raise ValueError(f"DVFS level index {level_index} out of range")
+        self.routers[node].set_operating_point(self.config.dvfs_levels[level_index])
+
+    def set_routing_algorithm(self, name: str) -> None:
+        routing = get_routing_algorithm(name)
+        for router in self.routers.values():
+            router.set_routing(routing)
+        self._routing_name = name
+
+    def set_enabled_vcs(self, count: int) -> None:
+        for router in self.routers.values():
+            router.set_enabled_vcs(count)
+        self._enabled_vcs = count
+
+    def fail_link(self, src: int, dst: int) -> None:
+        """Block the directed link ``src -> dst`` (fault injection)."""
+        direction = self.topology.direction_towards(src, dst)
+        self.routers[src].block_port(direction)
+
+    def repair_link(self, src: int, dst: int) -> None:
+        direction = self.topology.direction_towards(src, dst)
+        self.routers[src].unblock_port(direction)
+
+    # ------------------------------------------------------------------
+    # packet ingress
+    # ------------------------------------------------------------------
+
+    def inject_packet(self, packet: Packet) -> None:
+        """Queue a packet at its source NI (creation statistics recorded here)."""
+        self.stats.record_packet_created(packet.size)
+        if packet.src == packet.dst:
+            # Local delivery never enters the network.
+            packet.injection_cycle = packet.creation_cycle
+            packet.arrival_cycle = packet.creation_cycle
+            self.stats.record_packet_injected(packet.size)
+            for _ in range(packet.size):
+                self.stats.record_flit_delivered()
+            self.stats.record_packet_delivered(
+                packet.total_latency, packet.network_latency, hops=0
+            )
+            return
+        self._source_queues[packet.src].extend(packet.flits())
+
+    # ------------------------------------------------------------------
+    # cycle loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        cycle = self.cycle
+        self._generate_traffic(cycle)
+        self._inject_from_sources(cycle)
+        movements = self._step_routers(cycle)
+        self._apply_movements(movements)
+        self._record_cycle_overheads()
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def run_epoch(self, cycles: int) -> EpochTelemetry:
+        """Run ``cycles`` cycles and return the telemetry observed over them."""
+        if cycles <= 0:
+            raise ValueError("an epoch must span at least one cycle")
+        stats_before = self.stats.snapshot()
+        energy_before = self.power.snapshot()
+        self.run(cycles)
+        telemetry = self._build_epoch_telemetry(cycles, stats_before, energy_before)
+        self._epoch_counter += 1
+        return telemetry
+
+    def drain(self, max_cycles: int = 10_000) -> int:
+        """Run without new traffic until all queued/in-flight flits deliver.
+
+        Returns the number of cycles it took; raises ``RuntimeError`` if the
+        network fails to drain within ``max_cycles`` (e.g. a failed link has
+        trapped packets).
+        """
+        saved_traffic = self.traffic
+        self.traffic = None
+        try:
+            for elapsed in range(max_cycles + 1):
+                if self._fully_drained():
+                    return elapsed
+                self.step()
+        finally:
+            self.traffic = saved_traffic
+        raise RuntimeError(f"network failed to drain within {max_cycles} cycles")
+
+    def _fully_drained(self) -> bool:
+        if any(self._source_queues[node] for node in self._source_queues):
+            return False
+        return all(router.buffered_flits == 0 for router in self.routers.values())
+
+    # ------------------------------------------------------------------
+    # cycle-loop phases
+    # ------------------------------------------------------------------
+
+    def _generate_traffic(self, cycle: int) -> None:
+        if self.traffic is None:
+            return
+        for packet in self.traffic.generate(cycle):
+            self.inject_packet(packet)
+
+    def _inject_from_sources(self, cycle: int) -> None:
+        for node, queue in self._source_queues.items():
+            if not queue:
+                continue
+            router = self.routers[node]
+            if not router.is_active_cycle(cycle):
+                continue
+            flit = queue[0]
+            vc = self._ni_active_vc[node]
+            if flit.is_head and vc is None:
+                vc = router.free_input_vc(Direction.LOCAL)
+                if vc is None:
+                    continue
+                self._ni_active_vc[node] = vc
+                flit.packet.injection_cycle = cycle
+                self.stats.record_packet_injected(flit.packet.size)
+            if vc is None:
+                raise RuntimeError(f"NI at node {node} lost its VC assignment")
+            if not router.can_accept(Direction.LOCAL, vc):
+                continue
+            queue.popleft()
+            router.receive_flit(Direction.LOCAL, vc, flit)
+            self.power.record_buffer_write(router.operating_point)
+            if flit.is_tail:
+                self._ni_active_vc[node] = None
+
+    def _step_routers(self, cycle: int) -> list[Movement]:
+        movements: list[Movement] = []
+        for router in self.routers.values():
+            movements.extend(router.step(cycle, self.power))
+        return movements
+
+    def _apply_movements(self, movements: list[Movement]) -> None:
+        for movement in movements:
+            self._return_credit(movement)
+            if movement.out_port is Direction.LOCAL:
+                self._eject(movement)
+            else:
+                self._forward(movement)
+
+    def _return_credit(self, movement: Movement) -> None:
+        if movement.in_port is Direction.LOCAL:
+            return
+        upstream = self.topology.neighbor(movement.src_node, movement.in_port)
+        assert upstream is not None
+        self.routers[upstream].release_credit(movement.in_port.opposite, movement.in_vc)
+
+    def _eject(self, movement: Movement) -> None:
+        flit = movement.flit
+        self.stats.record_flit_delivered()
+        if flit.is_tail:
+            packet = flit.packet
+            packet.arrival_cycle = self.cycle
+            self.stats.record_packet_delivered(
+                packet.total_latency, packet.network_latency, packet.hops
+            )
+
+    def _forward(self, movement: Movement) -> None:
+        assert movement.dst_node is not None and movement.out_vc is not None
+        destination = self.routers[movement.dst_node]
+        destination.receive_flit(
+            movement.out_port.opposite, movement.out_vc, movement.flit
+        )
+        self.power.record_buffer_write(destination.operating_point)
+        self.links[(movement.src_node, movement.dst_node)].record_traversal()
+        self.stats.record_link_traversal()
+        if movement.flit.is_head:
+            movement.flit.packet.hops += 1
+
+    def _record_cycle_overheads(self) -> None:
+        buffered = 0
+        for router in self.routers.values():
+            buffered += router.buffered_flits
+            self.power.record_router_leakage(router.operating_point)
+            outgoing_links = len(router.output_ports) - 1
+            if outgoing_links:
+                self.power.record_link_leakage(router.operating_point, links=outgoing_links)
+        queued = sum(len(queue) for queue in self._source_queues.values())
+        self.stats.record_cycle(buffered, queued)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def source_queue_backlog(self) -> int:
+        return sum(len(queue) for queue in self._source_queues.values())
+
+    @property
+    def buffered_flits(self) -> int:
+        return sum(router.buffered_flits for router in self.routers.values())
+
+    def _build_epoch_telemetry(
+        self,
+        cycles: int,
+        stats_before: dict[str, float],
+        energy_before,
+    ) -> EpochTelemetry:
+        after = self.stats.snapshot()
+        delta = {key: after[key] - stats_before[key] for key in after}
+        delivered = int(delta["packets_delivered"])
+        num_nodes = self.topology.num_nodes
+        num_links = len(self.links)
+
+        def per_delivered(total: float) -> float:
+            return total / delivered if delivered else 0.0
+
+        link_utilization = 0.0
+        if num_links and cycles:
+            link_utilization = delta["link_flit_traversals"] / (num_links * cycles)
+
+        return EpochTelemetry(
+            epoch_index=self._epoch_counter,
+            cycles=cycles,
+            num_nodes=num_nodes,
+            num_links=num_links,
+            packets_created=int(delta["packets_created"]),
+            packets_injected=int(delta["packets_injected"]),
+            packets_delivered=delivered,
+            flits_created=int(delta["flits_created"]),
+            flits_delivered=int(delta["flits_delivered"]),
+            average_total_latency=per_delivered(delta["total_latency_sum"]),
+            average_network_latency=per_delivered(delta["network_latency_sum"]),
+            average_hops=per_delivered(delta["hop_sum"]),
+            average_buffer_occupancy=(
+                delta["occupancy_flit_cycles"] / (cycles * num_nodes) if cycles else 0.0
+            ),
+            average_source_queue_flits=(
+                delta["source_queue_flit_cycles"] / (cycles * num_nodes) if cycles else 0.0
+            ),
+            link_utilization=link_utilization,
+            in_flight_packets=self.stats.in_flight_packets,
+            energy=self.power.snapshot() - energy_before,
+            dvfs_level_index=self._dvfs_level_index,
+            routing_name=self._routing_name,
+            enabled_vcs=self._enabled_vcs,
+        )

@@ -1,0 +1,348 @@
+"""Input-buffered virtual-channel wormhole router.
+
+The router implements the canonical four-stage pipeline collapsed into a
+single simulator cycle:
+
+1. **RC** (route computation) — the head flit at the front of an idle input
+   VC computes its candidate output ports via the configured routing
+   algorithm and a selection policy picks one;
+2. **VA** (virtual-channel allocation) — the packet claims a free virtual
+   channel on the chosen output port; the VC is held until the tail flit
+   leaves (wormhole switching);
+3. **SA** (switch allocation) — per output port, a round-robin arbiter grants
+   the crossbar to one requesting input VC, subject to one flit per input
+   port per cycle and credit availability;
+4. **ST/LT** (switch & link traversal) — the winning flit is removed from its
+   input buffer and handed to the network, which delivers it to the
+   downstream router (or ejects it) at the end of the cycle.
+
+DVFS is modelled with a clock divider: a router at divider ``d`` only runs
+the pipeline on cycles where ``cycle % d == 0``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.noc.arbiters import RoundRobinArbiter
+from repro.noc.dvfs import OperatingPoint
+from repro.noc.flow_control import CreditBook
+from repro.noc.packet import Flit
+from repro.noc.power import PowerModel
+from repro.noc.routing import RoutingAlgorithm, SelectionPolicy
+from repro.noc.topology import CARDINAL_DIRECTIONS, Direction, Mesh
+
+
+class VCState(Enum):
+    """State machine of an input virtual channel."""
+
+    IDLE = "idle"
+    ROUTED = "routed"
+    ACTIVE = "active"
+
+
+@dataclass
+class Movement:
+    """A flit leaving a router during one cycle, to be applied by the network."""
+
+    flit: Flit
+    src_node: int
+    in_port: Direction
+    in_vc: int
+    out_port: Direction
+    out_vc: int | None
+    dst_node: int | None
+
+
+class InputVirtualChannel:
+    """One input virtual channel: a flit FIFO plus routing/allocation state."""
+
+    __slots__ = ("buffer", "state", "out_port", "out_vc", "depth")
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        self.buffer: deque[Flit] = deque()
+        self.state = VCState.IDLE
+        self.out_port: Direction | None = None
+        self.out_vc: int | None = None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.buffer)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self.buffer) < self.depth
+
+    def reset_allocation(self) -> None:
+        self.state = VCState.IDLE
+        self.out_port = None
+        self.out_vc = None
+
+
+class Router:
+    """One NoC router attached to node ``node`` of ``topology``."""
+
+    def __init__(
+        self,
+        node: int,
+        topology: Mesh,
+        *,
+        num_vcs: int = 2,
+        buffer_depth: int = 4,
+        routing: RoutingAlgorithm,
+        selection: SelectionPolicy = SelectionPolicy.MOST_CREDITS,
+        operating_point: OperatingPoint,
+        rng: random.Random | None = None,
+    ) -> None:
+        if num_vcs < 1:
+            raise ValueError("routers need at least one virtual channel")
+        if buffer_depth < 1:
+            raise ValueError("buffer depth must be at least one flit")
+        self.node = node
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.enabled_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        self.routing = routing
+        self.selection = selection
+        self.operating_point = operating_point
+        self.blocked_ports: set[Direction] = set()
+        self._rng = rng or random.Random(node)
+
+        neighbors = topology.neighbors(node)
+        self.input_ports: list[Direction] = [Direction.LOCAL] + list(neighbors)
+        self.output_ports: list[Direction] = [Direction.LOCAL] + list(neighbors)
+        self._neighbor_ports: list[Direction] = list(neighbors)
+
+        self.inputs: dict[Direction, list[InputVirtualChannel]] = {
+            port: [InputVirtualChannel(buffer_depth) for _ in range(num_vcs)]
+            for port in self.input_ports
+        }
+        self.credits = CreditBook(self._neighbor_ports, num_vcs, buffer_depth)
+        # Which (input port, vc) currently holds each output VC (wormhole hold).
+        self._output_vc_owner: dict[Direction, list[tuple[Direction, int] | None]] = {
+            port: [None] * num_vcs for port in self._neighbor_ports
+        }
+        universe = [(port, vc) for port in self.input_ports for vc in range(num_vcs)]
+        self._switch_arbiters: dict[Direction, RoundRobinArbiter] = {
+            port: RoundRobinArbiter(universe) for port in self.output_ports
+        }
+        self.buffered_flits = 0
+
+    # -- configuration knobs (the self-configuration surface) ------------------
+
+    def set_operating_point(self, point: OperatingPoint) -> None:
+        self.operating_point = point
+
+    def set_routing(self, routing: RoutingAlgorithm) -> None:
+        self.routing = routing
+
+    def set_selection(self, selection: SelectionPolicy) -> None:
+        self.selection = selection
+
+    def set_enabled_vcs(self, count: int) -> None:
+        if not 1 <= count <= self.num_vcs:
+            raise ValueError(f"enabled VC count must be in [1, {self.num_vcs}]")
+        self.enabled_vcs = count
+
+    def block_port(self, port: Direction) -> None:
+        """Fail the outgoing link on ``port`` (fault-injection hook)."""
+        self.blocked_ports.add(port)
+
+    def unblock_port(self, port: Direction) -> None:
+        self.blocked_ports.discard(port)
+
+    # -- flit ingress ------------------------------------------------------------
+
+    def can_accept(self, port: Direction, vc: int) -> bool:
+        return self.inputs[port][vc].has_space
+
+    def receive_flit(self, port: Direction, vc: int, flit: Flit) -> None:
+        ivc = self.inputs[port][vc]
+        if not ivc.has_space:
+            raise RuntimeError(
+                f"buffer overflow at node {self.node} port {port.name} vc {vc}"
+            )
+        ivc.buffer.append(flit)
+        self.buffered_flits += 1
+
+    def occupancy(self) -> int:
+        """Total flits buffered across all input VCs."""
+        return self.buffered_flits
+
+    # -- pipeline ---------------------------------------------------------------
+
+    def is_active_cycle(self, cycle: int) -> bool:
+        return self.operating_point.is_active_cycle(cycle)
+
+    def step(self, cycle: int, power: PowerModel) -> list[Movement]:
+        """Run one router cycle; return the flit movements to apply."""
+        if self.buffered_flits == 0 or not self.is_active_cycle(cycle):
+            return []
+        self._route_and_allocate()
+        return self._switch_traversal(power)
+
+    # route computation + VC allocation
+    def _route_and_allocate(self) -> None:
+        for port in self.input_ports:
+            for vc_index in range(self.num_vcs):
+                ivc = self.inputs[port][vc_index]
+                if not ivc.buffer:
+                    continue
+                if ivc.state is VCState.IDLE:
+                    head = ivc.buffer[0]
+                    if not head.is_head:
+                        raise RuntimeError(
+                            f"flit ordering violated at node {self.node}: "
+                            f"expected head flit, found {head.flit_type}"
+                        )
+                    ivc.out_port = self._compute_route(head)
+                    ivc.state = VCState.ROUTED
+                if ivc.state is VCState.ROUTED:
+                    self._allocate_output_vc(port, vc_index, ivc)
+
+    def _compute_route(self, head: Flit) -> Direction:
+        candidates = self.routing(self.topology, self.node, head.src, head.dst)
+        if not candidates:
+            raise RuntimeError(
+                f"routing returned no candidates at node {self.node} for {head!r}"
+            )
+        if Direction.LOCAL in candidates:
+            return Direction.LOCAL
+        usable = [c for c in candidates if c in self.credits.ports()]
+        if not usable:
+            raise RuntimeError(
+                f"routing produced off-chip candidates {candidates} at node {self.node}"
+            )
+        unblocked = [c for c in usable if c not in self.blocked_ports]
+        if unblocked:
+            usable = unblocked
+        return self._select_output(usable)
+
+    def _select_output(self, candidates: list[Direction]) -> Direction:
+        if len(candidates) == 1 or self.selection is SelectionPolicy.FIRST:
+            return candidates[0]
+        if self.selection is SelectionPolicy.RANDOM:
+            return self._rng.choice(candidates)
+        # MOST_CREDITS: prefer the least congested downstream port.
+        return max(candidates, key=lambda port: (self.credits.total_available(port), -port))
+
+    def _allocate_output_vc(
+        self, port: Direction, vc_index: int, ivc: InputVirtualChannel
+    ) -> None:
+        assert ivc.out_port is not None
+        if ivc.out_port is Direction.LOCAL:
+            ivc.out_vc = None
+            ivc.state = VCState.ACTIVE
+            return
+        owners = self._output_vc_owner[ivc.out_port]
+        for out_vc in range(self.enabled_vcs):
+            if owners[out_vc] is None:
+                owners[out_vc] = (port, vc_index)
+                ivc.out_vc = out_vc
+                ivc.state = VCState.ACTIVE
+                return
+        # No free output VC this cycle; retry on a later cycle.
+
+    # switch allocation + traversal
+    def _switch_traversal(self, power: PowerModel) -> list[Movement]:
+        movements: list[Movement] = []
+        used_input_ports: set[Direction] = set()
+        for out_port in self.output_ports:
+            if out_port in self.blocked_ports:
+                continue
+            requests = []
+            for in_port in self.input_ports:
+                if in_port in used_input_ports:
+                    continue
+                for vc_index in range(self.num_vcs):
+                    ivc = self.inputs[in_port][vc_index]
+                    if (
+                        ivc.state is VCState.ACTIVE
+                        and ivc.buffer
+                        and ivc.out_port is out_port
+                        and self._has_downstream_space(out_port, ivc.out_vc)
+                    ):
+                        requests.append((in_port, vc_index))
+            winner = self._switch_arbiters[out_port].grant(requests)
+            if winner is None:
+                continue
+            in_port, vc_index = winner
+            used_input_ports.add(in_port)
+            movements.append(self._traverse(in_port, vc_index, out_port, power))
+        return movements
+
+    def _has_downstream_space(self, out_port: Direction, out_vc: int | None) -> bool:
+        if out_port is Direction.LOCAL:
+            return True
+        assert out_vc is not None
+        return self.credits.has_credit(out_port, out_vc)
+
+    def _traverse(
+        self, in_port: Direction, vc_index: int, out_port: Direction, power: PowerModel
+    ) -> Movement:
+        ivc = self.inputs[in_port][vc_index]
+        flit = ivc.buffer.popleft()
+        self.buffered_flits -= 1
+        out_vc = ivc.out_vc
+        power.record_buffer_read(self.operating_point)
+        power.record_crossbar_traversal(self.operating_point)
+
+        dst_node: int | None = None
+        if out_port is not Direction.LOCAL:
+            assert out_vc is not None
+            self.credits.consume(out_port, out_vc)
+            power.record_link_traversal(self.operating_point)
+            dst_node = self.topology.neighbor(self.node, out_port)
+
+        if flit.is_tail:
+            if out_port is not Direction.LOCAL:
+                assert out_vc is not None
+                self._output_vc_owner[out_port][out_vc] = None
+            ivc.reset_allocation()
+
+        return Movement(
+            flit=flit,
+            src_node=self.node,
+            in_port=in_port,
+            in_vc=vc_index,
+            out_port=out_port,
+            out_vc=out_vc,
+            dst_node=dst_node,
+        )
+
+    # -- credit interface used by the network -------------------------------------
+
+    def release_credit(self, port: Direction, vc: int) -> None:
+        self.credits.release(port, vc)
+
+    # -- introspection --------------------------------------------------------------
+
+    def free_input_vc(self, port: Direction) -> int | None:
+        """Index of an idle, empty, enabled input VC on ``port`` (for injection)."""
+        for vc_index in range(self.enabled_vcs):
+            ivc = self.inputs[port][vc_index]
+            if ivc.state is VCState.IDLE and not ivc.buffer:
+                return vc_index
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Router(node={self.node}, buffered={self.buffered_flits}, "
+            f"op={self.operating_point.name})"
+        )
+
+
+# Re-export so callers importing the router module see the cardinal ordering
+# the arbiters and tests rely on.
+__all__ = [
+    "CARDINAL_DIRECTIONS",
+    "InputVirtualChannel",
+    "Movement",
+    "Router",
+    "VCState",
+]

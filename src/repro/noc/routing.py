@@ -1,0 +1,264 @@
+"""Routing algorithms for 2-D mesh NoCs.
+
+A routing algorithm maps ``(topology, current, source, destination)`` to the
+set of *minimal* output directions a head flit may take from the current
+router.  Deterministic algorithms return a single candidate; partially
+adaptive turn-model algorithms (west-first, north-last, negative-first,
+odd-even) return up to two candidates and rely on a
+:class:`SelectionPolicy` to pick one based on downstream congestion.
+
+All the turn-model algorithms implemented here are deadlock-free on a mesh
+with wormhole switching and any number of virtual channels.  The fully
+adaptive ``minimal_adaptive`` algorithm is provided for comparison only and
+is *not* deadlock-free by itself; the simulator pairs it with a conservative
+configuration (it is excluded from the default action space).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Protocol
+
+from repro.noc.topology import Direction, Mesh
+
+
+class RoutingAlgorithm(Protocol):
+    """Callable protocol implemented by every routing algorithm."""
+
+    name: str
+
+    def __call__(
+        self, topology: Mesh, current: int, source: int, destination: int
+    ) -> list[Direction]:
+        """Return the minimal output directions allowed from ``current``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class SelectionPolicy(Enum):
+    """How a router chooses among multiple candidate output directions."""
+
+    FIRST = "first"
+    MOST_CREDITS = "most_credits"
+    RANDOM = "random"
+
+
+def _offsets(topology: Mesh, current: int, destination: int) -> tuple[int, int]:
+    """(east_offset, north_offset) from ``current`` to ``destination``."""
+    cur = topology.coordinates(current)
+    dst = topology.coordinates(destination)
+    return dst.x - cur.x, dst.y - cur.y
+
+
+def _named(name: str) -> Callable[[Callable], Callable]:
+    def decorate(func: Callable) -> Callable:
+        func.name = name
+        return func
+
+    return decorate
+
+
+@_named("xy")
+def xy_routing(
+    topology: Mesh, current: int, source: int, destination: int
+) -> list[Direction]:
+    """Dimension-ordered routing: resolve the X offset, then the Y offset."""
+    east, north = _offsets(topology, current, destination)
+    if east > 0:
+        return [Direction.EAST]
+    if east < 0:
+        return [Direction.WEST]
+    if north > 0:
+        return [Direction.NORTH]
+    if north < 0:
+        return [Direction.SOUTH]
+    return [Direction.LOCAL]
+
+
+@_named("yx")
+def yx_routing(
+    topology: Mesh, current: int, source: int, destination: int
+) -> list[Direction]:
+    """Dimension-ordered routing: resolve the Y offset, then the X offset."""
+    east, north = _offsets(topology, current, destination)
+    if north > 0:
+        return [Direction.NORTH]
+    if north < 0:
+        return [Direction.SOUTH]
+    if east > 0:
+        return [Direction.EAST]
+    if east < 0:
+        return [Direction.WEST]
+    return [Direction.LOCAL]
+
+
+@_named("west_first")
+def west_first_routing(
+    topology: Mesh, current: int, source: int, destination: int
+) -> list[Direction]:
+    """Turn model: turns *into* the west direction are forbidden.
+
+    All required westward hops are therefore taken first; eastbound packets
+    may adapt freely between east and the vertical direction.
+    """
+    east, north = _offsets(topology, current, destination)
+    if east == 0 and north == 0:
+        return [Direction.LOCAL]
+    if east < 0:
+        return [Direction.WEST]
+    candidates = []
+    if east > 0:
+        candidates.append(Direction.EAST)
+    if north > 0:
+        candidates.append(Direction.NORTH)
+    elif north < 0:
+        candidates.append(Direction.SOUTH)
+    return candidates
+
+
+@_named("north_last")
+def north_last_routing(
+    topology: Mesh, current: int, source: int, destination: int
+) -> list[Direction]:
+    """Turn model: turns *out of* the north direction are forbidden.
+
+    Northward hops must therefore be the last leg of the route; southbound
+    packets may adapt freely between the horizontal direction and south.
+    """
+    east, north = _offsets(topology, current, destination)
+    if east == 0 and north == 0:
+        return [Direction.LOCAL]
+    if north > 0:
+        if east == 0:
+            return [Direction.NORTH]
+        return [Direction.EAST if east > 0 else Direction.WEST]
+    candidates = []
+    if east > 0:
+        candidates.append(Direction.EAST)
+    elif east < 0:
+        candidates.append(Direction.WEST)
+    if north < 0:
+        candidates.append(Direction.SOUTH)
+    return candidates
+
+
+@_named("negative_first")
+def negative_first_routing(
+    topology: Mesh, current: int, source: int, destination: int
+) -> list[Direction]:
+    """Turn model: turns from a positive to a negative direction are forbidden.
+
+    All required west/south (negative) hops are taken before any east/north
+    (positive) hop.
+    """
+    east, north = _offsets(topology, current, destination)
+    if east == 0 and north == 0:
+        return [Direction.LOCAL]
+    negatives = []
+    if east < 0:
+        negatives.append(Direction.WEST)
+    if north < 0:
+        negatives.append(Direction.SOUTH)
+    if negatives:
+        return negatives
+    positives = []
+    if east > 0:
+        positives.append(Direction.EAST)
+    if north > 0:
+        positives.append(Direction.NORTH)
+    return positives
+
+
+@_named("odd_even")
+def odd_even_routing(
+    topology: Mesh, current: int, source: int, destination: int
+) -> list[Direction]:
+    """Chiu's odd-even turn model.
+
+    East-to-north and east-to-south turns are forbidden in even columns;
+    north-to-west and south-to-west turns are forbidden in odd columns.  The
+    resulting candidate set is deadlock-free without virtual-channel escape
+    paths.
+    """
+    cur = topology.coordinates(current)
+    src = topology.coordinates(source)
+    dst = topology.coordinates(destination)
+    east = dst.x - cur.x
+    north = dst.y - cur.y
+    if east == 0 and north == 0:
+        return [Direction.LOCAL]
+
+    candidates: list[Direction] = []
+    vertical = Direction.NORTH if north > 0 else Direction.SOUTH
+    if east == 0:
+        candidates.append(vertical)
+    elif east > 0:
+        if north == 0:
+            candidates.append(Direction.EAST)
+        else:
+            if cur.x % 2 == 1 or cur.x == src.x:
+                candidates.append(vertical)
+            if dst.x % 2 == 1 or east != 1:
+                candidates.append(Direction.EAST)
+    else:
+        candidates.append(Direction.WEST)
+        if cur.x % 2 == 0 and north != 0:
+            candidates.append(vertical)
+    return candidates
+
+
+@_named("minimal_adaptive")
+def minimal_adaptive_routing(
+    topology: Mesh, current: int, source: int, destination: int
+) -> list[Direction]:
+    """Fully adaptive minimal routing (all productive directions).
+
+    Not deadlock-free on its own; included as an upper-bound comparator for
+    the adaptivity benchmarks.
+    """
+    east, north = _offsets(topology, current, destination)
+    if east == 0 and north == 0:
+        return [Direction.LOCAL]
+    candidates = []
+    if east > 0:
+        candidates.append(Direction.EAST)
+    elif east < 0:
+        candidates.append(Direction.WEST)
+    if north > 0:
+        candidates.append(Direction.NORTH)
+    elif north < 0:
+        candidates.append(Direction.SOUTH)
+    return candidates
+
+
+#: Registry of routing algorithms by name, in a stable order.
+ROUTING_ALGORITHMS: dict[str, RoutingAlgorithm] = {
+    "xy": xy_routing,
+    "yx": yx_routing,
+    "west_first": west_first_routing,
+    "north_last": north_last_routing,
+    "negative_first": negative_first_routing,
+    "odd_even": odd_even_routing,
+    "minimal_adaptive": minimal_adaptive_routing,
+}
+
+#: Algorithms that are deadlock-free on a mesh without escape VCs.
+DEADLOCK_FREE_ALGORITHMS = (
+    "xy",
+    "yx",
+    "west_first",
+    "north_last",
+    "negative_first",
+    "odd_even",
+)
+
+
+def get_routing_algorithm(name: str) -> RoutingAlgorithm:
+    """Look up a routing algorithm by name.
+
+    Raises ``KeyError`` with the list of known names for unknown algorithms.
+    """
+    try:
+        return ROUTING_ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ROUTING_ALGORITHMS))
+        raise KeyError(f"unknown routing algorithm {name!r}; known: {known}") from None

@@ -1,0 +1,209 @@
+"""Latency, throughput, occupancy and energy statistics.
+
+The simulator keeps *cumulative* counters in :class:`NetworkStats`; the
+control plane (the RL environment) works on per-epoch deltas, packaged as
+:class:`EpochTelemetry` by :meth:`repro.noc.network.NoCSimulator.run_epoch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.noc.power import EnergyBreakdown
+
+
+@dataclass
+class NetworkStats:
+    """Cumulative statistics since simulator construction (or reset)."""
+
+    cycles: int = 0
+    packets_created: int = 0
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    flits_created: int = 0
+    flits_injected: int = 0
+    flits_delivered: int = 0
+    total_latency_sum: int = 0
+    network_latency_sum: int = 0
+    hop_sum: int = 0
+    occupancy_flit_cycles: int = 0
+    source_queue_flit_cycles: int = 0
+    link_flit_traversals: int = 0
+    latencies: list[int] = field(default_factory=list)
+
+    # -- recording -------------------------------------------------------------
+
+    def record_packet_created(self, size: int) -> None:
+        self.packets_created += 1
+        self.flits_created += size
+
+    def record_packet_injected(self, size: int) -> None:
+        self.packets_injected += 1
+        self.flits_injected += size
+
+    def record_flit_delivered(self) -> None:
+        self.flits_delivered += 1
+
+    def record_packet_delivered(
+        self, total_latency: int, network_latency: int, hops: int
+    ) -> None:
+        self.packets_delivered += 1
+        self.total_latency_sum += total_latency
+        self.network_latency_sum += network_latency
+        self.hop_sum += hops
+        self.latencies.append(total_latency)
+
+    def record_cycle(self, buffered_flits: int, source_queue_flits: int) -> None:
+        self.cycles += 1
+        self.occupancy_flit_cycles += buffered_flits
+        self.source_queue_flit_cycles += source_queue_flits
+
+    def record_link_traversal(self, flits: int = 1) -> None:
+        self.link_flit_traversals += flits
+
+    # -- derived metrics ---------------------------------------------------------
+
+    @property
+    def in_flight_packets(self) -> int:
+        return self.packets_injected - self.packets_delivered
+
+    @property
+    def average_total_latency(self) -> float:
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_latency_sum / self.packets_delivered
+
+    @property
+    def average_network_latency(self) -> float:
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.network_latency_sum / self.packets_delivered
+
+    @property
+    def average_hops(self) -> float:
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.hop_sum / self.packets_delivered
+
+    def latency_percentile(self, percentile: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies, dtype=float), percentile))
+
+    def throughput_flits_per_node_cycle(self, num_nodes: int) -> float:
+        if self.cycles == 0 or num_nodes == 0:
+            return 0.0
+        return self.flits_delivered / (self.cycles * num_nodes)
+
+    def offered_load_flits_per_node_cycle(self, num_nodes: int) -> float:
+        if self.cycles == 0 or num_nodes == 0:
+            return 0.0
+        return self.flits_created / (self.cycles * num_nodes)
+
+    def average_buffer_occupancy(self, num_nodes: int) -> float:
+        if self.cycles == 0 or num_nodes == 0:
+            return 0.0
+        return self.occupancy_flit_cycles / (self.cycles * num_nodes)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Scalar counters for delta computation across epochs."""
+        return {
+            "cycles": self.cycles,
+            "packets_created": self.packets_created,
+            "packets_injected": self.packets_injected,
+            "packets_delivered": self.packets_delivered,
+            "flits_created": self.flits_created,
+            "flits_injected": self.flits_injected,
+            "flits_delivered": self.flits_delivered,
+            "total_latency_sum": self.total_latency_sum,
+            "network_latency_sum": self.network_latency_sum,
+            "hop_sum": self.hop_sum,
+            "occupancy_flit_cycles": self.occupancy_flit_cycles,
+            "source_queue_flit_cycles": self.source_queue_flit_cycles,
+            "link_flit_traversals": self.link_flit_traversals,
+        }
+
+
+@dataclass(frozen=True)
+class EpochTelemetry:
+    """Telemetry observed over one control epoch (the RL time step).
+
+    This is the information the self-configuration agent sees: it is the
+    output of one `run_epoch` call and the input to feature extraction.
+    """
+
+    epoch_index: int
+    cycles: int
+    num_nodes: int
+    num_links: int
+    packets_created: int
+    packets_injected: int
+    packets_delivered: int
+    flits_created: int
+    flits_delivered: int
+    average_total_latency: float
+    average_network_latency: float
+    average_hops: float
+    average_buffer_occupancy: float
+    average_source_queue_flits: float
+    link_utilization: float
+    in_flight_packets: int
+    energy: EnergyBreakdown
+    dvfs_level_index: int
+    routing_name: str
+    enabled_vcs: int
+
+    @property
+    def throughput_flits_per_node_cycle(self) -> float:
+        if self.cycles == 0 or self.num_nodes == 0:
+            return 0.0
+        return self.flits_delivered / (self.cycles * self.num_nodes)
+
+    @property
+    def offered_load_flits_per_node_cycle(self) -> float:
+        if self.cycles == 0 or self.num_nodes == 0:
+            return 0.0
+        return self.flits_created / (self.cycles * self.num_nodes)
+
+    @property
+    def accepted_ratio(self) -> float:
+        """Delivered / created flits over the epoch (1.0 when keeping up)."""
+        if self.flits_created == 0:
+            return 1.0
+        return self.flits_delivered / self.flits_created
+
+    @property
+    def energy_per_flit_pj(self) -> float:
+        if self.flits_delivered == 0:
+            return self.energy.total_pj
+        return self.energy.total_pj / self.flits_delivered
+
+    def as_dict(self) -> dict[str, float]:
+        result = {
+            "epoch_index": self.epoch_index,
+            "cycles": self.cycles,
+            "packets_created": self.packets_created,
+            "packets_injected": self.packets_injected,
+            "packets_delivered": self.packets_delivered,
+            "flits_created": self.flits_created,
+            "flits_delivered": self.flits_delivered,
+            "average_total_latency": self.average_total_latency,
+            "average_network_latency": self.average_network_latency,
+            "average_hops": self.average_hops,
+            "average_buffer_occupancy": self.average_buffer_occupancy,
+            "average_source_queue_flits": self.average_source_queue_flits,
+            "link_utilization": self.link_utilization,
+            "in_flight_packets": self.in_flight_packets,
+            "throughput": self.throughput_flits_per_node_cycle,
+            "offered_load": self.offered_load_flits_per_node_cycle,
+            "accepted_ratio": self.accepted_ratio,
+            "energy_total_pj": self.energy.total_pj,
+            "energy_per_flit_pj": self.energy_per_flit_pj,
+            "dvfs_level_index": self.dvfs_level_index,
+            "enabled_vcs": self.enabled_vcs,
+        }
+        return result

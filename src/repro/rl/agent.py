@@ -1,0 +1,36 @@
+"""The common agent interface shared by the DQN variants and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) experience tuple."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+@runtime_checkable
+class Agent(Protocol):
+    """Minimal agent interface used by the training loop and the controller."""
+
+    def act(self, observation: np.ndarray, explore: bool = True) -> int:
+        """Choose an action index for ``observation``."""
+        ...  # pragma: no cover - protocol definition
+
+    def observe(self, transition: Transition) -> None:
+        """Record one transition (may trigger learning)."""
+        ...  # pragma: no cover - protocol definition
+
+    def end_episode(self) -> None:
+        """Hook called at episode boundaries."""
+        ...  # pragma: no cover - protocol definition

@@ -1,0 +1,174 @@
+"""Multilayer perceptrons with manual backpropagation.
+
+A deliberately small, dependency-free neural network implementation:
+fully-connected layers with ReLU (or tanh) activations, He/Xavier
+initialisation, forward/backward passes and parameter (de)serialisation.
+It is sized for the networks NoC controllers use (two hidden layers of a few
+dozen units), not for ImageNet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ACTIVATIONS = ("relu", "tanh", "linear")
+
+
+class MLP:
+    """A fully connected network ``input -> hidden... -> output``.
+
+    The output layer is always linear (Q-values are unbounded); hidden layers
+    use ``activation``.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        activation: str = "relu",
+        seed: int = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("an MLP needs at least an input and an output layer")
+        if any(size < 1 for size in layer_sizes):
+            raise ValueError("layer sizes must be positive")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}; known: {_ACTIVATIONS}")
+        self.layer_sizes = list(layer_sizes)
+        self.activation = activation
+        self._rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            if activation == "relu":
+                scale = np.sqrt(2.0 / fan_in)  # He initialisation
+            else:
+                scale = np.sqrt(1.0 / fan_in)  # Xavier-ish
+            self.weights.append(self._rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # -- forward / backward -------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    def _activate(self, z: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return np.maximum(z, 0.0)
+        if self.activation == "tanh":
+            return np.tanh(z)
+        return z
+
+    def _activate_grad(self, z: np.ndarray, a: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return (z > 0.0).astype(z.dtype)
+        if self.activation == "tanh":
+            return 1.0 - a**2
+        return np.ones_like(z)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Network output for a batch (or single vector) of inputs."""
+        outputs, _ = self._forward_cached(np.atleast_2d(np.asarray(inputs, dtype=float)))
+        if np.ndim(inputs) == 1:
+            return outputs[0]
+        return outputs
+
+    __call__ = forward
+
+    def _forward_cached(self, x: np.ndarray):
+        pre_activations = []
+        activations = [x]
+        current = x
+        for index in range(self.num_layers):
+            z = current @ self.weights[index] + self.biases[index]
+            pre_activations.append(z)
+            if index < self.num_layers - 1:
+                current = self._activate(z)
+            else:
+                current = z
+            activations.append(current)
+        return current, (pre_activations, activations)
+
+    def backward(
+        self, inputs: np.ndarray, output_grad: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Gradients of a scalar loss w.r.t. weights and biases.
+
+        ``output_grad`` is dLoss/dOutput for the batch produced by
+        ``forward(inputs)``.
+        """
+        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        grad_out = np.atleast_2d(np.asarray(output_grad, dtype=float))
+        _, (pre_activations, activations) = self._forward_cached(x)
+
+        weight_grads = [np.zeros_like(w) for w in self.weights]
+        bias_grads = [np.zeros_like(b) for b in self.biases]
+
+        delta = grad_out
+        for index in range(self.num_layers - 1, -1, -1):
+            weight_grads[index] = activations[index].T @ delta
+            bias_grads[index] = delta.sum(axis=0)
+            if index > 0:
+                delta = delta @ self.weights[index].T
+                delta = delta * self._activate_grad(
+                    pre_activations[index - 1], activations[index]
+                )
+        return weight_grads, bias_grads
+
+    # -- parameter management -------------------------------------------------
+
+    def parameters(self) -> list[np.ndarray]:
+        """Flat list of parameter arrays (weights then biases, interleaved)."""
+        params = []
+        for w, b in zip(self.weights, self.biases):
+            params.append(w)
+            params.append(b)
+        return params
+
+    def gradients_as_list(
+        self, weight_grads: list[np.ndarray], bias_grads: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        grads = []
+        for wg, bg in zip(weight_grads, bias_grads):
+            grads.append(wg)
+            grads.append(bg)
+        return grads
+
+    def get_state(self) -> dict:
+        """Serialisable copy of all parameters."""
+        return {
+            "layer_sizes": list(self.layer_sizes),
+            "activation": self.activation,
+            "weights": [w.copy() for w in self.weights],
+            "biases": [b.copy() for b in self.biases],
+        }
+
+    def set_state(self, state: dict) -> None:
+        if state["layer_sizes"] != self.layer_sizes:
+            raise ValueError("layer size mismatch when loading MLP state")
+        self.weights = [np.array(w, dtype=float, copy=True) for w in state["weights"]]
+        self.biases = [np.array(b, dtype=float, copy=True) for b in state["biases"]]
+
+    def copy_from(self, other: "MLP") -> None:
+        """Copy parameters from another MLP of identical shape (target sync)."""
+        self.set_state(other.get_state())
+
+    def clone(self) -> "MLP":
+        clone = MLP(self.layer_sizes, activation=self.activation)
+        clone.copy_from(self)
+        return clone
+
+
+def huber_loss_grad(error: np.ndarray, delta: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """Elementwise Huber loss and its gradient w.r.t. the error.
+
+    The Huber loss is the standard DQN regression loss: quadratic for small
+    TD errors, linear for large ones, which keeps gradients bounded.
+    """
+    error = np.asarray(error, dtype=float)
+    abs_error = np.abs(error)
+    quadratic = np.minimum(abs_error, delta)
+    linear = abs_error - quadratic
+    loss = 0.5 * quadratic**2 + delta * linear
+    grad = np.clip(error, -delta, delta)
+    return loss, grad

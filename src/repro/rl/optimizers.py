@@ -1,0 +1,137 @@
+"""Gradient-descent optimizers operating on lists of parameter arrays."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Optimizer(ABC):
+    """Updates a list of parameter arrays in place from matching gradients."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = learning_rate
+
+    @abstractmethod
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Apply one update step in place."""
+
+    def _check(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("parameter and gradient lists must have the same length")
+        for param, grad in zip(params, grads):
+            if param.shape != grad.shape:
+                raise ValueError(
+                    f"shape mismatch between parameter {param.shape} and gradient {grad.shape}"
+                )
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        for param, grad in zip(params, grads):
+            param -= self.learning_rate * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, learning_rate: float, momentum: float = 0.9) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(param) for param in params]
+        for param, grad, velocity in zip(params, grads, self._velocity):
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param += velocity
+
+
+class RMSProp(Optimizer):
+    """RMSProp (the optimizer used by the original DQN paper)."""
+
+    def __init__(
+        self, learning_rate: float, decay: float = 0.99, epsilon: float = 1e-8
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.decay = decay
+        self.epsilon = epsilon
+        self._mean_square: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self._mean_square is None:
+            self._mean_square = [np.zeros_like(param) for param in params]
+        for param, grad, mean_square in zip(params, grads, self._mean_square):
+            mean_square *= self.decay
+            mean_square += (1.0 - self.decay) * grad**2
+            param -= self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step_count = 0
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self._m is None:
+            self._m = [np.zeros_like(param) for param in params]
+            self._v = [np.zeros_like(param) for param in params]
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, grad, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "momentum": Momentum,
+    "rmsprop": RMSProp,
+    "adam": Adam,
+}
+
+
+def get_optimizer(name: str, learning_rate: float, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name."""
+    try:
+        cls = _OPTIMIZERS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_OPTIMIZERS))
+        raise KeyError(f"unknown optimizer {name!r}; known: {known}") from None
+    return cls(learning_rate, **kwargs)

@@ -1,0 +1,115 @@
+"""Tabular Q-learning over a discretised observation space.
+
+The tabular agent is the classical comparator for the paper's DQN: it bins
+each continuous feature into a small number of intervals and runs vanilla
+Q-learning on the resulting discrete state.  It works when the feature space
+is coarse but degrades as the observation gets richer, which is exactly the
+ablation Table III reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rl.agent import Transition
+from repro.rl.policies import EpsilonGreedyPolicy, LinearDecaySchedule
+
+
+class UniformDiscretizer:
+    """Bins each feature of a bounded observation vector uniformly."""
+
+    def __init__(
+        self, lows: np.ndarray, highs: np.ndarray, bins_per_feature: int = 4
+    ) -> None:
+        self.lows = np.asarray(lows, dtype=float)
+        self.highs = np.asarray(highs, dtype=float)
+        if self.lows.shape != self.highs.shape:
+            raise ValueError("lows and highs must have the same shape")
+        if np.any(self.highs <= self.lows):
+            raise ValueError("every high bound must exceed its low bound")
+        if bins_per_feature < 2:
+            raise ValueError("need at least two bins per feature")
+        self.bins_per_feature = bins_per_feature
+
+    def discretize(self, observation: np.ndarray) -> tuple[int, ...]:
+        observation = np.asarray(observation, dtype=float)
+        if observation.shape != self.lows.shape:
+            raise ValueError("observation dimensionality mismatch")
+        normalised = (observation - self.lows) / (self.highs - self.lows)
+        clipped = np.clip(normalised, 0.0, 1.0 - 1e-9)
+        return tuple((clipped * self.bins_per_feature).astype(int))
+
+
+@dataclass
+class TabularQConfig:
+    """Hyperparameters for the tabular Q-learning agent."""
+
+    num_actions: int
+    learning_rate: float = 0.2
+    gamma: float = 0.9
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    epsilon_decay_steps: int = 500
+    bins_per_feature: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_actions < 1:
+            raise ValueError("need at least one action")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError("learning rate must be in (0, 1]")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+
+
+class TabularQAgent:
+    """Vanilla Q-learning with epsilon-greedy exploration."""
+
+    def __init__(
+        self,
+        config: TabularQConfig,
+        discretizer: UniformDiscretizer,
+    ) -> None:
+        self.config = config
+        self.discretizer = discretizer
+        self._q: dict[tuple[int, ...], np.ndarray] = defaultdict(
+            lambda: np.zeros(config.num_actions)
+        )
+        self.policy = EpsilonGreedyPolicy(
+            LinearDecaySchedule(
+                config.epsilon_start, config.epsilon_end, config.epsilon_decay_steps
+            ),
+            seed=config.seed,
+        )
+        self.training_steps = 0
+
+    # -- Agent interface -------------------------------------------------------
+
+    def act(self, observation: np.ndarray, explore: bool = True) -> int:
+        state = self.discretizer.discretize(observation)
+        return self.policy.select(self._q[state], explore=explore)
+
+    def observe(self, transition: Transition) -> None:
+        state = self.discretizer.discretize(transition.state)
+        next_state = self.discretizer.discretize(transition.next_state)
+        q_row = self._q[state]
+        bootstrap = 0.0 if transition.done else self.config.gamma * self._q[next_state].max()
+        td_target = transition.reward + bootstrap
+        td_error = td_target - q_row[transition.action]
+        q_row[transition.action] += self.config.learning_rate * td_error
+        self.training_steps += 1
+
+    def end_episode(self) -> None:
+        """Tabular Q-learning has no episode-boundary bookkeeping."""
+
+    # -- introspection -----------------------------------------------------------
+
+    def q_values(self, observation: np.ndarray) -> np.ndarray:
+        return self._q[self.discretizer.discretize(observation)].copy()
+
+    @property
+    def num_visited_states(self) -> int:
+        return len(self._q)

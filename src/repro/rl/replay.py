@@ -1,0 +1,123 @@
+"""Experience replay buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.agent import Transition
+
+
+class ReplayBuffer:
+    """Uniform-sampling circular replay buffer."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("replay capacity must be positive")
+        self.capacity = capacity
+        self._storage: list[Transition] = []
+        self._next_index = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._storage) == self.capacity
+
+    def add(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._next_index] = transition
+        self._next_index = (self._next_index + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> list[Transition]:
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = self._rng.integers(0, len(self._storage), size=batch_size)
+        return [self._storage[index] for index in indices]
+
+    def sample_arrays(self, batch_size: int):
+        """Sample and stack into (states, actions, rewards, next_states, dones)."""
+        batch = self.sample(batch_size)
+        return _stack(batch)
+
+
+class PrioritizedReplayBuffer:
+    """Proportional prioritised experience replay (Schaul et al., 2016).
+
+    Priorities default to the maximum seen so far for new transitions; the
+    ``update_priorities`` hook lets the agent refresh them with fresh TD
+    errors.  Importance-sampling weights compensate the sampling bias.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        epsilon: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("replay capacity must be positive")
+        if alpha < 0 or beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        self.capacity = capacity
+        self.alpha = alpha
+        self.beta = beta
+        self.epsilon = epsilon
+        self._storage: list[Transition] = []
+        self._priorities = np.zeros(capacity, dtype=float)
+        self._next_index = 0
+        self._max_priority = 1.0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def add(self, transition: Transition) -> None:
+        index = self._next_index
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[index] = transition
+        self._priorities[index] = self._max_priority
+        self._next_index = (index + 1) % self.capacity
+
+    def sample(self, batch_size: int):
+        """Return (transitions, indices, importance_weights)."""
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        size = len(self._storage)
+        if size == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        scaled = self._priorities[:size] ** self.alpha
+        total = scaled.sum()
+        if total <= 0:
+            probabilities = np.full(size, 1.0 / size)
+        else:
+            probabilities = scaled / total
+        indices = self._rng.choice(size, size=batch_size, p=probabilities)
+        weights = (size * probabilities[indices]) ** (-self.beta)
+        weights = weights / weights.max()
+        transitions = [self._storage[index] for index in indices]
+        return transitions, indices, weights
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        td_errors = np.abs(np.asarray(td_errors, dtype=float)) + self.epsilon
+        for index, priority in zip(indices, td_errors):
+            self._priorities[index] = priority
+            self._max_priority = max(self._max_priority, float(priority))
+
+
+def _stack(batch: list[Transition]):
+    states = np.stack([np.asarray(t.state, dtype=float) for t in batch])
+    actions = np.asarray([t.action for t in batch], dtype=int)
+    rewards = np.asarray([t.reward for t in batch], dtype=float)
+    next_states = np.stack([np.asarray(t.next_state, dtype=float) for t in batch])
+    dones = np.asarray([t.done for t in batch], dtype=float)
+    return states, actions, rewards, next_states, dones

@@ -1,0 +1,54 @@
+"""Workload substrate: synthetic traffic patterns and injection processes.
+
+* :mod:`repro.traffic.patterns` — spatial destination patterns (uniform
+  random, transpose, bit-complement, ..., hotspot);
+* :mod:`repro.traffic.injection` — temporal injection processes (Bernoulli,
+  bursty two-state MMPP);
+* :mod:`repro.traffic.generator` — :class:`TrafficGenerator`, which binds a
+  pattern and an injection process into a simulator traffic source;
+* :mod:`repro.traffic.application` — phase-based synthetic application
+  workloads (the stand-in for PARSEC/SPLASH traces, see DESIGN.md);
+* :mod:`repro.traffic.trace` — trace record/replay.
+"""
+
+from repro.traffic.application import Phase, PhasedWorkload, default_phases
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.injection import BernoulliInjection, BurstyInjection, InjectionProcess
+from repro.traffic.patterns import (
+    PATTERN_NAMES,
+    BitComplementPattern,
+    BitReversePattern,
+    HotspotPattern,
+    NeighborPattern,
+    ShufflePattern,
+    TornadoPattern,
+    TrafficPattern,
+    TransposePattern,
+    UniformRandomPattern,
+    get_pattern,
+)
+from repro.traffic.trace import TraceRecord, TraceTrafficSource, record_trace
+
+__all__ = [
+    "BernoulliInjection",
+    "BitComplementPattern",
+    "BitReversePattern",
+    "BurstyInjection",
+    "HotspotPattern",
+    "InjectionProcess",
+    "NeighborPattern",
+    "PATTERN_NAMES",
+    "Phase",
+    "PhasedWorkload",
+    "ShufflePattern",
+    "TornadoPattern",
+    "TraceRecord",
+    "TraceTrafficSource",
+    "TrafficGenerator",
+    "TrafficPattern",
+    "TransposePattern",
+    "UniformRandomPattern",
+    "default_phases",
+    "get_pattern",
+    "record_trace",
+]

@@ -1,0 +1,92 @@
+"""Binds a spatial pattern and an injection process into a traffic source."""
+
+from __future__ import annotations
+
+import random
+
+from repro.noc.packet import Packet
+from repro.noc.topology import Mesh
+from repro.traffic.injection import BernoulliInjection, InjectionProcess
+from repro.traffic.patterns import TrafficPattern, get_pattern
+
+
+class TrafficGenerator:
+    """Creates packets for the simulator (implements the TrafficSource protocol).
+
+    Parameters
+    ----------
+    topology:
+        The NoC topology packets will travel on.
+    pattern:
+        A :class:`~repro.traffic.patterns.TrafficPattern` instance.
+    injection:
+        An :class:`~repro.traffic.injection.InjectionProcess` instance.
+    packet_size:
+        Flits per packet.
+    seed:
+        Seed for the generator's private RNG (independent of the simulator's).
+    start_cycle / end_cycle:
+        Optional activity window; outside it no packets are created.
+    """
+
+    def __init__(
+        self,
+        topology: Mesh,
+        pattern: TrafficPattern,
+        injection: InjectionProcess,
+        packet_size: int = 4,
+        seed: int = 0,
+        start_cycle: int = 0,
+        end_cycle: int | None = None,
+    ) -> None:
+        if packet_size < 1:
+            raise ValueError("packet size must be at least one flit")
+        self.topology = topology
+        self.pattern = pattern
+        self.injection = injection
+        self.packet_size = packet_size
+        self.start_cycle = start_cycle
+        self.end_cycle = end_cycle
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def from_names(
+        cls,
+        topology: Mesh,
+        pattern_name: str,
+        rate_flits_per_node_cycle: float,
+        packet_size: int = 4,
+        seed: int = 0,
+        **pattern_kwargs,
+    ) -> "TrafficGenerator":
+        """Convenience constructor: named pattern + Bernoulli injection."""
+        pattern = get_pattern(pattern_name, topology, **pattern_kwargs)
+        injection = BernoulliInjection(rate_flits_per_node_cycle, packet_size)
+        return cls(topology, pattern, injection, packet_size=packet_size, seed=seed)
+
+    def generate(self, cycle: int) -> list[Packet]:
+        """Packets created at ``cycle`` (self-directed destinations are skipped)."""
+        if cycle < self.start_cycle:
+            return []
+        if self.end_cycle is not None and cycle >= self.end_cycle:
+            return []
+        packets = []
+        for node in self.topology.nodes():
+            if not self.injection.should_inject(node, cycle, self._rng):
+                continue
+            destination = self.pattern.destination(node, self._rng)
+            if destination == node:
+                continue
+            packets.append(
+                Packet(
+                    src=node,
+                    dst=destination,
+                    size=self.packet_size,
+                    creation_cycle=cycle,
+                )
+            )
+        return packets
+
+    def offered_load(self, cycle: int = 0) -> float:
+        """Nominal offered load (flits/node/cycle) at ``cycle``."""
+        return self.injection.offered_load(cycle)

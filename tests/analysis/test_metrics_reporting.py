@@ -1,0 +1,101 @@
+"""Unit tests for analysis metrics and report formatting."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    energy_delay_product,
+    percent_change,
+    relative_improvement,
+    summarize_trace,
+)
+from repro.analysis.reporting import format_series, format_table, save_rows_csv
+from repro.baselines import StaticPolicy
+from repro.core.config import ExperimentConfig, TrafficSpec
+from repro.core.training import evaluate_controller
+
+
+class TestMetrics:
+    def test_edp(self):
+        assert energy_delay_product(10.0, 20.0) == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            energy_delay_product(-1.0, 5.0)
+
+    def test_percent_change(self):
+        assert percent_change(100.0, 110.0) == pytest.approx(10.0)
+        assert percent_change(100.0, 80.0) == pytest.approx(-20.0)
+        with pytest.raises(ValueError):
+            percent_change(0.0, 5.0)
+
+    def test_relative_improvement_is_reduction(self):
+        # Energy dropped from 100 to 80 -> 20% improvement.
+        assert relative_improvement(100.0, 80.0) == pytest.approx(20.0)
+        assert relative_improvement(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_summarize_trace_adds_edp(self):
+        experiment = ExperimentConfig.small(
+            traffic=TrafficSpec.synthetic("uniform", 0.1),
+            epoch_cycles=200,
+        )
+        trace = evaluate_controller(experiment, StaticPolicy(0), num_epochs=2)
+        summary = summarize_trace(trace)
+        assert summary["edp"] == pytest.approx(
+            summary["energy_per_flit_pj"] * summary["average_latency"]
+        )
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="Table I")
+
+    def test_contains_headers_and_values(self):
+        rows = [
+            {"policy": "drl", "latency": 12.345, "energy": 1234.5},
+            {"policy": "static", "latency": 10.0, "energy": 2000.0},
+        ]
+        text = format_table(rows, title="Table I — controllers")
+        assert "Table I" in text
+        assert "policy" in text and "latency" in text
+        assert "drl" in text and "static" in text
+        assert "12.3" in text
+        assert "1,234" in text or "1234" in text
+
+    def test_column_subset_via_headers(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, headers=["a"])
+        assert "b" not in text.splitlines()[0]
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert "3" in text
+
+
+class TestFormatSeries:
+    def test_renders_x_and_series(self):
+        text = format_series(
+            "rate",
+            [0.1, 0.2],
+            {"latency": [8.0, 12.0], "throughput": [0.1, 0.19]},
+            title="Figure 1",
+        )
+        assert "Figure 1" in text
+        assert "rate" in text and "latency" in text and "throughput" in text
+        assert "0.2" in text
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"y": [1.0]})
+
+
+class TestSaveRowsCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = save_rows_csv(rows, tmp_path / "nested" / "out.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,x"
+        assert len(content) == 3
+
+    def test_empty_rows_create_empty_file(self, tmp_path):
+        path = save_rows_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""

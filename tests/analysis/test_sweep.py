@@ -1,0 +1,82 @@
+"""Tests for the load/latency and routing sweeps.
+
+These double as simulator-behaviour regression tests: the sweeps must show
+the canonical NoC shapes (monotone latency growth with load, saturation at
+high load, throughput tracking offered load below saturation).
+"""
+
+import pytest
+
+from repro.analysis.sweep import (
+    LoadLatencyPoint,
+    load_latency_sweep,
+    routing_throughput_sweep,
+    saturation_rate,
+)
+from repro.noc.network import SimulatorConfig
+
+CONFIG = SimulatorConfig(width=4)
+SWEEP_KWARGS = dict(warmup_cycles=200, measure_cycles=600, seed=1)
+
+
+@pytest.fixture(scope="module")
+def uniform_sweep() -> list[LoadLatencyPoint]:
+    return load_latency_sweep(CONFIG, [0.05, 0.20, 0.60], pattern="uniform", **SWEEP_KWARGS)
+
+
+class TestLoadLatencySweep:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            load_latency_sweep(CONFIG, [])
+        with pytest.raises(ValueError):
+            load_latency_sweep(CONFIG, [-0.1])
+
+    def test_one_point_per_rate(self, uniform_sweep):
+        assert [point.injection_rate for point in uniform_sweep] == [0.05, 0.20, 0.60]
+
+    def test_latency_increases_with_load(self, uniform_sweep):
+        latencies = [point.average_latency for point in uniform_sweep]
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_low_load_latency_is_near_zero_load_bound(self, uniform_sweep):
+        # ~3 hops + 3 cycles serialisation on a 4x4 mesh at 4-flit packets.
+        assert uniform_sweep[0].average_latency < 12.0
+
+    def test_throughput_tracks_offered_load_below_saturation(self, uniform_sweep):
+        low = uniform_sweep[0]
+        assert low.throughput == pytest.approx(low.offered_load, abs=0.03)
+        assert not low.saturated
+
+    def test_extreme_load_saturates(self):
+        points = load_latency_sweep(CONFIG, [0.9], pattern="transpose", **SWEEP_KWARGS)
+        assert points[0].saturated
+        assert points[0].throughput < points[0].offered_load
+
+    def test_saturation_rate_helper(self, uniform_sweep):
+        rate = saturation_rate(uniform_sweep)
+        assert rate in [point.injection_rate for point in uniform_sweep]
+        assert saturation_rate([]) == 0.0
+
+    def test_dvfs_level_shifts_the_curve(self):
+        fast = load_latency_sweep(CONFIG, [0.10], dvfs_level=0, **SWEEP_KWARGS)
+        slow = load_latency_sweep(CONFIG, [0.10], dvfs_level=3, **SWEEP_KWARGS)
+        assert slow[0].average_latency > fast[0].average_latency
+        assert slow[0].energy_per_flit_pj < fast[0].energy_per_flit_pj
+
+
+class TestRoutingThroughputSweep:
+    def test_sweeps_each_algorithm(self):
+        results = routing_throughput_sweep(
+            CONFIG, [0.05, 0.3], ["xy", "odd_even"], pattern="transpose", **SWEEP_KWARGS
+        )
+        assert set(results) == {"xy", "odd_even"}
+        assert all(len(points) == 2 for points in results.values())
+
+    def test_adaptive_routing_not_worse_at_low_load(self):
+        results = routing_throughput_sweep(
+            CONFIG, [0.05], ["xy", "odd_even"], pattern="transpose", **SWEEP_KWARGS
+        )
+        xy_latency = results["xy"][0].average_latency
+        oe_latency = results["odd_even"][0].average_latency
+        # Low-load latency should be comparable (within a few cycles).
+        assert abs(xy_latency - oe_latency) < 5.0

@@ -1,0 +1,98 @@
+"""Unit tests for the baseline controller policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    RandomPolicy,
+    StaticPolicy,
+    ThresholdDvfsPolicy,
+    static_max_performance,
+    static_min_energy,
+)
+from tests.core.test_features import make_telemetry
+
+OBS = np.zeros(11)
+
+
+class TestStaticPolicy:
+    def test_always_returns_the_same_index(self):
+        policy = StaticPolicy(2)
+        assert [policy.select_action(OBS, make_telemetry()) for _ in range(5)] == [2] * 5
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            StaticPolicy(-1)
+
+    def test_named_constructors(self):
+        assert static_max_performance().action_index == 0
+        assert static_max_performance().name == "static-max"
+        assert static_min_energy(4).action_index == 3
+        assert static_min_energy(4).name == "static-min"
+        with pytest.raises(ValueError):
+            static_min_energy(0)
+
+    def test_default_name_includes_index(self):
+        assert StaticPolicy(1).name == "static[1]"
+
+
+class TestThresholdDvfsPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdDvfsPolicy(1)
+        with pytest.raises(ValueError):
+            ThresholdDvfsPolicy(4, upper_threshold=0.1, lower_threshold=0.2)
+        with pytest.raises(ValueError):
+            ThresholdDvfsPolicy(4, backlog_threshold=-1)
+        with pytest.raises(ValueError):
+            ThresholdDvfsPolicy(4, initial_level=7)
+
+    def test_steps_down_when_idle(self):
+        policy = ThresholdDvfsPolicy(4, initial_level=0)
+        idle = make_telemetry(link_utilization=0.01, average_source_queue_flits=0.0)
+        levels = [policy.select_action(OBS, idle) for _ in range(5)]
+        assert levels == [1, 2, 3, 3, 3]
+
+    def test_steps_up_when_congested(self):
+        policy = ThresholdDvfsPolicy(4, initial_level=3)
+        busy = make_telemetry(link_utilization=0.5, average_source_queue_flits=1.0)
+        levels = [policy.select_action(OBS, busy) for _ in range(4)]
+        assert levels == [2, 1, 0, 0]
+
+    def test_panic_mode_jumps_to_fastest(self):
+        policy = ThresholdDvfsPolicy(4, initial_level=3, backlog_threshold=2.0)
+        swamped = make_telemetry(link_utilization=0.2, average_source_queue_flits=50.0)
+        assert policy.select_action(OBS, swamped) == 0
+
+    def test_holds_level_in_hysteresis_band(self):
+        policy = ThresholdDvfsPolicy(
+            4, initial_level=1, upper_threshold=0.4, lower_threshold=0.1
+        )
+        moderate = make_telemetry(link_utilization=0.25, average_source_queue_flits=1.5)
+        assert policy.select_action(OBS, moderate) == 1
+        assert policy.select_action(OBS, moderate) == 1
+
+    def test_backlog_alone_triggers_speedup(self):
+        policy = ThresholdDvfsPolicy(4, initial_level=2, backlog_threshold=2.0)
+        backlogged = make_telemetry(link_utilization=0.05, average_source_queue_flits=3.0)
+        assert policy.select_action(OBS, backlogged) == 1
+
+
+class TestRandomPolicy:
+    def test_rejects_empty_action_space(self):
+        with pytest.raises(ValueError):
+            RandomPolicy(0)
+
+    def test_actions_are_in_range_and_varied(self):
+        policy = RandomPolicy(4, seed=0)
+        actions = [policy.select_action(OBS, make_telemetry()) for _ in range(100)]
+        assert set(actions).issubset({0, 1, 2, 3})
+        assert len(set(actions)) == 4
+
+    def test_seeded_reproducibility(self):
+        first = RandomPolicy(4, seed=3)
+        second = RandomPolicy(4, seed=3)
+        telemetry = make_telemetry()
+        assert [first.select_action(OBS, telemetry) for _ in range(20)] == [
+            second.select_action(OBS, telemetry) for _ in range(20)
+        ]

@@ -1,0 +1,127 @@
+"""Unit tests for the configuration action spaces."""
+
+import pytest
+
+from repro.core.actions import (
+    ConfigurationAction,
+    DvfsActionSpace,
+    JointActionSpace,
+    RoutingActionSpace,
+    VcActionSpace,
+    make_action_space,
+)
+from repro.noc.network import NoCSimulator, SimulatorConfig
+
+CONFIG = SimulatorConfig(width=4, num_vcs=2)
+
+
+class TestConfigurationAction:
+    def test_apply_sets_only_requested_knobs(self):
+        simulator = NoCSimulator(CONFIG)
+        ConfigurationAction(dvfs_level=2).apply(simulator)
+        assert simulator.dvfs_level_index == 2
+        assert simulator.routing_name == "xy"
+        ConfigurationAction(routing="odd_even", enabled_vcs=1).apply(simulator)
+        assert simulator.dvfs_level_index == 2
+        assert simulator.routing_name == "odd_even"
+        assert simulator.enabled_vcs == 1
+
+    def test_noop_action(self):
+        simulator = NoCSimulator(CONFIG)
+        ConfigurationAction().apply(simulator)
+        assert simulator.dvfs_level_index == CONFIG.initial_dvfs_level
+        assert ConfigurationAction().label() == "no-op"
+
+    def test_label_is_descriptive(self):
+        label = ConfigurationAction(dvfs_level=1, routing="xy", enabled_vcs=2).label()
+        assert "dvfs=L1" in label and "routing=xy" in label and "vcs=2" in label
+
+
+class TestDvfsActionSpace:
+    def test_size_and_decode(self):
+        space = DvfsActionSpace(4)
+        assert space.size == 4
+        assert space.decode(2) == ConfigurationAction(dvfs_level=2)
+
+    def test_out_of_range_index(self):
+        space = DvfsActionSpace(4)
+        with pytest.raises(IndexError):
+            space.decode(4)
+        with pytest.raises(IndexError):
+            space.decode(-1)
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            DvfsActionSpace(1)
+
+    def test_apply_actuates_simulator(self):
+        simulator = NoCSimulator(CONFIG)
+        space = DvfsActionSpace(4)
+        action = space.apply(simulator, 3)
+        assert simulator.dvfs_level_index == 3
+        assert action.dvfs_level == 3
+
+
+class TestRoutingActionSpace:
+    def test_decode_names(self):
+        space = RoutingActionSpace(("xy", "odd_even"))
+        assert space.decode(1).routing == "odd_even"
+
+    def test_validates_algorithm_names(self):
+        with pytest.raises(KeyError):
+            RoutingActionSpace(("xy", "not_a_routing"))
+
+    def test_needs_two_algorithms(self):
+        with pytest.raises(ValueError):
+            RoutingActionSpace(("xy",))
+
+
+class TestVcActionSpace:
+    def test_decode_is_one_based(self):
+        space = VcActionSpace(2)
+        assert space.decode(0).enabled_vcs == 1
+        assert space.decode(1).enabled_vcs == 2
+
+    def test_needs_two_vcs(self):
+        with pytest.raises(ValueError):
+            VcActionSpace(1)
+
+
+class TestJointActionSpace:
+    def test_size_is_product(self):
+        space = JointActionSpace(4, ("xy", "odd_even"))
+        assert space.size == 8
+
+    def test_with_vc_counts(self):
+        space = JointActionSpace(2, ("xy",), vc_counts=(1, 2))
+        assert space.size == 4
+        decoded = {space.decode(i) for i in range(space.size)}
+        assert ConfigurationAction(dvfs_level=1, routing="xy", enabled_vcs=2) in decoded
+
+    def test_every_action_is_unique_and_applicable(self):
+        simulator = NoCSimulator(CONFIG)
+        space = JointActionSpace(4, ("xy", "odd_even"))
+        decoded = [space.decode(i) for i in range(space.size)]
+        assert len(set(decoded)) == space.size
+        for index in range(space.size):
+            space.apply(simulator, index)
+
+    def test_labels_cover_all_actions(self):
+        space = JointActionSpace(2, ("xy", "odd_even"))
+        labels = space.labels()
+        assert len(labels) == space.size
+        assert len(set(labels)) == space.size
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,expected_size",
+        [("dvfs", 4), ("routing", 3), ("vcs", 2), ("joint", 8), ("joint_full", 16)],
+    )
+    def test_known_kinds(self, kind, expected_size):
+        space = make_action_space(kind, CONFIG)
+        assert space.size == expected_size
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError, match="unknown action space"):
+            make_action_space("quantum", CONFIG)

@@ -1,0 +1,85 @@
+"""Tests for controller checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentConfig, TrafficSpec, checkpoint, train_dqn_controller
+from repro.core.training import TrainingResult, train_tabular_controller
+from repro.rl.dqn import DQNAgent
+
+
+@pytest.fixture(scope="module")
+def trained_result() -> TrainingResult:
+    experiment = ExperimentConfig.small(
+        traffic=TrafficSpec.synthetic("uniform", 0.12),
+        epoch_cycles=200,
+        episode_epochs=4,
+    )
+    env = experiment.build_environment()
+    return train_dqn_controller(
+        env, episodes=2, min_buffer_size=8, batch_size=8, hidden_sizes=(16,)
+    )
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip_preserves_q_values(self, trained_result, tmp_path):
+        path = checkpoint.save_dqn_checkpoint(trained_result, tmp_path / "ckpt")
+        restored = checkpoint.load_dqn_checkpoint(path)
+        assert isinstance(restored.agent, DQNAgent)
+        observation = np.linspace(0.0, 1.0, trained_result.agent.config.observation_dim)
+        np.testing.assert_allclose(
+            restored.agent.q_values(observation), trained_result.agent.q_values(observation)
+        )
+
+    def test_roundtrip_preserves_training_curve_and_counters(self, trained_result, tmp_path):
+        path = checkpoint.save_dqn_checkpoint(trained_result, tmp_path / "ckpt")
+        restored = checkpoint.load_dqn_checkpoint(path)
+        assert restored.episode_returns == trained_result.episode_returns
+        assert restored.episode_mean_latency == trained_result.episode_mean_latency
+        assert restored.agent.train_steps == trained_result.agent.train_steps
+        assert restored.agent.config == trained_result.agent.config
+
+    def test_restored_policy_acts_identically(self, trained_result, tmp_path):
+        path = checkpoint.save_dqn_checkpoint(trained_result, tmp_path / "ckpt")
+        restored = checkpoint.load_dqn_checkpoint(path)
+        original_policy = trained_result.to_policy()
+        restored_policy = restored.to_policy()
+        for seed in range(5):
+            observation = np.random.default_rng(seed).uniform(
+                size=trained_result.agent.config.observation_dim
+            )
+            assert restored_policy.select_action(observation, None) == (
+                original_policy.select_action(observation, None)
+            )
+
+    def test_checkpoint_files_exist(self, trained_result, tmp_path):
+        path = checkpoint.save_dqn_checkpoint(trained_result, tmp_path / "ckpt")
+        assert (path / "manifest.json").exists()
+        assert (path / "parameters.npz").exists()
+
+
+class TestErrorHandling:
+    def test_loading_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            checkpoint.load_dqn_checkpoint(tmp_path / "nowhere")
+
+    def test_non_dqn_agents_are_rejected(self, tmp_path):
+        experiment = ExperimentConfig.small(
+            traffic=TrafficSpec.synthetic("uniform", 0.1),
+            epoch_cycles=150,
+            episode_epochs=2,
+        )
+        env = experiment.build_environment()
+        tabular = train_tabular_controller(env, episodes=1)
+        with pytest.raises(TypeError):
+            checkpoint.save_dqn_checkpoint(tabular, tmp_path / "ckpt")
+
+    def test_unsupported_format_version_rejected(self, trained_result, tmp_path):
+        import json
+
+        path = checkpoint.save_dqn_checkpoint(trained_result, tmp_path / "ckpt")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format version"):
+            checkpoint.load_dqn_checkpoint(path)

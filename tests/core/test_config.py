@@ -1,0 +1,102 @@
+"""Tests for TrafficSpec and ExperimentConfig builders."""
+
+import pytest
+
+from repro.core.config import ExperimentConfig, TrafficSpec
+from repro.core.environment import NoCConfigEnv
+from repro.noc.network import SimulatorConfig
+from repro.traffic.application import Phase, PhasedWorkload
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.trace import TraceRecord, TraceTrafficSource
+
+
+class TestTrafficSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="telepathy")
+
+    def test_trace_kind_requires_records(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="trace")
+
+    def test_synthetic_builds_generator(self):
+        spec = TrafficSpec.synthetic("transpose", 0.2, packet_size=2)
+        simulator = ExperimentConfig(traffic=spec).build_simulator()
+        assert isinstance(simulator.traffic, TrafficGenerator)
+        assert simulator.traffic.packet_size == 2
+        assert simulator.traffic.pattern.name == "transpose"
+
+    def test_synthetic_forwards_pattern_kwargs(self):
+        spec = TrafficSpec.synthetic("hotspot", 0.2, hotspots=[3], hotspot_fraction=0.9)
+        simulator = ExperimentConfig(traffic=spec).build_simulator()
+        assert simulator.traffic.pattern.hotspots == [3]
+
+    def test_phased_defaults_to_standard_phases(self):
+        simulator = ExperimentConfig(traffic=TrafficSpec.phased()).build_simulator()
+        assert isinstance(simulator.traffic, PhasedWorkload)
+        assert simulator.traffic.total_cycles > 0
+
+    def test_phased_with_explicit_phases(self):
+        spec = TrafficSpec.phased([Phase(100, "uniform", 0.1)])
+        simulator = ExperimentConfig(traffic=spec).build_simulator()
+        assert simulator.traffic.total_cycles == 100
+
+    def test_trace_replay(self):
+        records = [TraceRecord(cycle=0, src=0, dst=5, size=4)]
+        spec = TrafficSpec.trace(records)
+        simulator = ExperimentConfig(traffic=spec).build_simulator()
+        assert isinstance(simulator.traffic, TraceTrafficSource)
+        assert len(simulator.traffic) == 1
+
+
+class TestExperimentConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(epoch_cycles=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(episode_epochs=0)
+
+    def test_build_simulator_attaches_traffic_and_seed(self):
+        experiment = ExperimentConfig.small(seed=5)
+        simulator = experiment.build_simulator()
+        assert simulator.traffic is not None
+        assert simulator.config.seed == 5
+        offset_simulator = experiment.build_simulator(seed_offset=3)
+        assert offset_simulator.config.seed == 8
+
+    def test_build_environment_wires_components(self):
+        experiment = ExperimentConfig.small()
+        env = experiment.build_environment()
+        assert isinstance(env, NoCConfigEnv)
+        assert env.num_actions == experiment.build_action_space().size
+        assert env.epoch_cycles == experiment.epoch_cycles
+
+    def test_environment_uses_fresh_seeds_per_episode(self):
+        experiment = ExperimentConfig.small()
+        env = experiment.build_environment()
+        env.reset()
+        first = env.simulator.config.seed
+        env.reset()
+        second = env.simulator.config.seed
+        assert first != second
+
+    def test_presets(self):
+        small = ExperimentConfig.small()
+        default = ExperimentConfig.default()
+        joint = ExperimentConfig.joint_configuration()
+        assert small.epoch_cycles < default.epoch_cycles
+        assert default.action_space_kind == "dvfs"
+        assert joint.action_space_kind == "joint"
+        assert joint.build_action_space().size > default.build_action_space().size
+
+    def test_preset_overrides(self):
+        experiment = ExperimentConfig.default(
+            simulator=SimulatorConfig(width=6), episode_epochs=4
+        )
+        assert experiment.simulator.width == 6
+        assert experiment.episode_epochs == 4
+
+    def test_feature_extractor_matches_simulator_config(self):
+        experiment = ExperimentConfig.small()
+        extractor = experiment.build_feature_extractor()
+        assert extractor.simulator_config == experiment.simulator

@@ -1,0 +1,172 @@
+"""Tests for the on-line controller loop and controller traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig, TrafficSpec
+from repro.core.controller import (
+    ControllerPolicy,
+    ControllerTrace,
+    DRLControllerPolicy,
+    EpochRecord,
+    SelfConfigController,
+)
+from repro.baselines import (
+    RandomPolicy,
+    StaticPolicy,
+    ThresholdDvfsPolicy,
+    static_max_performance,
+    static_min_energy,
+)
+
+
+def make_controller(policy, **overrides) -> SelfConfigController:
+    experiment = ExperimentConfig.small(**overrides)
+    return SelfConfigController(
+        simulator=experiment.build_simulator(),
+        action_space=experiment.build_action_space(),
+        feature_extractor=experiment.build_feature_extractor(),
+        policy=policy,
+        reward_spec=experiment.reward,
+        epoch_cycles=experiment.epoch_cycles,
+    )
+
+
+class TestPolicyProtocol:
+    def test_baselines_satisfy_protocol(self):
+        for policy in (
+            StaticPolicy(0),
+            ThresholdDvfsPolicy(4),
+            RandomPolicy(4),
+        ):
+            assert isinstance(policy, ControllerPolicy)
+
+    def test_drl_policy_wraps_agent_greedily(self):
+        class FakeAgent:
+            def __init__(self):
+                self.calls = []
+
+            def act(self, observation, explore=True):
+                self.calls.append(explore)
+                return 2
+
+        agent = FakeAgent()
+        policy = DRLControllerPolicy(agent, name="fake")
+        assert isinstance(policy, ControllerPolicy)
+        assert policy.select_action(np.zeros(3), None) == 2
+        assert agent.calls == [False]
+
+
+class TestSelfConfigController:
+    def test_rejects_bad_epoch_cycles(self):
+        experiment = ExperimentConfig.small()
+        with pytest.raises(ValueError):
+            SelfConfigController(
+                simulator=experiment.build_simulator(),
+                action_space=experiment.build_action_space(),
+                feature_extractor=experiment.build_feature_extractor(),
+                policy=StaticPolicy(0),
+                epoch_cycles=0,
+            )
+
+    def test_rejects_bad_num_epochs(self):
+        controller = make_controller(StaticPolicy(0))
+        with pytest.raises(ValueError):
+            controller.run(0)
+
+    def test_run_produces_one_record_per_epoch(self):
+        controller = make_controller(StaticPolicy(0))
+        trace = controller.run(5)
+        assert len(trace) == 5
+        assert all(isinstance(record, EpochRecord) for record in trace.records)
+        assert [record.epoch for record in trace.records] == list(range(5))
+
+    def test_static_policy_keeps_its_level(self):
+        controller = make_controller(StaticPolicy(2, name="static-2"))
+        trace = controller.run(4)
+        assert trace.policy_name == "static-2"
+        assert trace.dvfs_level_trace == [2, 2, 2, 2]
+
+    def test_heuristic_reacts_to_load_changes(self):
+        # The small preset has a near-idle phase followed by a hot phase; the
+        # heuristic must not keep a single level throughout.
+        controller = make_controller(ThresholdDvfsPolicy(4), epoch_cycles=300)
+        trace = controller.run(8)
+        assert len(set(trace.dvfs_level_trace)) > 1
+
+    def test_static_min_saves_energy_but_hurts_latency(self):
+        max_trace = make_controller(static_max_performance()).run(6)
+        min_trace = make_controller(static_min_energy(4)).run(6)
+        assert min_trace.energy_per_flit_pj < max_trace.energy_per_flit_pj
+        assert min_trace.average_latency > max_trace.average_latency
+
+
+class TestControllerTrace:
+    def test_empty_trace_summary_is_well_defined(self):
+        trace = ControllerTrace(policy_name="empty")
+        assert trace.average_latency == 0.0
+        assert trace.average_throughput == 0.0
+        assert trace.energy_per_flit_pj == 0.0
+        assert trace.mean_reward == 0.0
+        summary = trace.summary()
+        assert summary["epochs"] == 0
+
+    def test_summary_fields(self):
+        trace = make_controller(StaticPolicy(0)).run(4)
+        summary = trace.summary()
+        for key in (
+            "average_latency",
+            "average_throughput",
+            "energy_per_flit_pj",
+            "total_energy_pj",
+            "energy_delay_product",
+            "mean_reward",
+        ):
+            assert key in summary
+            assert np.isfinite(summary[key])
+        assert summary["policy"] == "static[0]"
+        assert summary["epochs"] == 4
+
+    def test_average_latency_is_packet_weighted(self):
+        trace = make_controller(StaticPolicy(0)).run(4)
+        records = trace.records
+        manual = sum(
+            r.telemetry.average_total_latency * r.telemetry.packets_delivered
+            for r in records
+        ) / sum(r.telemetry.packets_delivered for r in records)
+        assert trace.average_latency == pytest.approx(manual)
+
+    def test_edp_is_product_of_energy_and_latency(self):
+        trace = make_controller(StaticPolicy(0)).run(3)
+        assert trace.energy_delay_product == pytest.approx(
+            trace.energy_per_flit_pj * trace.average_latency
+        )
+
+
+class TestOracleComparison:
+    def test_load_aware_oracle_beats_static_choices_on_reward(self):
+        """A hand-written load-aware policy (the behaviour the DRL agent is
+        supposed to learn) must beat both static extremes on mean reward for
+        a workload alternating between idle and busy phases."""
+        from repro.traffic.application import Phase
+
+        class OraclePolicy:
+            name = "oracle"
+
+            def select_action(self, observation, telemetry):
+                load = telemetry.offered_load_flits_per_node_cycle
+                return 2 if load < 0.10 else 0
+
+        experiment_kwargs = dict(
+            traffic=TrafficSpec.phased(
+                [Phase(2000, "uniform", 0.04), Phase(2000, "uniform", 0.20)]
+            ),
+            epoch_cycles=400,
+        )
+        oracle = make_controller(OraclePolicy(), **experiment_kwargs).run(10)
+        always_max = make_controller(static_max_performance(), **experiment_kwargs).run(10)
+        always_min = make_controller(static_min_energy(4), **experiment_kwargs).run(10)
+        assert oracle.mean_reward > always_max.mean_reward
+        assert oracle.mean_reward > always_min.mean_reward
+        assert oracle.energy_per_flit_pj < always_max.energy_per_flit_pj
+        assert oracle.average_latency < always_min.average_latency

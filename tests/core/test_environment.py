@@ -1,0 +1,135 @@
+"""Integration tests for the NoCConfigEnv MDP wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig, TrafficSpec
+from repro.core.environment import NoCConfigEnv
+from repro.noc.network import SimulatorConfig
+from repro.noc.stats import EpochTelemetry
+
+
+def small_env(**overrides) -> NoCConfigEnv:
+    experiment = ExperimentConfig.small(**overrides)
+    return experiment.build_environment()
+
+
+class TestConstruction:
+    def test_validation(self):
+        experiment = ExperimentConfig.small()
+        with pytest.raises(ValueError):
+            NoCConfigEnv(
+                simulator_factory=experiment.build_simulator,
+                action_space=experiment.build_action_space(),
+                feature_extractor=experiment.build_feature_extractor(),
+                reward_spec=experiment.reward,
+                epoch_cycles=0,
+            )
+        with pytest.raises(ValueError):
+            NoCConfigEnv(
+                simulator_factory=experiment.build_simulator,
+                action_space=experiment.build_action_space(),
+                feature_extractor=experiment.build_feature_extractor(),
+                reward_spec=experiment.reward,
+                episode_epochs=0,
+            )
+
+    def test_dimensions_exposed(self):
+        env = small_env()
+        assert env.observation_dim == env.feature_extractor.dim
+        assert env.num_actions == 4  # default DVFS action space
+
+
+class TestEpisodeProtocol:
+    def test_step_before_reset_raises(self):
+        env = small_env()
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_reset_returns_observation(self):
+        env = small_env()
+        observation = env.reset()
+        assert observation.shape == (env.observation_dim,)
+        assert np.isfinite(observation).all()
+        assert env.last_telemetry is not None
+
+    def test_step_returns_transition_tuple(self):
+        env = small_env()
+        env.reset()
+        observation, reward, done, info = env.step(0)
+        assert observation.shape == (env.observation_dim,)
+        assert isinstance(reward, float)
+        assert done is False
+        assert isinstance(info["telemetry"], EpochTelemetry)
+        assert info["action"].dvfs_level == 0
+        assert info["action_index"] == 0
+        assert info["epoch"] == 1
+
+    def test_invalid_action_rejected(self):
+        env = small_env()
+        env.reset()
+        with pytest.raises(IndexError):
+            env.step(99)
+
+    def test_episode_terminates_after_configured_epochs(self):
+        env = small_env(episode_epochs=3)
+        env.reset()
+        dones = [env.step(0)[2] for _ in range(3)]
+        assert dones == [False, False, True]
+
+    def test_reset_starts_a_fresh_simulator(self):
+        env = small_env(episode_epochs=2)
+        env.reset()
+        first_simulator = env.simulator
+        env.step(0)
+        env.reset()
+        assert env.simulator is not first_simulator
+        assert env.simulator.stats.packets_delivered >= 0
+
+    def test_actions_are_actuated_on_the_simulator(self):
+        env = small_env()
+        env.reset()
+        env.step(3)
+        assert env.simulator.dvfs_level_index == 3
+        env.step(1)
+        assert env.simulator.dvfs_level_index == 1
+
+    def test_run_episode_with_policy(self):
+        env = small_env(episode_epochs=4)
+        records = env.run_episode(lambda observation: 1)
+        assert len(records) == 4
+        assert all("reward" in record for record in records)
+        assert all(record["action"].dvfs_level == 1 for record in records)
+
+
+class TestRewardSignalShape:
+    def test_slow_configuration_is_penalised_under_load(self):
+        """At a load the slowest level cannot carry, the fast level must earn
+        a clearly better reward — the signal the agent learns from."""
+        experiment = ExperimentConfig.small(
+            traffic=TrafficSpec.synthetic("uniform", 0.25),
+            episode_epochs=4,
+            epoch_cycles=400,
+        )
+        env = experiment.build_environment()
+
+        env.reset()
+        fast_rewards = [env.step(0)[1] for _ in range(3)]
+        env.reset()
+        slow_rewards = [env.step(3)[1] for _ in range(3)]
+        assert np.mean(fast_rewards) > np.mean(slow_rewards)
+
+    def test_downclocking_pays_off_when_idle(self):
+        """At a trickle load the energy saving should make the slowest level
+        at least as good as the fastest."""
+        experiment = ExperimentConfig.small(
+            traffic=TrafficSpec.synthetic("uniform", 0.03),
+            episode_epochs=4,
+            epoch_cycles=400,
+        )
+        env = experiment.build_environment()
+        env.reset()
+        fast_rewards = [env.step(0)[1] for _ in range(3)]
+        env.reset()
+        slow_rewards = [env.step(3)[1] for _ in range(3)]
+        assert np.mean(slow_rewards) >= np.mean(fast_rewards)

@@ -1,0 +1,137 @@
+"""Unit tests for telemetry feature extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import FeatureExtractor, FeatureScales
+from repro.noc.network import NoCSimulator, SimulatorConfig
+from repro.noc.power import EnergyBreakdown
+from repro.noc.stats import EpochTelemetry
+from repro.traffic.generator import TrafficGenerator
+
+CONFIG = SimulatorConfig(width=4)
+
+
+def make_telemetry(**overrides) -> EpochTelemetry:
+    defaults = dict(
+        epoch_index=0,
+        cycles=500,
+        num_nodes=16,
+        num_links=48,
+        packets_created=100,
+        packets_injected=100,
+        packets_delivered=95,
+        flits_created=400,
+        flits_delivered=380,
+        average_total_latency=12.0,
+        average_network_latency=9.0,
+        average_hops=2.5,
+        average_buffer_occupancy=1.0,
+        average_source_queue_flits=0.5,
+        link_utilization=0.2,
+        in_flight_packets=5,
+        energy=EnergyBreakdown(buffer_pj=500, crossbar_pj=400, link_pj=300, leakage_pj=800),
+        dvfs_level_index=1,
+        routing_name="xy",
+        enabled_vcs=2,
+    )
+    defaults.update(overrides)
+    return EpochTelemetry(**defaults)
+
+
+class TestFeatureScales:
+    def test_rejects_nonpositive_scales(self):
+        with pytest.raises(ValueError):
+            FeatureScales(latency_cycles=0)
+        with pytest.raises(ValueError):
+            FeatureScales(clip_max=0)
+
+
+class TestFeatureExtractor:
+    def test_dimension_matches_names(self):
+        extractor = FeatureExtractor(CONFIG)
+        assert extractor.dim == len(extractor.names) == len(FeatureExtractor.FEATURE_NAMES)
+
+    def test_extract_shape_and_range(self):
+        extractor = FeatureExtractor(CONFIG)
+        observation = extractor.extract(make_telemetry())
+        assert observation.shape == (extractor.dim,)
+        assert np.all(observation >= 0.0)
+        assert np.all(observation <= extractor.scales.clip_max)
+
+    def test_known_values(self):
+        extractor = FeatureExtractor(CONFIG, scales=FeatureScales(latency_cycles=60.0))
+        telemetry = make_telemetry(average_total_latency=30.0, dvfs_level_index=3)
+        observation = extractor.extract(telemetry)
+        described = extractor.describe(observation)
+        assert described["avg_total_latency"] == pytest.approx(0.5)
+        assert described["dvfs_level"] == pytest.approx(1.0)  # 3 / (4 levels - 1)
+        assert described["enabled_vcs"] == pytest.approx(1.0)
+        assert described["link_utilization"] == pytest.approx(0.2)
+
+    def test_extreme_telemetry_is_clipped(self):
+        extractor = FeatureExtractor(CONFIG)
+        telemetry = make_telemetry(
+            average_total_latency=100_000.0, average_source_queue_flits=1e6
+        )
+        observation = extractor.extract(telemetry)
+        assert observation.max() == pytest.approx(extractor.scales.clip_max)
+
+    def test_bounds_cover_observations(self):
+        extractor = FeatureExtractor(CONFIG)
+        lows, highs = extractor.bounds()
+        observation = extractor.extract(make_telemetry())
+        assert np.all(observation >= lows)
+        assert np.all(observation <= highs)
+
+    def test_describe_rejects_bad_shapes(self):
+        extractor = FeatureExtractor(CONFIG)
+        with pytest.raises(ValueError):
+            extractor.describe(np.zeros(3))
+
+    def test_callable_alias(self):
+        extractor = FeatureExtractor(CONFIG)
+        telemetry = make_telemetry()
+        np.testing.assert_array_equal(extractor(telemetry), extractor.extract(telemetry))
+
+    def test_features_reflect_live_simulator_load(self):
+        """Higher offered load produces higher congestion features."""
+
+        def observe(rate: float) -> np.ndarray:
+            simulator = NoCSimulator(CONFIG)
+            simulator.traffic = TrafficGenerator.from_names(
+                simulator.topology, "uniform", rate, packet_size=4, seed=3
+            )
+            telemetry = simulator.run_epoch(600)
+            return FeatureExtractor(CONFIG).extract(telemetry)
+
+        low, high = observe(0.05), observe(0.35)
+        names = FeatureExtractor.FEATURE_NAMES
+        throughput_index = names.index("throughput")
+        utilization_index = names.index("link_utilization")
+        assert high[throughput_index] > low[throughput_index]
+        assert high[utilization_index] > low[utilization_index]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    latency=st.floats(min_value=0, max_value=1e5),
+    occupancy=st.floats(min_value=0, max_value=1e3),
+    utilization=st.floats(min_value=0, max_value=1.0),
+    delivered=st.integers(min_value=0, max_value=10_000),
+)
+def test_observations_are_always_finite_and_bounded(latency, occupancy, utilization, delivered):
+    extractor = FeatureExtractor(CONFIG)
+    telemetry = make_telemetry(
+        average_total_latency=latency,
+        average_buffer_occupancy=occupancy,
+        link_utilization=utilization,
+        packets_delivered=delivered,
+        flits_delivered=delivered * 4,
+    )
+    observation = extractor.extract(telemetry)
+    assert np.isfinite(observation).all()
+    assert np.all(observation >= 0)
+    assert np.all(observation <= extractor.scales.clip_max)

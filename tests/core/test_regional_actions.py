@@ -1,0 +1,126 @@
+"""Tests for the per-region DVFS extension."""
+
+import pytest
+
+from repro.core.actions import RegionalDvfsAction, RegionalDvfsActionSpace, make_action_space
+from repro.core.config import ExperimentConfig, TrafficSpec
+from repro.core.controller import SelfConfigController
+from repro.noc.network import NoCSimulator, SimulatorConfig
+
+CONFIG = SimulatorConfig(width=4, num_vcs=2)
+
+
+class TestQuadrantPartition:
+    def test_quadrants_cover_all_nodes_disjointly(self):
+        space = RegionalDvfsActionSpace.quadrants(CONFIG)
+        all_nodes = [node for region in space.regions for node in region]
+        assert sorted(all_nodes) == list(range(16))
+        assert space.num_regions == 4
+        assert all(len(region) == 4 for region in space.regions)
+
+    def test_quadrants_on_rectangular_mesh(self):
+        config = SimulatorConfig(width=6, height=4)
+        space = RegionalDvfsActionSpace.quadrants(config)
+        all_nodes = [node for region in space.regions for node in region]
+        assert sorted(all_nodes) == list(range(24))
+
+    def test_factory_kind(self):
+        space = make_action_space("regional_dvfs", CONFIG)
+        assert isinstance(space, RegionalDvfsActionSpace)
+        assert space.size == 4 * 4
+
+
+class TestValidation:
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            RegionalDvfsActionSpace(1, [(0, 1)])
+
+    def test_rejects_empty_regions(self):
+        with pytest.raises(ValueError):
+            RegionalDvfsActionSpace(4, [])
+        with pytest.raises(ValueError):
+            RegionalDvfsActionSpace(4, [()])
+
+    def test_rejects_overlapping_regions(self):
+        with pytest.raises(ValueError, match="overlap"):
+            RegionalDvfsActionSpace(4, [(0, 1), (1, 2)])
+
+
+class TestDecodeAndApply:
+    def test_size_is_regions_times_levels(self):
+        space = RegionalDvfsActionSpace(4, [(0, 1), (2, 3)])
+        assert space.size == 8
+
+    def test_decode_maps_index_to_region_and_level(self):
+        space = RegionalDvfsActionSpace(4, [(0, 1), (2, 3)])
+        action = space.decode(5)
+        assert isinstance(action, RegionalDvfsAction)
+        assert action.region_index == 1
+        assert action.dvfs_level == 1
+        assert action.nodes == (2, 3)
+        assert "region1" in action.label()
+
+    def test_apply_only_changes_the_targeted_region(self):
+        simulator = NoCSimulator(CONFIG)
+        space = RegionalDvfsActionSpace.quadrants(CONFIG)
+        action = space.decode(3)  # region 0, slowest level
+        action.apply(simulator)
+        slow_point = CONFIG.dvfs_levels[3]
+        fast_point = CONFIG.dvfs_levels[CONFIG.initial_dvfs_level]
+        for node in action.nodes:
+            assert simulator.routers[node].operating_point is slow_point
+        untouched = set(range(16)) - set(action.nodes)
+        for node in untouched:
+            assert simulator.routers[node].operating_point is fast_point
+
+    def test_labels_are_unique(self):
+        space = RegionalDvfsActionSpace.quadrants(CONFIG)
+        labels = space.labels()
+        assert len(labels) == len(set(labels)) == space.size
+
+
+class TestEndToEnd:
+    def test_controller_runs_with_regional_action_space(self):
+        experiment = ExperimentConfig.small(
+            traffic=TrafficSpec.synthetic("hotspot", 0.15, hotspot_fraction=0.3),
+            epoch_cycles=200,
+        )
+        controller = SelfConfigController(
+            simulator=experiment.build_simulator(),
+            action_space=RegionalDvfsActionSpace.quadrants(experiment.simulator),
+            feature_extractor=experiment.build_feature_extractor(),
+            policy=_CycleRegionsPolicy(),
+            reward_spec=experiment.reward,
+            epoch_cycles=experiment.epoch_cycles,
+        )
+        trace = controller.run(6)
+        assert len(trace) == 6
+        assert trace.total_packets_delivered > 0
+
+    def test_environment_with_regional_space_steps(self):
+        experiment = ExperimentConfig.small(
+            traffic=TrafficSpec.synthetic("uniform", 0.1),
+            action_space_kind="regional_dvfs",
+            epoch_cycles=200,
+            episode_epochs=3,
+        )
+        env = experiment.build_environment()
+        env.reset()
+        observation, reward, done, info = env.step(7)
+        assert observation.shape == (env.observation_dim,)
+        assert not done
+        assert isinstance(info["action"], RegionalDvfsAction)
+
+
+class _CycleRegionsPolicy:
+    """Cycles through (region, slowest level) actions — exercise only."""
+
+    name = "cycle-regions"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def select_action(self, observation, telemetry) -> int:
+        action = (self._counter % 4) * 4 + 3
+        self._counter += 1
+        return action

@@ -1,0 +1,122 @@
+"""Unit tests for the reward specifications."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rewards import RewardSpec
+from tests.core.test_features import make_telemetry
+
+
+class TestValidation:
+    def test_rejects_bad_scales(self):
+        with pytest.raises(ValueError):
+            RewardSpec(latency_scale_cycles=0)
+        with pytest.raises(ValueError):
+            RewardSpec(energy_scale_pj_per_flit=-1)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            RewardSpec(latency_weight=-1)
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            RewardSpec(saturation_accepted_ratio=1.5)
+        with pytest.raises(ValueError):
+            RewardSpec(latency_term_max=0)
+
+
+class TestPresets:
+    def test_latency_focused_weighs_latency_more(self):
+        spec = RewardSpec.latency_focused()
+        assert spec.latency_weight > spec.energy_weight
+
+    def test_energy_focused_weighs_energy_more(self):
+        spec = RewardSpec.energy_focused()
+        assert spec.energy_weight > spec.latency_weight
+
+    def test_balanced_has_equal_weights(self):
+        spec = RewardSpec.balanced()
+        assert spec.latency_weight == spec.energy_weight
+
+
+class TestTerms:
+    def test_latency_term_scales_and_caps(self):
+        spec = RewardSpec(latency_scale_cycles=50.0, latency_term_max=3.0)
+        assert spec.latency_term(make_telemetry(average_total_latency=25.0)) == pytest.approx(0.5)
+        assert spec.latency_term(make_telemetry(average_total_latency=1e6)) == pytest.approx(3.0)
+
+    def test_energy_term_uses_energy_per_flit(self):
+        telemetry = make_telemetry()
+        spec = RewardSpec(energy_scale_pj_per_flit=telemetry.energy_per_flit_pj)
+        assert spec.energy_term(telemetry) == pytest.approx(1.0)
+
+    def test_saturation_detection(self):
+        spec = RewardSpec(saturation_accepted_ratio=0.85)
+        keeping_up = make_telemetry(flits_created=400, flits_delivered=390)
+        falling_behind = make_telemetry(flits_created=400, flits_delivered=200)
+        idle = make_telemetry(flits_created=0, flits_delivered=0, packets_delivered=0)
+        assert not spec.is_saturated(keeping_up)
+        assert spec.is_saturated(falling_behind)
+        assert not spec.is_saturated(idle)
+
+
+class TestCompute:
+    def test_reward_is_negative_cost(self):
+        spec = RewardSpec.balanced()
+        assert spec.compute(make_telemetry()) < 0
+
+    def test_lower_latency_is_better(self):
+        spec = RewardSpec.balanced()
+        fast = make_telemetry(average_total_latency=8.0)
+        slow = make_telemetry(average_total_latency=40.0)
+        assert spec.compute(fast) > spec.compute(slow)
+
+    def test_lower_energy_is_better(self):
+        spec = RewardSpec.balanced()
+        frugal = make_telemetry()
+        hungry = make_telemetry()
+        object.__setattr__(hungry.energy, "leakage_pj", hungry.energy.leakage_pj * 10)
+        assert spec.compute(frugal) > spec.compute(hungry)
+
+    def test_saturation_penalty_applies(self):
+        spec = RewardSpec(saturation_penalty=5.0)
+        healthy = make_telemetry(flits_created=400, flits_delivered=400)
+        saturated = make_telemetry(flits_created=400, flits_delivered=100)
+        # Same latency/energy fields, so the difference is at least the penalty.
+        assert spec.compute(healthy) - spec.compute(saturated) >= 5.0
+
+    def test_throughput_weight_rewards_delivery(self):
+        spec = RewardSpec(throughput_weight=10.0)
+        busy = make_telemetry(flits_delivered=8000)
+        idle = make_telemetry(flits_delivered=80)
+        assert spec.compute(busy) > spec.compute(idle)
+
+    def test_callable_alias(self):
+        spec = RewardSpec.balanced()
+        telemetry = make_telemetry()
+        assert spec(telemetry) == spec.compute(telemetry)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    latency=st.floats(min_value=0, max_value=1e4),
+    delivered=st.integers(min_value=0, max_value=5_000),
+    created=st.integers(min_value=0, max_value=5_000),
+)
+def test_reward_is_always_finite_and_bounded_below(latency, delivered, created):
+    spec = RewardSpec.balanced()
+    telemetry = make_telemetry(
+        average_total_latency=latency,
+        flits_delivered=delivered,
+        flits_created=created,
+        packets_delivered=max(delivered // 4, 0),
+    )
+    reward = spec.compute(telemetry)
+    assert reward <= 0.0
+    # Bounded below by the capped latency term + energy term + penalty.
+    energy_term = spec.energy_weight * spec.energy_term(telemetry)
+    lower_bound = -(
+        spec.latency_weight * spec.latency_term_max + energy_term + spec.saturation_penalty
+    )
+    assert reward >= lower_bound - 1e-9

@@ -1,0 +1,65 @@
+"""Unit tests for DVFS operating points and schedules."""
+
+import pytest
+
+from repro.noc.dvfs import DVFS_LEVELS_DEFAULT, DvfsSchedule, OperatingPoint
+
+
+class TestOperatingPoint:
+    def test_default_ladder_is_ordered(self):
+        voltages = [point.voltage for point in DVFS_LEVELS_DEFAULT]
+        frequencies = [point.frequency_ghz for point in DVFS_LEVELS_DEFAULT]
+        dividers = [point.divider for point in DVFS_LEVELS_DEFAULT]
+        assert voltages == sorted(voltages, reverse=True)
+        assert frequencies == sorted(frequencies, reverse=True)
+        assert dividers == sorted(dividers)
+
+    def test_active_cycles_follow_divider(self):
+        point = OperatingPoint(name="half", voltage=0.9, frequency_ghz=1.0, divider=2)
+        active = [cycle for cycle in range(10) if point.is_active_cycle(cycle)]
+        assert active == [0, 2, 4, 6, 8]
+
+    def test_full_speed_always_active(self):
+        point = DVFS_LEVELS_DEFAULT[0]
+        assert all(point.is_active_cycle(cycle) for cycle in range(20))
+
+    def test_relative_power_decreases_down_the_ladder(self):
+        dynamic = [point.relative_dynamic_power for point in DVFS_LEVELS_DEFAULT]
+        static = [point.relative_static_power for point in DVFS_LEVELS_DEFAULT]
+        assert dynamic == sorted(dynamic, reverse=True)
+        assert static == sorted(static, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(name="bad", voltage=0, frequency_ghz=1.0, divider=1)
+        with pytest.raises(ValueError):
+            OperatingPoint(name="bad", voltage=1.0, frequency_ghz=-1.0, divider=1)
+        with pytest.raises(ValueError):
+            OperatingPoint(name="bad", voltage=1.0, frequency_ghz=1.0, divider=0)
+
+
+class TestDvfsSchedule:
+    def test_default_level_applies_everywhere(self):
+        schedule = DvfsSchedule(default_level=1)
+        assert schedule.level_index_for_epoch(0) == 1
+        assert schedule.level_index_for_epoch(99) == 1
+
+    def test_explicit_epoch_levels_override_default(self):
+        schedule = DvfsSchedule(default_level=0)
+        schedule.set_epoch_level(3, 2)
+        assert schedule.level_index_for_epoch(3) == 2
+        assert schedule.level_index_for_epoch(4) == 0
+        assert schedule.level_for_epoch(3) is DVFS_LEVELS_DEFAULT[2]
+
+    def test_constant_schedule(self):
+        schedule = DvfsSchedule.constant(3)
+        assert all(schedule.level_index_for_epoch(epoch) == 3 for epoch in range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DvfsSchedule(levels=())
+        with pytest.raises(ValueError):
+            DvfsSchedule(default_level=10)
+        schedule = DvfsSchedule()
+        with pytest.raises(ValueError):
+            schedule.set_epoch_level(0, 99)

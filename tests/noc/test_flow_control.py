@@ -1,0 +1,84 @@
+"""Unit and property tests for credit-based flow control."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.flow_control import CreditBook
+from repro.noc.topology import Direction
+
+PORTS = [Direction.NORTH, Direction.EAST]
+
+
+class TestCreditBook:
+    def test_initial_credits_equal_depth(self):
+        book = CreditBook(PORTS, num_vcs=2, depth=4)
+        for port in PORTS:
+            for vc in range(2):
+                assert book.available(port, vc) == 4
+            assert book.total_available(port) == 8
+
+    def test_consume_and_release_roundtrip(self):
+        book = CreditBook(PORTS, num_vcs=1, depth=2)
+        book.consume(Direction.NORTH, 0)
+        assert book.available(Direction.NORTH, 0) == 1
+        assert book.has_credit(Direction.NORTH, 0)
+        book.consume(Direction.NORTH, 0)
+        assert not book.has_credit(Direction.NORTH, 0)
+        book.release(Direction.NORTH, 0)
+        assert book.available(Direction.NORTH, 0) == 1
+
+    def test_underflow_raises(self):
+        book = CreditBook(PORTS, num_vcs=1, depth=1)
+        book.consume(Direction.EAST, 0)
+        with pytest.raises(RuntimeError, match="underflow"):
+            book.consume(Direction.EAST, 0)
+
+    def test_overflow_raises(self):
+        book = CreditBook(PORTS, num_vcs=1, depth=1)
+        with pytest.raises(RuntimeError, match="overflow"):
+            book.release(Direction.EAST, 0)
+
+    def test_ports_are_independent(self):
+        book = CreditBook(PORTS, num_vcs=1, depth=3)
+        book.consume(Direction.NORTH, 0)
+        assert book.available(Direction.EAST, 0) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CreditBook(PORTS, num_vcs=0, depth=4)
+        with pytest.raises(ValueError):
+            CreditBook(PORTS, num_vcs=1, depth=0)
+
+    def test_ports_listing(self):
+        book = CreditBook(PORTS, num_vcs=1, depth=1)
+        assert book.ports() == PORTS
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=8),
+    operations=st.lists(st.booleans(), max_size=100),
+)
+def test_credits_always_within_bounds(depth, operations):
+    """Credits never leave [0, depth] regardless of consume/release order;
+    illegal transitions raise instead of corrupting state."""
+    book = CreditBook([Direction.NORTH], num_vcs=1, depth=depth)
+    outstanding = 0
+    for consume in operations:
+        if consume:
+            if outstanding < depth:
+                book.consume(Direction.NORTH, 0)
+                outstanding += 1
+            else:
+                with pytest.raises(RuntimeError):
+                    book.consume(Direction.NORTH, 0)
+        else:
+            if outstanding > 0:
+                book.release(Direction.NORTH, 0)
+                outstanding -= 1
+            else:
+                with pytest.raises(RuntimeError):
+                    book.release(Direction.NORTH, 0)
+        assert 0 <= book.available(Direction.NORTH, 0) <= depth
+        assert book.available(Direction.NORTH, 0) == depth - outstanding

@@ -1,0 +1,113 @@
+"""Property-based (hypothesis) tests over the whole simulator.
+
+These encode the global invariants of a lossless, credit-flow-controlled
+network: flit conservation, credit restoration, latency lower bounds and
+buffer-occupancy bounds, under randomly drawn workloads and configurations.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.noc.network import NoCSimulator, SimulatorConfig
+from repro.noc.packet import Packet
+from repro.traffic.generator import TrafficGenerator
+
+SIM_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SIM_SETTINGS
+@given(
+    rate=st.floats(min_value=0.02, max_value=0.25),
+    pattern=st.sampled_from(["uniform", "transpose", "bit_complement", "hotspot"]),
+    routing=st.sampled_from(["xy", "yx", "west_first", "north_last", "odd_even"]),
+    dvfs_level=st.integers(min_value=0, max_value=3),
+    packet_size=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_lossless_delivery_under_random_configuration(
+    rate, pattern, routing, dvfs_level, packet_size, seed
+):
+    """Whatever the configuration, the network is lossless: every created
+    packet is eventually delivered, credits return to full and latency never
+    beats the physical lower bound."""
+    config = SimulatorConfig(
+        width=4, routing=routing, packet_size=packet_size, seed=seed
+    )
+    simulator = NoCSimulator(config)
+    simulator.set_global_dvfs_level(dvfs_level)
+    simulator.traffic = TrafficGenerator.from_names(
+        simulator.topology, pattern, rate, packet_size=packet_size, seed=seed
+    )
+    simulator.run(400)
+    simulator.drain(20_000)
+
+    stats = simulator.stats
+    assert stats.packets_delivered == stats.packets_created
+    assert stats.flits_delivered == stats.flits_created
+    assert stats.in_flight_packets == 0
+    if stats.packets_delivered:
+        assert stats.average_network_latency >= stats.average_hops + packet_size - 1
+        assert stats.average_total_latency >= stats.average_network_latency
+    for router in simulator.routers.values():
+        assert router.buffered_flits == 0
+        for port in router.credits.ports():
+            for vc in range(router.num_vcs):
+                assert router.credits.available(port, vc) == router.buffer_depth
+
+
+@SIM_SETTINGS
+@given(
+    sources=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=1, max_value=5),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    routing=st.sampled_from(["xy", "odd_even"]),
+)
+def test_explicit_packet_batch_is_delivered_exactly_once(sources, routing):
+    """A hand-built batch of packets is delivered exactly once each and hop
+    counts never exceed the mesh diameter (no livelock with minimal routing)."""
+    config = SimulatorConfig(width=4, routing=routing)
+    simulator = NoCSimulator(config)
+    packets = []
+    for src, dst, size in sources:
+        packet = Packet(src=src, dst=dst, size=size, creation_cycle=0)
+        packets.append(packet)
+        simulator.inject_packet(packet)
+    simulator.drain(20_000)
+    assert simulator.stats.packets_delivered == len(packets)
+    for packet in packets:
+        assert packet.delivered
+        assert packet.hops == simulator.topology.hop_distance(packet.src, packet.dst)
+
+
+@SIM_SETTINGS
+@given(
+    occupancy_cycles=st.integers(min_value=50, max_value=300),
+    rate=st.floats(min_value=0.1, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_buffer_occupancy_never_exceeds_capacity(occupancy_cycles, rate, seed):
+    """No router ever buffers more flits than its ports x VCs x depth, even
+    beyond saturation (credit back-pressure enforces the bound)."""
+    config = SimulatorConfig(width=4, num_vcs=2, buffer_depth=4, seed=seed)
+    simulator = NoCSimulator(config)
+    simulator.traffic = TrafficGenerator.from_names(
+        simulator.topology, "uniform", rate, packet_size=4, seed=seed
+    )
+    capacity = {
+        node: len(router.input_ports) * router.num_vcs * router.buffer_depth
+        for node, router in simulator.routers.items()
+    }
+    for _ in range(occupancy_cycles):
+        simulator.step()
+        for node, router in simulator.routers.items():
+            assert 0 <= router.buffered_flits <= capacity[node]

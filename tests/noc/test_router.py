@@ -1,0 +1,215 @@
+"""Unit tests for the VC wormhole router in isolation."""
+
+import pytest
+
+from repro.noc.dvfs import DVFS_LEVELS_DEFAULT
+from repro.noc.packet import Packet
+from repro.noc.power import PowerModel
+from repro.noc.router import Router, VCState
+from repro.noc.routing import SelectionPolicy, get_routing_algorithm
+from repro.noc.topology import Direction, Mesh
+
+MESH = Mesh(4, 4)
+FULL_SPEED = DVFS_LEVELS_DEFAULT[0]
+QUARTER_SPEED = DVFS_LEVELS_DEFAULT[-1]
+
+
+def make_router(node: int = 5, **kwargs) -> Router:
+    defaults = dict(
+        num_vcs=2,
+        buffer_depth=4,
+        routing=get_routing_algorithm("xy"),
+        selection=SelectionPolicy.FIRST,
+        operating_point=FULL_SPEED,
+    )
+    defaults.update(kwargs)
+    return Router(node, MESH, **defaults)
+
+
+def load_packet(router: Router, packet: Packet, port: Direction = Direction.LOCAL, vc: int = 0):
+    for flit in packet.flits():
+        router.receive_flit(port, vc, flit)
+
+
+class TestConstruction:
+    def test_interior_router_has_five_ports(self):
+        router = make_router(node=MESH.node_at(1, 1))
+        assert len(router.input_ports) == 5
+        assert Direction.LOCAL in router.input_ports
+
+    def test_corner_router_has_three_ports(self):
+        router = make_router(node=0)
+        assert len(router.input_ports) == 3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make_router(num_vcs=0)
+        with pytest.raises(ValueError):
+            make_router(buffer_depth=0)
+
+
+class TestIngress:
+    def test_receive_respects_buffer_depth(self):
+        router = make_router(buffer_depth=2)
+        packet = Packet(src=5, dst=6, size=2, creation_cycle=0)
+        load_packet(router, packet)
+        assert router.buffered_flits == 2
+        assert not router.can_accept(Direction.LOCAL, 0)
+        extra = Packet(src=5, dst=6, size=1, creation_cycle=0)
+        with pytest.raises(RuntimeError, match="overflow"):
+            router.receive_flit(Direction.LOCAL, 0, extra.flits()[0])
+
+    def test_free_input_vc_skips_busy_vcs(self):
+        router = make_router()
+        assert router.free_input_vc(Direction.LOCAL) == 0
+        packet = Packet(src=5, dst=6, size=1, creation_cycle=0)
+        router.receive_flit(Direction.LOCAL, 0, packet.flits()[0])
+        assert router.free_input_vc(Direction.LOCAL) == 1
+
+    def test_free_input_vc_respects_enabled_count(self):
+        router = make_router(num_vcs=2)
+        router.set_enabled_vcs(1)
+        packet = Packet(src=5, dst=6, size=1, creation_cycle=0)
+        router.receive_flit(Direction.LOCAL, 0, packet.flits()[0])
+        assert router.free_input_vc(Direction.LOCAL) is None
+
+
+class TestPipeline:
+    def test_single_packet_traverses_towards_destination(self):
+        router = make_router(node=5)
+        packet = Packet(src=5, dst=7, size=1, creation_cycle=0)  # two hops east
+        load_packet(router, packet)
+        movements = router.step(0, PowerModel())
+        assert len(movements) == 1
+        move = movements[0]
+        assert move.out_port is Direction.EAST
+        assert move.dst_node == 6
+        assert router.buffered_flits == 0
+
+    def test_packet_for_local_node_is_ejected(self):
+        router = make_router(node=5)
+        packet = Packet(src=1, dst=5, size=1, creation_cycle=0)
+        load_packet(router, packet, port=Direction.SOUTH)
+        movements = router.step(0, PowerModel())
+        assert len(movements) == 1
+        assert movements[0].out_port is Direction.LOCAL
+        assert movements[0].dst_node is None
+
+    def test_one_flit_per_cycle_per_output(self):
+        router = make_router(node=5)
+        packet = Packet(src=5, dst=7, size=3, creation_cycle=0)
+        load_packet(router, packet)
+        power = PowerModel()
+        total_moves = []
+        for cycle in range(5):
+            total_moves.extend(router.step(cycle, power))
+        assert len(total_moves) == 3
+        assert all(move.out_port is Direction.EAST for move in total_moves)
+
+    def test_wormhole_holds_output_vc_until_tail(self):
+        router = make_router(node=5, num_vcs=2)
+        first = Packet(src=5, dst=7, size=3, creation_cycle=0)
+        second = Packet(src=1, dst=7, size=1, creation_cycle=0)
+        load_packet(router, first, port=Direction.LOCAL, vc=0)
+        load_packet(router, second, port=Direction.SOUTH, vc=0)
+        power = PowerModel()
+        router.step(0, power)
+        # Both packets request EAST; they must use *different* output VCs
+        # because the first holds its VC until the tail flit departs.
+        local_vc = router.inputs[Direction.LOCAL][0]
+        south_vc = router.inputs[Direction.SOUTH][0]
+        assert local_vc.out_vc != south_vc.out_vc
+
+    def test_vc_state_returns_to_idle_after_tail(self):
+        router = make_router(node=5)
+        packet = Packet(src=5, dst=6, size=2, creation_cycle=0)
+        load_packet(router, packet)
+        power = PowerModel()
+        for cycle in range(3):
+            router.step(cycle, power)
+        assert router.inputs[Direction.LOCAL][0].state is VCState.IDLE
+        assert router.buffered_flits == 0
+
+    def test_credit_exhaustion_blocks_traversal(self):
+        router = make_router(node=5, buffer_depth=4)
+        # Pretend the downstream buffer already holds two flits on every VC,
+        # leaving only two credits for this packet's output VC.
+        for vc in range(router.num_vcs):
+            router.credits.consume(Direction.EAST, vc)
+            router.credits.consume(Direction.EAST, vc)
+        packet = Packet(src=5, dst=7, size=4, creation_cycle=0)
+        load_packet(router, packet)
+        power = PowerModel()
+        moves = []
+        for cycle in range(6):
+            moves.extend(router.step(cycle, power))
+        # Only the two remaining credits worth of flits can leave.
+        assert len(moves) == 2
+        router.release_credit(Direction.EAST, moves[0].out_vc)
+        moves.extend(router.step(6, power))
+        assert len(moves) == 3
+
+    def test_dvfs_divider_gates_pipeline(self):
+        router = make_router(node=5, operating_point=QUARTER_SPEED)
+        packet = Packet(src=5, dst=6, size=1, creation_cycle=0)
+        load_packet(router, packet)
+        power = PowerModel()
+        assert router.step(1, power) == []  # inactive cycle
+        assert router.step(2, power) == []
+        assert len(router.step(4, power)) == 1  # divider-4 active cycle
+
+    def test_blocked_port_prevents_traversal(self):
+        router = make_router(node=5)
+        router.block_port(Direction.EAST)
+        packet = Packet(src=5, dst=6, size=1, creation_cycle=0)  # needs EAST
+        load_packet(router, packet)
+        power = PowerModel()
+        for cycle in range(3):
+            assert router.step(cycle, power) == []
+
+    def test_adaptive_routing_avoids_blocked_port_when_possible(self):
+        router = make_router(node=5, routing=get_routing_algorithm("west_first"))
+        router.block_port(Direction.EAST)
+        # Destination north-east: west-first allows EAST or NORTH; EAST is
+        # blocked so the router must pick NORTH.
+        packet = Packet(src=5, dst=10, size=1, creation_cycle=0)
+        load_packet(router, packet)
+        movements = router.step(0, PowerModel())
+        assert len(movements) == 1
+        assert movements[0].out_port is Direction.NORTH
+
+    def test_head_flit_required_at_front(self):
+        router = make_router(node=5)
+        packet = Packet(src=5, dst=6, size=3, creation_cycle=0)
+        body_only = packet.flits()[1]
+        router.receive_flit(Direction.LOCAL, 0, body_only)
+        with pytest.raises(RuntimeError, match="ordering"):
+            router.step(0, PowerModel())
+
+
+class TestSelectionPolicies:
+    def test_most_credits_prefers_uncongested_port(self):
+        router = make_router(
+            node=5,
+            routing=get_routing_algorithm("west_first"),
+            selection=SelectionPolicy.MOST_CREDITS,
+        )
+        # Drain credits on EAST so NORTH looks better for a north-east packet.
+        for vc in range(router.num_vcs):
+            for _ in range(router.buffer_depth):
+                router.credits.consume(Direction.EAST, vc)
+        packet = Packet(src=5, dst=10, size=1, creation_cycle=0)
+        load_packet(router, packet)
+        movements = router.step(0, PowerModel())
+        assert movements and movements[0].out_port is Direction.NORTH
+
+    def test_configuration_setters(self):
+        router = make_router()
+        router.set_routing(get_routing_algorithm("odd_even"))
+        router.set_selection(SelectionPolicy.RANDOM)
+        router.set_operating_point(QUARTER_SPEED)
+        assert router.operating_point is QUARTER_SPEED
+        with pytest.raises(ValueError):
+            router.set_enabled_vcs(0)
+        with pytest.raises(ValueError):
+            router.set_enabled_vcs(router.num_vcs + 1)

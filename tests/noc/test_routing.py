@@ -1,0 +1,186 @@
+"""Unit and property tests for the routing algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.routing import (
+    DEADLOCK_FREE_ALGORITHMS,
+    ROUTING_ALGORITHMS,
+    get_routing_algorithm,
+    north_last_routing,
+    odd_even_routing,
+    west_first_routing,
+    xy_routing,
+    yx_routing,
+)
+from repro.noc.topology import Direction, Mesh
+
+MESH = Mesh(4, 4)
+MESH8 = Mesh(8, 8)
+
+
+def step(mesh: Mesh, node: int, direction: Direction) -> int:
+    nxt = mesh.neighbor(node, direction)
+    assert nxt is not None, "routing suggested an off-chip direction"
+    return nxt
+
+
+class TestRegistry:
+    def test_known_algorithms(self):
+        assert set(DEADLOCK_FREE_ALGORITHMS).issubset(ROUTING_ALGORITHMS)
+        assert "xy" in ROUTING_ALGORITHMS
+
+    def test_lookup_by_name(self):
+        assert get_routing_algorithm("xy") is xy_routing
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown routing algorithm"):
+            get_routing_algorithm("zigzag")
+
+    def test_algorithms_expose_names(self):
+        for name, algorithm in ROUTING_ALGORITHMS.items():
+            assert algorithm.name == name
+
+
+class TestXY:
+    def test_resolves_x_before_y(self):
+        src, dst = MESH.node_at(0, 0), MESH.node_at(2, 3)
+        assert xy_routing(MESH, src, src, dst) == [Direction.EAST]
+
+    def test_resolves_y_when_x_aligned(self):
+        src, dst = MESH.node_at(2, 0), MESH.node_at(2, 3)
+        assert xy_routing(MESH, src, src, dst) == [Direction.NORTH]
+
+    def test_local_at_destination(self):
+        node = MESH.node_at(1, 1)
+        assert xy_routing(MESH, node, node, node) == [Direction.LOCAL]
+
+    def test_westbound_and_southbound(self):
+        src, dst = MESH.node_at(3, 3), MESH.node_at(0, 0)
+        assert xy_routing(MESH, src, src, dst) == [Direction.WEST]
+        aligned = MESH.node_at(0, 3)
+        assert xy_routing(MESH, aligned, src, dst) == [Direction.SOUTH]
+
+    def test_full_path_matches_hop_distance(self):
+        src, dst = MESH.node_at(0, 3), MESH.node_at(3, 0)
+        node, hops = src, 0
+        while node != dst:
+            (direction,) = xy_routing(MESH, node, src, dst)
+            node = step(MESH, node, direction)
+            hops += 1
+        assert hops == MESH.hop_distance(src, dst)
+
+
+class TestYX:
+    def test_resolves_y_before_x(self):
+        src, dst = MESH.node_at(0, 0), MESH.node_at(2, 3)
+        assert yx_routing(MESH, src, src, dst) == [Direction.NORTH]
+
+    def test_paths_differ_from_xy_but_same_length(self):
+        src, dst = MESH.node_at(0, 0), MESH.node_at(3, 3)
+        xy_first = xy_routing(MESH, src, src, dst)
+        yx_first = yx_routing(MESH, src, src, dst)
+        assert xy_first != yx_first
+
+
+class TestWestFirst:
+    def test_westbound_is_deterministic(self):
+        src, dst = MESH.node_at(3, 0), MESH.node_at(0, 2)
+        assert west_first_routing(MESH, src, src, dst) == [Direction.WEST]
+
+    def test_eastbound_is_adaptive(self):
+        src, dst = MESH.node_at(0, 0), MESH.node_at(2, 2)
+        candidates = west_first_routing(MESH, src, src, dst)
+        assert set(candidates) == {Direction.EAST, Direction.NORTH}
+
+    def test_never_turns_into_west(self):
+        # Any candidate set either contains WEST alone or no WEST at all.
+        for src in MESH.nodes():
+            for dst in MESH.nodes():
+                candidates = west_first_routing(MESH, src, src, dst)
+                if Direction.WEST in candidates:
+                    assert candidates == [Direction.WEST]
+
+
+class TestNorthLast:
+    def test_north_only_when_aligned(self):
+        src, dst = MESH.node_at(1, 0), MESH.node_at(1, 3)
+        assert north_last_routing(MESH, src, src, dst) == [Direction.NORTH]
+
+    def test_defers_north_until_x_resolved(self):
+        src, dst = MESH.node_at(0, 0), MESH.node_at(2, 2)
+        assert north_last_routing(MESH, src, src, dst) == [Direction.EAST]
+
+    def test_southbound_is_adaptive(self):
+        src, dst = MESH.node_at(0, 3), MESH.node_at(2, 0)
+        candidates = north_last_routing(MESH, src, src, dst)
+        assert set(candidates) == {Direction.EAST, Direction.SOUTH}
+
+
+class TestOddEven:
+    def test_no_east_north_or_east_south_turn_in_even_columns(self):
+        # In even columns (other than the source column) a packet travelling
+        # east must not be offered a vertical turn unless allowed by the rule.
+        src = MESH.node_at(0, 0)
+        dst = MESH.node_at(3, 2)
+        current = MESH.node_at(2, 0)  # even column, not the source column
+        candidates = odd_even_routing(MESH, current, src, dst)
+        assert Direction.EAST in candidates
+
+    def test_destination_reachable_from_everywhere(self):
+        for src in MESH.nodes():
+            for dst in MESH.nodes():
+                if src == dst:
+                    continue
+                node = src
+                for _ in range(MESH.diameter() + 1):
+                    candidates = odd_even_routing(MESH, node, src, dst)
+                    assert candidates, "odd-even returned no candidates"
+                    if candidates == [Direction.LOCAL]:
+                        break
+                    node = step(MESH, node, candidates[0])
+                assert odd_even_routing(MESH, node, src, dst) == [Direction.LOCAL]
+
+
+@pytest.mark.parametrize("name", sorted(ROUTING_ALGORITHMS))
+class TestAllAlgorithmsShareInvariants:
+    def test_local_only_at_destination(self, name):
+        algorithm = ROUTING_ALGORITHMS[name]
+        for src in MESH.nodes():
+            for dst in MESH.nodes():
+                candidates = algorithm(MESH, src, src, dst)
+                if src == dst:
+                    assert candidates == [Direction.LOCAL]
+                else:
+                    assert Direction.LOCAL not in candidates
+
+    def test_candidates_are_minimal_and_productive(self, name):
+        algorithm = ROUTING_ALGORITHMS[name]
+        for src in MESH.nodes():
+            for dst in MESH.nodes():
+                if src == dst:
+                    continue
+                for direction in algorithm(MESH, src, src, dst):
+                    nxt = MESH.neighbor(src, direction)
+                    assert nxt is not None
+                    assert MESH.hop_distance(nxt, dst) == MESH.hop_distance(src, dst) - 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    name=st.sampled_from(sorted(ROUTING_ALGORITHMS)),
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+)
+def test_any_algorithm_reaches_destination_on_8x8(name, src, dst):
+    """Following any candidate greedily always reaches the destination in
+    exactly hop_distance steps (minimality + progress), on an 8x8 mesh."""
+    algorithm = ROUTING_ALGORITHMS[name]
+    node = src
+    for _ in range(MESH8.hop_distance(src, dst)):
+        candidates = algorithm(MESH8, node, src, dst)
+        assert candidates and candidates != [Direction.LOCAL]
+        node = step(MESH8, node, candidates[-1])
+    assert node == dst
+    assert algorithm(MESH8, node, src, dst) == [Direction.LOCAL]

@@ -1,0 +1,212 @@
+"""Unit and integration tests for the DQN agent and its variants."""
+
+import numpy as np
+import pytest
+
+from repro.rl.agent import Transition
+from repro.rl.dqn import DQNAgent, DQNConfig
+
+
+def make_config(**overrides) -> DQNConfig:
+    defaults = dict(
+        observation_dim=3,
+        num_actions=4,
+        hidden_sizes=(16,),
+        learning_rate=5e-3,
+        buffer_capacity=500,
+        batch_size=16,
+        min_buffer_size=16,
+        target_sync_interval=20,
+        epsilon_decay_steps=200,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return DQNConfig(**defaults)
+
+
+class SimpleBanditEnv:
+    """A contextual bandit: the best action equals the argmax of the state."""
+
+    def __init__(self, dim: int = 3, seed: int = 0) -> None:
+        self.dim = dim
+        self.rng = np.random.default_rng(seed)
+
+    def observation(self) -> np.ndarray:
+        return self.rng.uniform(0.0, 1.0, size=self.dim)
+
+    def reward(self, observation: np.ndarray, action: int) -> float:
+        return 1.0 if action == int(np.argmax(observation)) else 0.0
+
+
+class TestConfigValidation:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            make_config(observation_dim=0)
+        with pytest.raises(ValueError):
+            make_config(num_actions=0)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            make_config(gamma=1.5)
+
+    def test_rejects_buffer_smaller_than_batch(self):
+        with pytest.raises(ValueError):
+            make_config(buffer_capacity=8, batch_size=16)
+
+    def test_rejects_min_buffer_below_batch(self):
+        with pytest.raises(ValueError):
+            make_config(min_buffer_size=4, batch_size=16)
+
+
+class TestQValueShapes:
+    def test_q_values_shape(self):
+        agent = DQNAgent(make_config())
+        q = agent.q_values(np.zeros(3))
+        assert q.shape == (4,)
+
+    def test_dueling_q_values_shape(self):
+        agent = DQNAgent(make_config(dueling=True))
+        q = agent.q_values(np.zeros(3))
+        assert q.shape == (4,) or q.shape == (1, 4)
+        assert np.asarray(q).size == 4
+
+    def test_act_returns_valid_action(self):
+        agent = DQNAgent(make_config())
+        for _ in range(20):
+            action = agent.act(np.random.default_rng(0).uniform(size=3))
+            assert 0 <= action < 4
+
+    def test_greedy_action_matches_q_argmax(self):
+        agent = DQNAgent(make_config())
+        observation = np.array([0.3, 0.5, 0.1])
+        q = np.asarray(agent.q_values(observation)).reshape(-1)
+        assert agent.act(observation, explore=False) == int(np.argmax(q))
+
+
+class TestLearningMachinery:
+    def test_no_training_before_min_buffer(self):
+        agent = DQNAgent(make_config(min_buffer_size=32, batch_size=32))
+        for _ in range(10):
+            agent.observe(
+                Transition(np.zeros(3), 0, 0.0, np.zeros(3), done=False)
+            )
+        assert agent.train_steps == 0
+
+    def test_training_starts_after_min_buffer(self):
+        agent = DQNAgent(make_config())
+        for _ in range(40):
+            agent.observe(Transition(np.zeros(3), 0, 1.0, np.zeros(3), done=False))
+        assert agent.train_steps > 0
+        assert np.isfinite(agent.last_loss)
+
+    def test_target_network_syncs_periodically(self):
+        agent = DQNAgent(make_config(target_sync_interval=5))
+        for _ in range(30):
+            agent.observe(Transition(np.ones(3), 1, 1.0, np.ones(3), done=False))
+        # After a sync the target equals the online network exactly.
+        if agent.train_steps % 5 == 0:
+            np.testing.assert_allclose(
+                agent.target.weights[0], agent.online.weights[0]
+            )
+        assert agent.train_steps >= 5
+
+    def test_terminal_targets_ignore_bootstrap(self):
+        agent = DQNAgent(make_config(gamma=0.99))
+        rewards = np.array([1.0, -1.0])
+        next_states = np.zeros((2, 3))
+        dones = np.array([1.0, 1.0])
+        targets = agent._compute_targets(rewards, next_states, dones)
+        np.testing.assert_allclose(targets, rewards)
+
+    def test_double_dqn_uses_online_argmax(self):
+        agent = DQNAgent(make_config(double=True, seed=3))
+        rewards = np.zeros(1)
+        next_states = np.random.default_rng(1).uniform(size=(1, 3))
+        dones = np.zeros(1)
+        online_q = agent._batch_q(agent.online, next_states)
+        target_q = agent._batch_q(agent.target, next_states)
+        expected = agent.config.gamma * target_q[0, int(np.argmax(online_q[0]))]
+        assert agent._compute_targets(rewards, next_states, dones)[0] == pytest.approx(
+            expected
+        )
+
+    def test_dueling_aggregation_centres_advantages(self):
+        agent = DQNAgent(make_config(dueling=True))
+        raw = np.array([[2.0, 1.0, 2.0, 3.0, 6.0]])  # V=2, A=[1,2,3,6]
+        q = agent._aggregate(raw)
+        np.testing.assert_allclose(q, [[0.0, 1.0, 2.0, 5.0]])
+
+    def test_dueling_backward_is_consistent_with_forward(self):
+        agent = DQNAgent(make_config(dueling=True))
+        rng = np.random.default_rng(2)
+        raw = rng.normal(size=(5, 5))
+        grad_q = rng.normal(size=(5, 4))
+        # Finite-difference check of the aggregation Jacobian-vector product.
+        raw_grad = agent._aggregate_backward(grad_q)
+        epsilon = 1e-6
+        for i in range(raw.shape[1]):
+            perturbed = raw.copy()
+            perturbed[:, i] += epsilon
+            numeric = (agent._aggregate(perturbed) - agent._aggregate(raw)) / epsilon
+            expected = (numeric * grad_q).sum(axis=1)
+            np.testing.assert_allclose(raw_grad[:, i], expected, atol=1e-5)
+
+    def test_gradient_clipping_bounds_norm(self):
+        agent = DQNAgent(make_config(gradient_clip=1.0))
+        grads = [np.full((4, 4), 10.0), np.full(4, 10.0)]
+        agent._clip_gradients(grads)
+        total_norm = np.sqrt(sum(np.sum(g**2) for g in grads))
+        assert total_norm == pytest.approx(1.0, rel=1e-6)
+
+    def test_checkpoint_roundtrip(self):
+        agent = DQNAgent(make_config(seed=5))
+        for _ in range(40):
+            agent.observe(Transition(np.ones(3), 2, 1.0, np.ones(3), done=False))
+        state = agent.get_state()
+        clone = DQNAgent(make_config(seed=99))
+        clone.set_state(state)
+        observation = np.array([0.1, 0.7, 0.3])
+        np.testing.assert_allclose(clone.q_values(observation), agent.q_values(observation))
+        assert clone.train_steps == agent.train_steps
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        {},
+        {"double": True},
+        {"dueling": True},
+        {"double": True, "dueling": True},
+        {"prioritized_replay": True},
+    ],
+    ids=["dqn", "double", "dueling", "double-dueling", "prioritized"],
+)
+def test_variants_learn_a_contextual_bandit(variant):
+    """Every DQN variant learns to pick argmax(state) on a 3-armed contextual
+    bandit clearly better than chance."""
+    config = make_config(
+        observation_dim=3,
+        num_actions=3,
+        hidden_sizes=(32,),
+        learning_rate=5e-3,
+        gamma=0.0,
+        epsilon_decay_steps=400,
+        seed=7,
+        **variant,
+    )
+    agent = DQNAgent(config)
+    env = SimpleBanditEnv(dim=3, seed=7)
+    for _ in range(600):
+        observation = env.observation()
+        action = agent.act(observation)
+        reward = env.reward(observation, action)
+        agent.observe(Transition(observation, action, reward, env.observation(), done=True))
+
+    evaluation_env = SimpleBanditEnv(dim=3, seed=11)
+    correct = 0
+    trials = 200
+    for _ in range(trials):
+        observation = evaluation_env.observation()
+        if agent.act(observation, explore=False) == int(np.argmax(observation)):
+            correct += 1
+    assert correct / trials > 0.7, f"accuracy {correct / trials} too low for {variant}"

@@ -1,0 +1,164 @@
+"""Unit tests for the numpy MLP: shapes, gradients, serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.networks import MLP, huber_loss_grad
+
+
+class TestConstruction:
+    def test_requires_two_layers(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4, 0, 2])
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP([4, 2], activation="swish")
+
+    def test_parameter_shapes(self):
+        net = MLP([3, 8, 5, 2])
+        shapes = [w.shape for w in net.weights]
+        assert shapes == [(3, 8), (8, 5), (5, 2)]
+        assert [b.shape for b in net.biases] == [(8,), (5,), (2,)]
+
+    def test_seed_reproducibility(self):
+        a, b = MLP([4, 8, 2], seed=7), MLP([4, 8, 2], seed=7)
+        for wa, wb in zip(a.weights, b.weights):
+            np.testing.assert_array_equal(wa, wb)
+
+
+class TestForward:
+    def test_single_vector_and_batch_agree(self):
+        net = MLP([3, 6, 2], seed=1)
+        x = np.array([0.1, -0.4, 0.7])
+        single = net.forward(x)
+        batch = net.forward(np.stack([x, x]))
+        assert single.shape == (2,)
+        assert batch.shape == (2, 2)
+        np.testing.assert_allclose(batch[0], single)
+        np.testing.assert_allclose(batch[1], single)
+
+    def test_linear_network_is_affine(self):
+        net = MLP([2, 3], seed=0)
+        x = np.array([1.0, 2.0])
+        expected = x @ net.weights[0] + net.biases[0]
+        np.testing.assert_allclose(net.forward(x), expected)
+
+    def test_relu_blocks_negative_preactivations(self):
+        net = MLP([1, 1, 1], activation="relu", seed=0)
+        net.weights[0][:] = -1.0
+        net.biases[0][:] = 0.0
+        net.weights[1][:] = 1.0
+        net.biases[1][:] = 0.0
+        assert net.forward(np.array([5.0]))[0] == pytest.approx(0.0)
+
+    def test_callable_alias(self):
+        net = MLP([2, 2], seed=3)
+        x = np.array([0.5, 0.5])
+        np.testing.assert_allclose(net(x), net.forward(x))
+
+
+class TestBackward:
+    @pytest.mark.parametrize("activation", ["relu", "tanh"])
+    def test_gradients_match_finite_differences(self, activation):
+        rng = np.random.default_rng(0)
+        net = MLP([3, 5, 2], activation=activation, seed=2)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss_value() -> float:
+            out = net.forward(x)
+            return float(0.5 * np.sum((out - target) ** 2))
+
+        out = net.forward(x)
+        weight_grads, bias_grads = net.backward(x, out - target)
+        analytic = net.gradients_as_list(weight_grads, bias_grads)
+
+        epsilon = 1e-6
+        params = net.parameters()
+        for param, grad in zip(params, analytic):
+            flat_param = param.reshape(-1)
+            flat_grad = grad.reshape(-1)
+            for index in range(0, flat_param.size, max(1, flat_param.size // 5)):
+                original = flat_param[index]
+                flat_param[index] = original + epsilon
+                plus = loss_value()
+                flat_param[index] = original - epsilon
+                minus = loss_value()
+                flat_param[index] = original
+                numeric = (plus - minus) / (2 * epsilon)
+                assert flat_grad[index] == pytest.approx(numeric, rel=1e-3, abs=1e-5)
+
+    def test_gradient_descent_reduces_regression_loss(self):
+        rng = np.random.default_rng(1)
+        net = MLP([2, 16, 1], seed=4)
+        x = rng.uniform(-1, 1, size=(64, 2))
+        y = (x[:, :1] * 2.0 - x[:, 1:] * 0.5)
+
+        def loss() -> float:
+            return float(np.mean((net.forward(x) - y) ** 2))
+
+        initial = loss()
+        for _ in range(300):
+            grad_out = 2.0 * (net.forward(x) - y) / len(x)
+            wg, bg = net.backward(x, grad_out)
+            for param, grad in zip(net.parameters(), net.gradients_as_list(wg, bg)):
+                param -= 0.05 * grad
+        assert loss() < initial * 0.1
+
+
+class TestStateManagement:
+    def test_state_roundtrip(self):
+        net = MLP([3, 4, 2], seed=5)
+        state = net.get_state()
+        other = MLP([3, 4, 2], seed=99)
+        other.set_state(state)
+        x = np.array([0.2, -0.1, 0.4])
+        np.testing.assert_allclose(other.forward(x), net.forward(x))
+
+    def test_state_shape_mismatch_raises(self):
+        net = MLP([3, 4, 2])
+        other = MLP([3, 5, 2])
+        with pytest.raises(ValueError):
+            other.set_state(net.get_state())
+
+    def test_copy_from_and_clone_are_deep(self):
+        net = MLP([2, 3, 2], seed=6)
+        clone = net.clone()
+        clone.weights[0][0, 0] += 1.0
+        assert net.weights[0][0, 0] != clone.weights[0][0, 0]
+
+    def test_state_is_a_copy(self):
+        net = MLP([2, 2], seed=7)
+        state = net.get_state()
+        state["weights"][0][0, 0] += 10.0
+        assert net.weights[0][0, 0] != state["weights"][0][0, 0]
+
+
+class TestHuberLoss:
+    def test_quadratic_region(self):
+        loss, grad = huber_loss_grad(np.array([0.5]), delta=1.0)
+        assert loss[0] == pytest.approx(0.125)
+        assert grad[0] == pytest.approx(0.5)
+
+    def test_linear_region(self):
+        loss, grad = huber_loss_grad(np.array([3.0]), delta=1.0)
+        assert loss[0] == pytest.approx(0.5 + 2.0)
+        assert grad[0] == pytest.approx(1.0)
+
+    def test_gradient_is_clipped_symmetrically(self):
+        _, grad = huber_loss_grad(np.array([-5.0, 5.0]), delta=2.0)
+        np.testing.assert_allclose(grad, [-2.0, 2.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(error=st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_loss_nonnegative_and_grad_bounded(self, error):
+        loss, grad = huber_loss_grad(np.array([error]), delta=1.0)
+        assert loss[0] >= 0.0
+        assert abs(grad[0]) <= 1.0

@@ -1,0 +1,98 @@
+"""Unit tests for the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.rl.optimizers import SGD, Adam, Momentum, RMSProp, get_optimizer
+
+
+def quadratic_descent(optimizer, steps: int = 200) -> float:
+    """Minimise f(x) = ||x||^2 from a fixed start; return the final norm."""
+    params = [np.array([3.0, -2.0]), np.array([[1.5]])]
+    for _ in range(steps):
+        grads = [2.0 * p for p in params]
+        optimizer.step(params, grads)
+    return float(sum(np.sum(p**2) for p in params))
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name, cls in [
+            ("sgd", SGD),
+            ("momentum", Momentum),
+            ("rmsprop", RMSProp),
+            ("adam", Adam),
+        ]:
+            assert isinstance(get_optimizer(name, 0.01), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(get_optimizer("ADAM", 0.01), Adam)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown optimizer"):
+            get_optimizer("lion", 0.01)
+
+
+class TestValidation:
+    def test_learning_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+
+    def test_momentum_range(self):
+        with pytest.raises(ValueError):
+            Momentum(0.01, momentum=1.0)
+
+    def test_rmsprop_decay_range(self):
+        with pytest.raises(ValueError):
+            RMSProp(0.01, decay=1.5)
+
+    def test_adam_beta_range(self):
+        with pytest.raises(ValueError):
+            Adam(0.01, beta1=1.0)
+
+    def test_shape_mismatch_detected(self):
+        optimizer = SGD(0.1)
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(3)], [np.zeros(4)])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(3)], [np.zeros(3), np.zeros(3)])
+
+
+@pytest.mark.parametrize(
+    "optimizer",
+    [SGD(0.05), Momentum(0.02), RMSProp(0.05), Adam(0.1)],
+    ids=["sgd", "momentum", "rmsprop", "adam"],
+)
+class TestConvergence:
+    def test_minimises_quadratic(self, optimizer):
+        assert quadratic_descent(optimizer) < 1e-2
+
+    def test_updates_happen_in_place(self, optimizer):
+        params = [np.ones(2)]
+        reference = params[0]
+        optimizer.step(params, [np.ones(2)])
+        assert params[0] is reference
+        assert not np.allclose(reference, np.ones(2))
+
+
+class TestSGDExactness:
+    def test_single_step_matches_formula(self):
+        params = [np.array([1.0, 2.0])]
+        SGD(0.5).step(params, [np.array([0.2, -0.4])])
+        np.testing.assert_allclose(params[0], [0.9, 2.2])
+
+
+class TestAdamBehaviour:
+    def test_first_step_size_is_learning_rate(self):
+        # With bias correction the first Adam step is ~lr * sign(grad).
+        params = [np.array([0.0])]
+        Adam(0.1).step(params, [np.array([7.0])])
+        assert params[0][0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_handles_sparse_gradients(self):
+        params = [np.zeros(4)]
+        adam = Adam(0.1)
+        for _ in range(10):
+            adam.step(params, [np.array([1.0, 0.0, 0.0, 0.0])])
+        assert params[0][0] < -0.5
+        np.testing.assert_allclose(params[0][1:], 0.0)

@@ -1,0 +1,113 @@
+"""Unit tests for exploration policies and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.rl.policies import (
+    ConstantSchedule,
+    EpsilonGreedyPolicy,
+    ExponentialDecaySchedule,
+    LinearDecaySchedule,
+    SoftmaxPolicy,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.3)
+        assert schedule.value(0) == schedule.value(1000) == 0.3
+
+    def test_linear_decay_endpoints(self):
+        schedule = LinearDecaySchedule(1.0, 0.1, decay_steps=100)
+        assert schedule.value(0) == pytest.approx(1.0)
+        assert schedule.value(50) == pytest.approx(0.55)
+        assert schedule.value(100) == pytest.approx(0.1)
+        assert schedule.value(500) == pytest.approx(0.1)
+
+    def test_linear_decay_validation(self):
+        with pytest.raises(ValueError):
+            LinearDecaySchedule(1.0, 0.1, decay_steps=0)
+
+    def test_exponential_decay(self):
+        schedule = ExponentialDecaySchedule(1.0, 0.01, decay=0.9)
+        assert schedule.value(0) == pytest.approx(1.0)
+        assert schedule.value(10) == pytest.approx(0.9**10)
+        assert schedule.value(10_000) == pytest.approx(0.01)
+
+    def test_exponential_decay_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecaySchedule(1.0, 0.01, decay=0.0)
+
+
+class TestEpsilonGreedy:
+    def test_greedy_when_not_exploring(self):
+        policy = EpsilonGreedyPolicy(ConstantSchedule(1.0), seed=0)
+        q = np.array([0.1, 5.0, -1.0])
+        assert all(policy.select(q, explore=False) == 1 for _ in range(10))
+
+    def test_zero_epsilon_is_always_greedy(self):
+        policy = EpsilonGreedyPolicy(ConstantSchedule(0.0), seed=0)
+        q = np.array([0.0, 1.0])
+        assert all(policy.select(q) == 1 for _ in range(50))
+
+    def test_full_epsilon_explores_all_actions(self):
+        policy = EpsilonGreedyPolicy(ConstantSchedule(1.0), seed=1)
+        q = np.array([10.0, 0.0, 0.0, 0.0])
+        chosen = {policy.select(q) for _ in range(200)}
+        assert chosen == {0, 1, 2, 3}
+
+    def test_step_counter_advances_only_when_exploring_enabled(self):
+        policy = EpsilonGreedyPolicy(LinearDecaySchedule(1.0, 0.0, 10), seed=2)
+        for _ in range(5):
+            policy.select(np.array([1.0, 0.0]), explore=False)
+        assert policy.steps == 0
+        for _ in range(5):
+            policy.select(np.array([1.0, 0.0]), explore=True)
+        assert policy.steps == 5
+        assert policy.epsilon == pytest.approx(0.5)
+
+    def test_rejects_bad_q_values(self):
+        policy = EpsilonGreedyPolicy(ConstantSchedule(0.1))
+        with pytest.raises(ValueError):
+            policy.select(np.array([]))
+        with pytest.raises(ValueError):
+            policy.select(np.zeros((2, 2)))
+
+
+class TestSoftmax:
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SoftmaxPolicy(temperature=0.0)
+
+    def test_probabilities_sum_to_one(self):
+        policy = SoftmaxPolicy(temperature=0.5)
+        probabilities = policy.probabilities(np.array([1.0, 2.0, 3.0]))
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities > 0)
+
+    def test_low_temperature_approaches_greedy(self):
+        policy = SoftmaxPolicy(temperature=0.01, seed=0)
+        q = np.array([0.0, 1.0, 0.5])
+        selections = [policy.select(q) for _ in range(100)]
+        assert selections.count(1) > 95
+
+    def test_high_temperature_approaches_uniform(self):
+        policy = SoftmaxPolicy(temperature=100.0, seed=1)
+        q = np.array([0.0, 1.0])
+        selections = [policy.select(q) for _ in range(1000)]
+        assert 350 < selections.count(0) < 650
+
+    def test_greedy_when_not_exploring(self):
+        policy = SoftmaxPolicy(temperature=10.0, seed=2)
+        assert policy.select(np.array([0.0, 3.0, 1.0]), explore=False) == 1
+
+    def test_numerical_stability_with_large_values(self):
+        policy = SoftmaxPolicy(temperature=1.0)
+        probabilities = policy.probabilities(np.array([1e6, 1e6 + 1]))
+        assert np.isfinite(probabilities).all()
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_rejects_bad_q_values(self):
+        policy = SoftmaxPolicy()
+        with pytest.raises(ValueError):
+            policy.select(np.array([]))

@@ -1,0 +1,113 @@
+"""Unit tests for the tabular Q-learning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.rl.agent import Transition
+from repro.rl.qtable import TabularQAgent, TabularQConfig, UniformDiscretizer
+
+
+def make_agent(num_actions: int = 2, bins: int = 4, **kwargs) -> TabularQAgent:
+    config = TabularQConfig(num_actions=num_actions, bins_per_feature=bins, **kwargs)
+    discretizer = UniformDiscretizer(np.zeros(2), np.ones(2), bins_per_feature=bins)
+    return TabularQAgent(config, discretizer)
+
+
+class TestUniformDiscretizer:
+    def test_bins_cover_the_range(self):
+        discretizer = UniformDiscretizer(np.zeros(1), np.ones(1), bins_per_feature=4)
+        assert discretizer.discretize(np.array([0.0])) == (0,)
+        assert discretizer.discretize(np.array([0.3])) == (1,)
+        assert discretizer.discretize(np.array([0.99])) == (3,)
+
+    def test_out_of_range_values_are_clipped(self):
+        discretizer = UniformDiscretizer(np.zeros(1), np.ones(1), bins_per_feature=4)
+        assert discretizer.discretize(np.array([-5.0])) == (0,)
+        assert discretizer.discretize(np.array([5.0])) == (3,)
+
+    def test_multidimensional(self):
+        discretizer = UniformDiscretizer(np.zeros(3), np.full(3, 10.0), bins_per_feature=2)
+        assert discretizer.discretize(np.array([1.0, 6.0, 9.0])) == (0, 1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformDiscretizer(np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            UniformDiscretizer(np.zeros(2), np.ones(3))
+        with pytest.raises(ValueError):
+            UniformDiscretizer(np.zeros(2), np.ones(2), bins_per_feature=1)
+        discretizer = UniformDiscretizer(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError):
+            discretizer.discretize(np.zeros(3))
+
+
+class TestTabularQConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TabularQConfig(num_actions=0)
+        with pytest.raises(ValueError):
+            TabularQConfig(num_actions=2, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TabularQConfig(num_actions=2, gamma=1.5)
+
+
+class TestTabularQAgent:
+    def test_unseen_states_have_zero_values(self):
+        agent = make_agent()
+        np.testing.assert_array_equal(agent.q_values(np.array([0.5, 0.5])), [0.0, 0.0])
+
+    def test_single_update_moves_towards_target(self):
+        agent = make_agent(learning_rate=0.5, gamma=0.0)
+        observation = np.array([0.1, 0.1])
+        agent.observe(
+            Transition(
+                state=observation,
+                action=1,
+                reward=2.0,
+                next_state=np.array([0.9, 0.9]),
+                done=False,
+            )
+        )
+        assert agent.q_values(observation)[1] == pytest.approx(1.0)
+
+    def test_terminal_transitions_do_not_bootstrap(self):
+        agent = make_agent(learning_rate=1.0, gamma=0.9)
+        next_observation = np.array([0.9, 0.9])
+        # Give the next state a large value that must be ignored for done=True.
+        agent.observe(
+            Transition(next_observation, 0, 10.0, next_observation, done=True)
+        )
+        observation = np.array([0.1, 0.1])
+        agent.observe(Transition(observation, 0, 1.0, next_observation, done=True))
+        assert agent.q_values(observation)[0] == pytest.approx(1.0)
+
+    def test_learns_greedy_action_in_two_state_chain(self):
+        # State A: action 1 gives +1, action 0 gives 0.  Greedy policy should
+        # prefer action 1 after a handful of updates.
+        agent = make_agent(learning_rate=0.5, gamma=0.0, epsilon_decay_steps=1)
+        state = np.array([0.2, 0.2])
+        next_state = np.array([0.8, 0.8])
+        for _ in range(20):
+            agent.observe(Transition(state, 1, 1.0, next_state, done=False))
+            agent.observe(Transition(state, 0, 0.0, next_state, done=False))
+        assert agent.act(state, explore=False) == 1
+
+    def test_bootstrapping_propagates_future_reward(self):
+        agent = make_agent(learning_rate=1.0, gamma=0.9)
+        state_a = np.array([0.1, 0.1])
+        state_b = np.array([0.9, 0.9])
+        # B leads to terminal reward 1; A leads to B with no reward.
+        agent.observe(Transition(state_b, 0, 1.0, state_b, done=True))
+        agent.observe(Transition(state_a, 0, 0.0, state_b, done=False))
+        assert agent.q_values(state_a)[0] == pytest.approx(0.9)
+
+    def test_visited_state_count_grows(self):
+        agent = make_agent(bins=3)
+        assert agent.num_visited_states == 0
+        agent.act(np.array([0.1, 0.1]))
+        agent.act(np.array([0.9, 0.9]))
+        assert agent.num_visited_states == 2
+
+    def test_end_episode_is_a_noop(self):
+        agent = make_agent()
+        agent.end_episode()

@@ -1,0 +1,126 @@
+"""Unit tests for replay buffers."""
+
+import numpy as np
+import pytest
+
+from repro.rl.agent import Transition
+from repro.rl.replay import PrioritizedReplayBuffer, ReplayBuffer
+
+
+def make_transition(value: float, action: int = 0, done: bool = False) -> Transition:
+    return Transition(
+        state=np.array([value, value]),
+        action=action,
+        reward=value,
+        next_state=np.array([value + 1, value + 1]),
+        done=done,
+    )
+
+
+class TestReplayBuffer:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0)
+
+    def test_empty_buffer_cannot_be_sampled(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(4).sample(1)
+
+    def test_bad_batch_size(self):
+        buffer = ReplayBuffer(4)
+        buffer.add(make_transition(1.0))
+        with pytest.raises(ValueError):
+            buffer.sample(0)
+
+    def test_length_and_fullness(self):
+        buffer = ReplayBuffer(3)
+        assert len(buffer) == 0
+        for value in range(3):
+            buffer.add(make_transition(float(value)))
+        assert len(buffer) == 3
+        assert buffer.is_full
+
+    def test_wraps_around_capacity(self):
+        buffer = ReplayBuffer(3)
+        for value in range(5):
+            buffer.add(make_transition(float(value)))
+        assert len(buffer) == 3
+        rewards = {t.reward for t in buffer.sample(50)}
+        assert rewards.issubset({2.0, 3.0, 4.0})
+        assert 0.0 not in rewards
+
+    def test_sampling_covers_contents(self):
+        buffer = ReplayBuffer(10, seed=1)
+        for value in range(10):
+            buffer.add(make_transition(float(value)))
+        rewards = {t.reward for t in buffer.sample(500)}
+        assert rewards == {float(v) for v in range(10)}
+
+    def test_sample_arrays_shapes(self):
+        buffer = ReplayBuffer(8, seed=2)
+        for value in range(8):
+            buffer.add(make_transition(float(value), action=value % 3, done=value == 7))
+        states, actions, rewards, next_states, dones = buffer.sample_arrays(16)
+        assert states.shape == (16, 2)
+        assert next_states.shape == (16, 2)
+        assert actions.shape == rewards.shape == dones.shape == (16,)
+        assert actions.dtype.kind == "i"
+        assert set(np.unique(dones)).issubset({0.0, 1.0})
+
+    def test_seeded_sampling_reproducible(self):
+        a, b = ReplayBuffer(8, seed=3), ReplayBuffer(8, seed=3)
+        for value in range(8):
+            a.add(make_transition(float(value)))
+            b.add(make_transition(float(value)))
+        assert [t.reward for t in a.sample(10)] == [t.reward for t in b.sample(10)]
+
+
+class TestPrioritizedReplayBuffer:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(0)
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(4, alpha=-1)
+
+    def test_empty_buffer_cannot_be_sampled(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(4).sample(1)
+
+    def test_sample_returns_weights_and_indices(self):
+        buffer = PrioritizedReplayBuffer(8, seed=0)
+        for value in range(8):
+            buffer.add(make_transition(float(value)))
+        transitions, indices, weights = buffer.sample(4)
+        assert len(transitions) == 4
+        assert indices.shape == (4,)
+        assert weights.shape == (4,)
+        assert np.all(weights > 0) and np.all(weights <= 1.0 + 1e-9)
+
+    def test_high_priority_items_sampled_more_often(self):
+        buffer = PrioritizedReplayBuffer(10, alpha=1.0, seed=1)
+        for value in range(10):
+            buffer.add(make_transition(float(value)))
+        # Give item 0 a huge TD error and the rest tiny ones.
+        buffer.update_priorities(np.arange(10), np.array([100.0] + [0.001] * 9))
+        _, indices, _ = buffer.sample(500)
+        counts = np.bincount(indices, minlength=10)
+        assert counts[0] > 300
+
+    def test_wraparound_overwrites_oldest(self):
+        buffer = PrioritizedReplayBuffer(3, seed=2)
+        for value in range(5):
+            buffer.add(make_transition(float(value)))
+        transitions, _, _ = buffer.sample(100)
+        rewards = {t.reward for t in transitions}
+        assert rewards.issubset({2.0, 3.0, 4.0})
+
+    def test_new_items_get_max_priority(self):
+        buffer = PrioritizedReplayBuffer(4, alpha=1.0, seed=3)
+        buffer.add(make_transition(0.0))
+        buffer.update_priorities(np.array([0]), np.array([50.0]))
+        buffer.add(make_transition(1.0))
+        # The new item inherits the running max priority, so it is sampled
+        # roughly as often as the high-priority item.
+        _, indices, _ = buffer.sample(400)
+        counts = np.bincount(indices, minlength=2)
+        assert counts[1] > 100

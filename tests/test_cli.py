@@ -1,0 +1,121 @@
+"""Tests for the repro-noc command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.core import ExperimentConfig, TrafficSpec, checkpoint
+from repro.core.training import train_dqn_controller
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_sweep_defaults(self):
+        args = cli.build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.width == 4
+        assert args.pattern == "uniform"
+
+    def test_train_arguments(self):
+        args = cli.build_parser().parse_args(
+            ["train", "--episodes", "3", "--preset", "small", "--checkpoint", "/tmp/x"]
+        )
+        assert args.episodes == 3
+        assert args.preset == "small"
+        assert args.checkpoint == "/tmp/x"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["fly"])
+
+
+class TestSweepCommand:
+    def test_prints_series(self, capsys):
+        exit_code = cli.main(
+            ["sweep", "--rates", "0.05", "0.2", "--cycles", "300", "--width", "4"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Load sweep" in output
+        assert "latency" in output and "throughput" in output
+        assert "0.05" in output
+
+
+class TestEvaluateAndCompareCommands:
+    def test_evaluate_named_baseline(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            ExperimentConfig,
+            "default",
+            classmethod(lambda cls, **kw: ExperimentConfig.small(
+                traffic=TrafficSpec.synthetic("uniform", 0.1), epoch_cycles=150
+            )),
+        )
+        exit_code = cli.main(["evaluate", "static-max", "--epochs", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "static-max" in output
+        assert "DVFS level trace" in output
+
+    def test_evaluate_checkpoint(self, capsys, tmp_path):
+        experiment = ExperimentConfig.small(
+            traffic=TrafficSpec.synthetic("uniform", 0.1),
+            epoch_cycles=150,
+            episode_epochs=3,
+        )
+        result = train_dqn_controller(
+            experiment.build_environment(),
+            episodes=1,
+            min_buffer_size=32,
+            batch_size=32,
+            hidden_sizes=(8,),
+        )
+        path = checkpoint.save_dqn_checkpoint(result, tmp_path / "ckpt")
+        exit_code = cli.main(
+            ["evaluate", str(path), "--preset", "small", "--epochs", "2"]
+        )
+        assert exit_code == 0
+        assert "drl[" in capsys.readouterr().out
+
+    def test_compare_lists_all_baselines(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            ExperimentConfig,
+            "default",
+            classmethod(lambda cls, **kw: ExperimentConfig.small(
+                traffic=TrafficSpec.synthetic("uniform", 0.1), epoch_cycles=150
+            )),
+        )
+        exit_code = cli.main(["compare", "--epochs", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in ("static-max", "static-min", "heuristic", "random"):
+            assert name in output
+
+
+class TestTrainCommand:
+    def test_train_small_and_checkpoint(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            ExperimentConfig,
+            "small",
+            classmethod(lambda cls, **kw: ExperimentConfig(
+                traffic=TrafficSpec.synthetic("uniform", 0.1),
+                epoch_cycles=150,
+                episode_epochs=3,
+            )),
+        )
+        exit_code = cli.main(
+            [
+                "train",
+                "--preset",
+                "small",
+                "--episodes",
+                "1",
+                "--checkpoint",
+                str(tmp_path / "ckpt"),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "checkpoint saved" in output
+        assert (tmp_path / "ckpt" / "manifest.json").exists()

@@ -1,0 +1,72 @@
+"""Unit tests for phase-based application workloads."""
+
+import pytest
+
+from repro.noc.topology import Mesh
+from repro.traffic.application import Phase, PhasedWorkload, default_phases
+
+MESH = Mesh(4, 4)
+
+
+class TestPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Phase(duration_cycles=0, pattern="uniform", rate_flits_per_node_cycle=0.1)
+        with pytest.raises(ValueError):
+            Phase(duration_cycles=10, pattern="uniform", rate_flits_per_node_cycle=-0.1)
+
+    def test_default_phases_cover_low_and_high_load(self):
+        phases = default_phases()
+        rates = [phase.rate_flits_per_node_cycle for phase in phases]
+        assert min(rates) < 0.1
+        assert max(rates) > 0.25
+        patterns = {phase.pattern for phase in phases}
+        assert "hotspot" in patterns
+
+
+class TestPhasedWorkload:
+    def test_requires_at_least_one_phase(self):
+        with pytest.raises(ValueError):
+            PhasedWorkload(MESH, [])
+
+    def test_phase_boundaries(self):
+        phases = [
+            Phase(100, "uniform", 0.1),
+            Phase(200, "transpose", 0.3),
+        ]
+        workload = PhasedWorkload(MESH, phases)
+        assert workload.total_cycles == 300
+        assert workload.phase_index_at(0) == 0
+        assert workload.phase_index_at(99) == 0
+        assert workload.phase_index_at(100) == 1
+        assert workload.phase_index_at(299) == 1
+
+    def test_repeats_by_default(self):
+        phases = [Phase(50, "uniform", 0.1), Phase(50, "neighbor", 0.2)]
+        workload = PhasedWorkload(MESH, phases)
+        assert workload.phase_index_at(100) == 0
+        assert workload.phase_index_at(175) == 1
+
+    def test_non_repeating_workload_goes_quiet(self):
+        workload = PhasedWorkload(MESH, [Phase(10, "uniform", 1.0)], repeat=False)
+        assert workload.phase_index_at(100) is None
+        assert workload.generate(100) == []
+        assert workload.offered_load(100) == 0.0
+
+    def test_offered_load_follows_active_phase(self):
+        phases = [Phase(100, "uniform", 0.05), Phase(100, "uniform", 0.4)]
+        workload = PhasedWorkload(MESH, phases)
+        assert workload.offered_load(50) == pytest.approx(0.05)
+        assert workload.offered_load(150) == pytest.approx(0.4)
+
+    def test_generated_volume_tracks_phase_rate(self):
+        phases = [Phase(500, "uniform", 0.05), Phase(500, "uniform", 0.4)]
+        workload = PhasedWorkload(MESH, phases, seed=3)
+        low = sum(len(workload.generate(cycle)) for cycle in range(0, 500))
+        high = sum(len(workload.generate(cycle)) for cycle in range(500, 1000))
+        assert high > 3 * low
+
+    def test_packet_creation_cycles_match_request(self):
+        workload = PhasedWorkload(MESH, default_phases(phase_cycles=100), seed=1)
+        packets = workload.generate(250)
+        assert all(packet.creation_cycle == 250 for packet in packets)

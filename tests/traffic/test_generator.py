@@ -1,0 +1,71 @@
+"""Unit tests for the TrafficGenerator binding pattern x injection."""
+
+import pytest
+
+from repro.noc.topology import Mesh
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.injection import BernoulliInjection
+from repro.traffic.patterns import TransposePattern, UniformRandomPattern
+
+MESH = Mesh(4, 4)
+
+
+class TestTrafficGenerator:
+    def test_from_names_builds_bernoulli_uniform(self):
+        generator = TrafficGenerator.from_names(MESH, "uniform", 0.2, packet_size=4)
+        assert isinstance(generator.pattern, UniformRandomPattern)
+        assert generator.offered_load() == pytest.approx(0.2)
+
+    def test_packets_have_requested_size_and_cycle(self):
+        generator = TrafficGenerator.from_names(MESH, "uniform", 0.8, packet_size=3, seed=1)
+        packets = generator.generate(7)
+        assert packets, "a 0.8 rate should create packets almost every cycle"
+        assert all(packet.size == 3 for packet in packets)
+        assert all(packet.creation_cycle == 7 for packet in packets)
+        assert all(packet.src != packet.dst for packet in packets)
+
+    def test_self_directed_destinations_are_skipped(self):
+        generator = TrafficGenerator(
+            MESH,
+            TransposePattern(MESH),
+            BernoulliInjection(1.0, packet_size=1),
+            packet_size=1,
+        )
+        packets = generator.generate(0)
+        diagonal = {MESH.node_at(i, i) for i in range(4)}
+        sources = {packet.src for packet in packets}
+        assert sources == set(MESH.nodes()) - diagonal
+
+    def test_activity_window(self):
+        generator = TrafficGenerator.from_names(
+            MESH, "uniform", 1.0, packet_size=1, seed=2
+        )
+        generator.start_cycle = 10
+        generator.end_cycle = 20
+        assert generator.generate(5) == []
+        assert generator.generate(25) == []
+        assert generator.generate(15)
+
+    def test_rate_controls_packet_volume(self):
+        low = TrafficGenerator.from_names(MESH, "uniform", 0.05, packet_size=4, seed=3)
+        high = TrafficGenerator.from_names(MESH, "uniform", 0.4, packet_size=4, seed=3)
+        low_count = sum(len(low.generate(cycle)) for cycle in range(2000))
+        high_count = sum(len(high.generate(cycle)) for cycle in range(2000))
+        assert high_count > 4 * low_count
+
+    def test_seeds_give_reproducible_streams(self):
+        first = TrafficGenerator.from_names(MESH, "uniform", 0.3, packet_size=2, seed=9)
+        second = TrafficGenerator.from_names(MESH, "uniform", 0.3, packet_size=2, seed=9)
+        for cycle in range(50):
+            lhs = [(p.src, p.dst) for p in first.generate(cycle)]
+            rhs = [(p.src, p.dst) for p in second.generate(cycle)]
+            assert lhs == rhs
+
+    def test_rejects_bad_packet_size(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(
+                MESH,
+                UniformRandomPattern(MESH),
+                BernoulliInjection(0.1, packet_size=4),
+                packet_size=0,
+            )

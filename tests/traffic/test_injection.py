@@ -1,0 +1,84 @@
+"""Unit tests for injection processes."""
+
+import random
+
+import pytest
+
+from repro.traffic.injection import BernoulliInjection, BurstyInjection
+
+
+class TestBernoulliInjection:
+    def test_rate_matches_long_run_average(self):
+        injection = BernoulliInjection(rate_flits_per_node_cycle=0.2, packet_size=4)
+        rng = random.Random(0)
+        cycles = 40_000
+        injected = sum(injection.should_inject(0, cycle, rng) for cycle in range(cycles))
+        measured_rate = injected * 4 / cycles
+        assert measured_rate == pytest.approx(0.2, rel=0.1)
+
+    def test_zero_rate_never_injects(self):
+        injection = BernoulliInjection(0.0, packet_size=4)
+        rng = random.Random(1)
+        assert not any(injection.should_inject(0, cycle, rng) for cycle in range(1000))
+
+    def test_offered_load_reports_nominal_rate(self):
+        injection = BernoulliInjection(0.35, packet_size=4)
+        assert injection.offered_load(0) == pytest.approx(0.35)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            BernoulliInjection(-0.1, packet_size=4)
+
+    def test_rejects_rate_beyond_one_packet_per_cycle(self):
+        with pytest.raises(ValueError):
+            BernoulliInjection(5.0, packet_size=4)
+
+    def test_rejects_bad_packet_size(self):
+        with pytest.raises(ValueError):
+            BernoulliInjection(0.1, packet_size=0)
+
+
+class TestBurstyInjection:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyInjection(0.4, 0.05, packet_size=4, mean_on=0)
+        with pytest.raises(ValueError):
+            BurstyInjection(5.0, 0.05, packet_size=4)
+
+    def test_long_run_rate_between_on_and_off(self):
+        injection = BurstyInjection(
+            rate_on=0.4, rate_off=0.02, packet_size=4, mean_on=100, mean_off=300
+        )
+        rng = random.Random(2)
+        cycles = 60_000
+        injected = sum(injection.should_inject(0, cycle, rng) for cycle in range(cycles))
+        measured_rate = injected * 4 / cycles
+        assert 0.02 < measured_rate < 0.4
+
+    def test_offered_load_is_duty_cycle_weighted(self):
+        injection = BurstyInjection(
+            rate_on=0.4, rate_off=0.0, packet_size=4, mean_on=100, mean_off=300
+        )
+        assert injection.offered_load(0) == pytest.approx(0.1)
+
+    def test_nodes_have_independent_burst_state(self):
+        injection = BurstyInjection(
+            rate_on=1.0, rate_off=0.0, packet_size=1, mean_on=50, mean_off=50
+        )
+        rng = random.Random(3)
+        node_a = sum(injection.should_inject(0, cycle, rng) for cycle in range(2000))
+        node_b = sum(injection.should_inject(1, cycle, rng) for cycle in range(2000))
+        # Both nodes should spend roughly half their time bursting.
+        assert 400 < node_a < 1600
+        assert 400 < node_b < 1600
+
+    def test_burstiness_creates_clusters(self):
+        injection = BurstyInjection(
+            rate_on=1.0, rate_off=0.0, packet_size=1, mean_on=200, mean_off=200
+        )
+        rng = random.Random(4)
+        decisions = [injection.should_inject(0, cycle, rng) for cycle in range(4000)]
+        # Count state flips: a bursty process flips far less often than a
+        # Bernoulli process with the same mean rate.
+        flips = sum(1 for a, b in zip(decisions, decisions[1:]) if a != b)
+        assert flips < 1000
