@@ -15,15 +15,17 @@ RATES = [0.02, 0.08, 0.15, 0.25, 0.40, 0.60]
 SWEEP_KWARGS = dict(warmup_cycles=400, measure_cycles=1_200, seed=3)
 
 
-def test_fig1_load_latency(benchmark, report, results_dir):
+def test_fig1_load_latency(benchmark, report, results_dir, bench_jobs):
     config = SimulatorConfig(width=4)
 
     def run_sweep():
-        return load_latency_sweep(config, RATES, pattern="uniform", dvfs_level=0, **SWEEP_KWARGS)
+        return load_latency_sweep(
+            config, RATES, pattern="uniform", dvfs_level=0, jobs=bench_jobs, **SWEEP_KWARGS
+        )
 
     turbo_points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     powersave_points = load_latency_sweep(
-        config, RATES, pattern="uniform", dvfs_level=3, **SWEEP_KWARGS
+        config, RATES, pattern="uniform", dvfs_level=3, jobs=bench_jobs, **SWEEP_KWARGS
     )
 
     series = {

@@ -12,7 +12,7 @@ RATES = [0.05, 0.15, 0.25, 0.35, 0.45]
 ALGORITHMS = ["xy", "odd_even", "west_first"]
 
 
-def test_fig2_routing_throughput(benchmark, report, results_dir):
+def test_fig2_routing_throughput(benchmark, report, results_dir, bench_jobs):
     config = SimulatorConfig(width=4)
 
     def run_sweep():
@@ -24,6 +24,7 @@ def test_fig2_routing_throughput(benchmark, report, results_dir):
             warmup_cycles=400,
             measure_cycles=1_200,
             seed=5,
+            jobs=bench_jobs,
         )
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)

@@ -10,9 +10,11 @@ complete reconstructed evaluation behind as plain-text artefacts.
 Environment knobs (all optional):
 
 * ``REPRO_BENCH_EPISODES`` — training episodes for the main DQN controller
-  (default 18);
+  (default 22);
 * ``REPRO_BENCH_ABLATION_EPISODES`` — training episodes per ablation variant
-  (default 12).
+  (default 12);
+* ``REPRO_BENCH_JOBS`` — worker processes for the embarrassingly-parallel
+  sweep benchmarks (default: the machine's CPU count).
 """
 
 from __future__ import annotations
@@ -34,12 +36,19 @@ RESULTS_DIR = Path(__file__).parent / "results"
 TRAIN_EPISODES = int(os.environ.get("REPRO_BENCH_EPISODES", "22"))
 EPSILON_DECAY_STEPS = int(os.environ.get("REPRO_BENCH_EPS_DECAY", "400"))
 ABLATION_EPISODES = int(os.environ.get("REPRO_BENCH_ABLATION_EPISODES", "12"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Process-pool width for the sweep-based benchmarks."""
+    return BENCH_JOBS
 
 
 @pytest.fixture(scope="session")

@@ -4,12 +4,19 @@ These drive the classical NoC characterisation plots — the load/latency
 curve (Figure 1) and the routing throughput comparison (Figure 2) — and are
 also used by the tests to confirm the simulator reproduces the canonical
 saturation behaviour.
+
+Every sweep point is an independent trial, so both sweeps accept ``jobs``
+and fan out through :func:`repro.exp.runner.run_trials`: trials are plain
+:class:`SweepTrial` specs and results plain :class:`LoadLatencyPoint`
+records, so nothing but picklable data crosses process boundaries and
+``jobs=1`` and ``jobs=N`` produce identical sequences.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
+from repro.exp.runner import run_trials
 from repro.noc.network import NoCSimulator, SimulatorConfig
 from repro.traffic.generator import TrafficGenerator
 
@@ -34,31 +41,41 @@ class LoadLatencyPoint:
         return self.throughput < 0.92 * self.offered_load
 
 
-def _measure_point(
-    simulator_config: SimulatorConfig,
-    pattern: str,
-    rate: float,
-    warmup_cycles: int,
-    measure_cycles: int,
-    seed: int,
-    dvfs_level: int,
-    **pattern_kwargs,
-) -> LoadLatencyPoint:
-    simulator = NoCSimulator(simulator_config)
-    simulator.set_global_dvfs_level(dvfs_level)
+@dataclass(frozen=True)
+class SweepTrial:
+    """A self-contained, picklable description of one sweep measurement."""
+
+    simulator_config: SimulatorConfig
+    pattern: str
+    rate: float
+    warmup_cycles: int
+    measure_cycles: int
+    seed: int
+    dvfs_level: int
+    pattern_kwargs: dict = field(default_factory=dict)
+
+
+def _measure_point(trial: SweepTrial) -> LoadLatencyPoint:
+    """Worker for one sweep trial; module-level so it pickles into a pool.
+
+    The simulator lives and dies inside this call — only the plain-data
+    :class:`LoadLatencyPoint` leaves, so results survive process transport.
+    """
+    simulator = NoCSimulator(trial.simulator_config)
+    simulator.set_global_dvfs_level(trial.dvfs_level)
     simulator.traffic = TrafficGenerator.from_names(
         simulator.topology,
-        pattern,
-        rate,
-        packet_size=simulator_config.packet_size,
-        seed=seed,
-        **pattern_kwargs,
+        trial.pattern,
+        trial.rate,
+        packet_size=trial.simulator_config.packet_size,
+        seed=trial.seed,
+        **trial.pattern_kwargs,
     )
-    if warmup_cycles:
-        simulator.run(warmup_cycles)
-    telemetry = simulator.run_epoch(measure_cycles)
+    if trial.warmup_cycles:
+        simulator.run(trial.warmup_cycles)
+    telemetry = simulator.run_epoch(trial.measure_cycles)
     return LoadLatencyPoint(
-        injection_rate=rate,
+        injection_rate=trial.rate,
         average_latency=telemetry.average_total_latency,
         average_network_latency=telemetry.average_network_latency,
         throughput=telemetry.throughput_flits_per_node_cycle,
@@ -76,26 +93,32 @@ def load_latency_sweep(
     measure_cycles: int = 1_500,
     seed: int = 0,
     dvfs_level: int = 0,
+    jobs: int = 1,
     **pattern_kwargs,
 ) -> list[LoadLatencyPoint]:
-    """Average latency and accepted throughput as the offered load sweeps up."""
+    """Average latency and accepted throughput as the offered load sweeps up.
+
+    ``jobs > 1`` runs the points on a process pool; the result sequence is
+    identical to the serial one.
+    """
     if not injection_rates:
         raise ValueError("at least one injection rate is required")
     if any(rate < 0 for rate in injection_rates):
         raise ValueError("injection rates must be non-negative")
-    return [
-        _measure_point(
-            simulator_config,
-            pattern,
-            rate,
-            warmup_cycles,
-            measure_cycles,
-            seed,
-            dvfs_level,
-            **pattern_kwargs,
+    trials = [
+        SweepTrial(
+            simulator_config=simulator_config,
+            pattern=pattern,
+            rate=rate,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+            seed=seed,
+            dvfs_level=dvfs_level,
+            pattern_kwargs=pattern_kwargs,
         )
         for rate in injection_rates
     ]
+    return run_trials(_measure_point, trials, jobs=jobs, chunk_size=1)
 
 
 def routing_throughput_sweep(
@@ -106,21 +129,35 @@ def routing_throughput_sweep(
     warmup_cycles: int = 500,
     measure_cycles: int = 1_500,
     seed: int = 0,
+    jobs: int = 1,
 ) -> dict[str, list[LoadLatencyPoint]]:
-    """Load sweep repeated for several routing algorithms (Figure 2)."""
-    from dataclasses import replace
+    """Load sweep repeated for several routing algorithms (Figure 2).
 
-    results: dict[str, list[LoadLatencyPoint]] = {}
-    for routing in routing_algorithms:
-        config = replace(simulator_config, routing=routing)
-        results[routing] = load_latency_sweep(
-            config,
-            injection_rates,
+    All (algorithm, rate) combinations share one trial pool, so parallelism
+    is over the full cross product rather than one algorithm at a time.
+    """
+    if not injection_rates:
+        raise ValueError("at least one injection rate is required")
+    if any(rate < 0 for rate in injection_rates):
+        raise ValueError("injection rates must be non-negative")
+    trials = [
+        SweepTrial(
+            simulator_config=replace(simulator_config, routing=routing),
             pattern=pattern,
+            rate=rate,
             warmup_cycles=warmup_cycles,
             measure_cycles=measure_cycles,
             seed=seed,
+            dvfs_level=0,
         )
+        for routing in routing_algorithms
+        for rate in injection_rates
+    ]
+    points = run_trials(_measure_point, trials, jobs=jobs, chunk_size=1)
+    results: dict[str, list[LoadLatencyPoint]] = {}
+    per_algorithm = len(injection_rates)
+    for index, routing in enumerate(routing_algorithms):
+        results[routing] = points[index * per_algorithm : (index + 1) * per_algorithm]
     return results
 
 

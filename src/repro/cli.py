@@ -1,20 +1,24 @@
 """Command-line interface.
 
 Installed as the ``repro-noc`` console script (or invoked as
-``python -m repro.cli``).  Four subcommands cover the everyday workflows:
+``python -m repro.cli``).  Five subcommands cover the everyday workflows:
 
-* ``sweep``    — load/latency characterisation of a mesh (no learning);
-* ``train``    — train the DQN self-configuration controller and optionally
+* ``sweep``     — load/latency characterisation of a mesh (no learning);
+  ``--jobs N`` fans the sweep points out over a process pool;
+* ``scenarios`` — list the named experiment scenarios or run a selection of
+  them (``scenarios list`` / ``scenarios run NAME... --jobs N``);
+* ``train``     — train the DQN self-configuration controller and optionally
   save a checkpoint;
-* ``evaluate`` — deploy a trained checkpoint or a named baseline on a held-out
-  workload and print its summary;
-* ``compare``  — evaluate the baselines (and optionally a checkpoint) side by
-  side, Table-I style.
+* ``evaluate``  — deploy a trained checkpoint or a named baseline on a
+  held-out workload and print its summary;
+* ``compare``   — evaluate the baselines (and optionally a checkpoint) side
+  by side, Table-I style.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -28,9 +32,17 @@ from repro.baselines import (
 )
 from repro.core import ExperimentConfig, TrafficSpec, checkpoint, evaluate_controller
 from repro.core.training import train_dqn_controller
+from repro.exp import all_scenarios, run_scenarios, scenario_names
 from repro.noc import SimulatorConfig
 
 BASELINE_NAMES = ("static-max", "static-min", "heuristic", "random")
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +65,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--cycles", type=int, default=1200, help="measured cycles per point")
     sweep.add_argument("--dvfs-level", type=int, default=0, help="static DVFS level index")
+    sweep.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the sweep points (1 = in-process serial)",
+    )
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list or run the named experiment scenarios"
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_sub.add_parser("list", help="show every registered scenario")
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="run one or more scenarios (optionally in parallel)"
+    )
+    scenarios_run.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="scenario names (default: every registered scenario)",
+    )
+    scenarios_run.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the trials (1 = in-process serial)",
+    )
+    scenarios_run.add_argument("--seed", type=int, default=0, help="base trial seed")
+    scenarios_run.add_argument(
+        "--repeats", type=_positive_int, default=1, help="independent seeds per scenario"
+    )
+    scenarios_run.add_argument(
+        "--epochs", type=_positive_int, default=None, help="override the spec's epoch count"
+    )
+    scenarios_run.add_argument(
+        "--epoch-cycles", type=_positive_int, default=None, help="override cycles per epoch"
+    )
+    scenarios_run.add_argument(
+        "--json", dest="json_path", help="also write full per-epoch results to this file"
+    )
 
     train = subparsers.add_parser("train", help="train the DQN controller")
     train.add_argument("--episodes", type=int, default=20)
@@ -112,6 +164,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         pattern=args.pattern,
         measure_cycles=args.cycles,
         dvfs_level=args.dvfs_level,
+        jobs=args.jobs,
     )
     print(
         format_series(
@@ -125,6 +178,49 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title=f"Load sweep — {args.width}x{args.width} mesh, {args.pattern}, {args.routing}",
         )
     )
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.scenarios_command == "list":
+        rows = [
+            {
+                "scenario": spec.name,
+                "phases": len(spec.phases),
+                "faults": len(spec.faults),
+                "mesh": f"{spec.width}x{spec.height or spec.width}"
+                + (" torus" if spec.torus else ""),
+                "routing": spec.routing,
+                "dvfs": spec.dvfs_policy,
+                "description": spec.description,
+            }
+            for spec in all_scenarios()
+        ]
+        print(format_table(rows, title="Registered scenarios"))
+        return 0
+
+    names = list(args.names) or list(scenario_names())
+    unknown = [name for name in names if name not in scenario_names()]
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)}; "
+            f"known: {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_scenarios(
+        names,
+        jobs=args.jobs,
+        seed=args.seed,
+        repeats=args.repeats,
+        epochs=args.epochs,
+        epoch_cycles=args.epoch_cycles,
+    )
+    print(format_table([result.summary() for result in results], title="Scenario runs"))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump([result.to_dict() for result in results], handle, indent=2)
+        print(f"full results written to {args.json_path}")
     return 0
 
 
@@ -172,6 +268,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "sweep": cmd_sweep,
+    "scenarios": cmd_scenarios,
     "train": cmd_train,
     "evaluate": cmd_evaluate,
     "compare": cmd_compare,

@@ -1,0 +1,36 @@
+"""Experiment engine: named scenarios plus a parallel trial runner.
+
+This is the substrate the sweeps, benchmarks and CLI fan out through — see
+:mod:`repro.exp.scenarios` for the scenario registry and
+:mod:`repro.exp.runner` for the process-pool runner.
+"""
+
+from repro.exp.runner import run_scenarios, run_trials, trial_seed
+from repro.exp.scenarios import (
+    FaultEvent,
+    ScenarioResult,
+    ScenarioSpec,
+    ScenarioWorkload,
+    TrafficPhase,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "FaultEvent",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioWorkload",
+    "TrafficPhase",
+    "all_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "run_scenarios",
+    "run_trials",
+    "scenario_names",
+    "trial_seed",
+]

@@ -1,0 +1,109 @@
+"""Process-pool trial runner for embarrassingly-parallel experiments.
+
+Every sweep point, scenario trial and benchmark figure in this repository is
+an independent simulation, so fan-out is trivial *provided* trials and their
+results cross process boundaries cleanly.  :func:`run_trials` is the single
+chokepoint: it takes a picklable module-level worker plus a list of picklable
+trial specs, runs them on a ``ProcessPoolExecutor`` (chunked, results
+returned in submission order) and degrades to a plain in-process loop for
+``jobs=1`` — which is also the reference behaviour the parallel path must
+match bit for bit.
+
+Determinism contract: workers must derive all randomness from their trial
+spec (every spec carries an explicit seed; :func:`trial_seed` derives
+well-spread per-trial seeds from a base seed), so ``jobs=1`` and ``jobs=N``
+produce identical result sequences.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.exp.scenarios import ScenarioResult, get_scenario, run_scenario
+
+TrialT = TypeVar("TrialT")
+ResultT = TypeVar("ResultT")
+
+
+def trial_seed(base_seed: int, index: int) -> int:
+    """A stable, well-spread per-trial seed derived from ``base_seed``."""
+    if index < 0:
+        raise ValueError("trial indices must be non-negative")
+    return (base_seed * 1_000_003 + index * 7_919) % 2**31
+
+
+def default_chunk_size(num_trials: int, jobs: int) -> int:
+    """Chunk so each worker sees ~4 chunks (amortises IPC, keeps balance)."""
+    if num_trials <= 0:
+        return 1
+    return max(1, num_trials // (jobs * 4))
+
+
+def run_trials(
+    worker: Callable[[TrialT], ResultT],
+    trials: Iterable[TrialT],
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> list[ResultT]:
+    """Run ``worker`` over ``trials``, optionally across a process pool.
+
+    Results are returned in trial order regardless of completion order.
+    ``worker`` must be a module-level function and both trials and results
+    must pickle (the in-process ``jobs=1`` path imposes no such constraint
+    but every worker in this repository honours it anyway).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    trial_list = list(trials)
+    if jobs == 1 or len(trial_list) <= 1:
+        return [worker(trial) for trial in trial_list]
+    workers = min(jobs, len(trial_list))
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(trial_list), workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, trial_list, chunksize=chunk_size))
+
+
+# ---------------------------------------------------------------------------
+# scenario fan-out
+# ---------------------------------------------------------------------------
+
+
+def _scenario_trial(args: tuple) -> ScenarioResult:
+    spec, seed, epochs, epoch_cycles = args
+    return run_scenario(spec, seed=seed, epochs=epochs, epoch_cycles=epoch_cycles)
+
+
+def run_scenarios(
+    names: Sequence[str],
+    *,
+    jobs: int = 1,
+    seed: int = 0,
+    repeats: int = 1,
+    epochs: int | None = None,
+    epoch_cycles: int | None = None,
+) -> list[ScenarioResult]:
+    """Run the named scenarios (``repeats`` seeds each), possibly in parallel.
+
+    With ``repeats == 1`` every scenario runs at ``seed`` exactly; with more,
+    trial ``r`` of a scenario uses ``trial_seed(seed, r)`` so replications are
+    independent yet reproducible.  Results are ordered by (name, repeat).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    # Ship the full spec (not just the name) so runtime-registered scenarios
+    # survive the trip into spawn-started workers, whose re-imported registry
+    # only contains the built-ins.
+    trials = [
+        (
+            get_scenario(name),
+            seed if repeats == 1 else trial_seed(seed, repeat),
+            epochs,
+            epoch_cycles,
+        )
+        for name in names
+        for repeat in range(repeats)
+    ]
+    return run_trials(_scenario_trial, trials, jobs=jobs)

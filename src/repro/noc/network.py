@@ -16,6 +16,14 @@ The reconfiguration surface used by the DRL controller is exposed as
 ``set_global_dvfs_level``, ``set_routing_algorithm`` and
 ``set_enabled_vcs``; ``fail_link`` provides a fault-injection hook used by
 the robustness tests.
+
+When the network is completely empty — no flits buffered in any router and
+no flits queued at any NI — a cycle degenerates to leakage accounting.  The
+simulator detects this and takes an *idle-cycle fast path* that skips the
+router pipeline entirely while accruing the exact same leakage energy and
+occupancy statistics, which substantially speeds up low-load phases.  The
+fast path can be disabled per instance via ``idle_fast_path = False`` (the
+equivalence tests compare both paths cycle by cycle).
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Callable, Protocol
 
 from repro.noc.dvfs import DVFS_LEVELS_DEFAULT, OperatingPoint
 from repro.noc.link import Link
@@ -113,6 +121,18 @@ class NoCSimulator:
             node: None for node in self.topology.nodes()
         }
         self._epoch_counter = 0
+        self._failed_links: set[tuple[int, int]] = set()
+
+        #: When True (the default), cycles with no in-flight flits and no
+        #: pending injections skip the router pipeline (see module docstring).
+        self.idle_fast_path = True
+        #: Number of cycles served by the idle fast path (observability only;
+        #: deliberately kept out of NetworkStats so telemetry is identical
+        #: with the fast path on or off).
+        self.idle_cycles = 0
+        self._idle_leakage_cache: tuple[
+            list[tuple[Router, OperatingPoint]], list[float]
+        ] | None = None
 
     # ------------------------------------------------------------------
     # reconfiguration surface (what the DRL agent actuates)
@@ -158,14 +178,37 @@ class NoCSimulator:
             router.set_enabled_vcs(count)
         self._enabled_vcs = count
 
+    @property
+    def failed_links(self) -> frozenset[tuple[int, int]]:
+        """The directed links currently failed via :meth:`fail_link`."""
+        return frozenset(self._failed_links)
+
+    def _require_link(self, src: int, dst: int) -> None:
+        if (src, dst) not in self.links:
+            raise ValueError(
+                f"no directed link {src} -> {dst} in {self.topology!r}; "
+                "fault injection requires an existing router-to-router link"
+            )
+
     def fail_link(self, src: int, dst: int) -> None:
-        """Block the directed link ``src -> dst`` (fault injection)."""
+        """Block the directed link ``src -> dst`` (fault injection).
+
+        Raises ``ValueError`` if the topology has no such link.
+        """
+        self._require_link(src, dst)
         direction = self.topology.direction_towards(src, dst)
         self.routers[src].block_port(direction)
+        self._failed_links.add((src, dst))
 
     def repair_link(self, src: int, dst: int) -> None:
+        """Undo :meth:`fail_link`; repairing a healthy link is a no-op.
+
+        Raises ``ValueError`` if the topology has no such link.
+        """
+        self._require_link(src, dst)
         direction = self.topology.direction_towards(src, dst)
         self.routers[src].unblock_port(direction)
+        self._failed_links.discard((src, dst))
 
     # ------------------------------------------------------------------
     # packet ingress
@@ -195,23 +238,42 @@ class NoCSimulator:
         """Advance the simulation by one cycle."""
         cycle = self.cycle
         self._generate_traffic(cycle)
-        self._inject_from_sources(cycle)
-        movements = self._step_routers(cycle)
-        self._apply_movements(movements)
-        self._record_cycle_overheads()
+        if self.idle_fast_path and self._network_empty():
+            # Idle-cycle fast path: nothing can move this cycle, so only the
+            # per-cycle overheads (leakage energy, occupancy statistics) are
+            # accrued — bit-identically to the full path.
+            self._record_idle_cycle()
+        else:
+            self._inject_from_sources(cycle)
+            movements = self._step_routers(cycle)
+            self._apply_movements(movements)
+            self._record_cycle_overheads()
         self.cycle += 1
 
-    def run(self, cycles: int) -> None:
+    def run(self, cycles: int, *, on_cycle: Callable[[int], None] | None = None) -> None:
+        """Advance ``cycles`` cycles; ``on_cycle`` runs before each one.
+
+        The hook receives the cycle number about to be simulated and may
+        reconfigure the simulator (DVFS, routing, fault injection) — this is
+        how scripted scenarios apply mid-epoch events.
+        """
+        if on_cycle is None:
+            for _ in range(cycles):
+                self.step()
+            return
         for _ in range(cycles):
+            on_cycle(self.cycle)
             self.step()
 
-    def run_epoch(self, cycles: int) -> EpochTelemetry:
+    def run_epoch(
+        self, cycles: int, *, on_cycle: Callable[[int], None] | None = None
+    ) -> EpochTelemetry:
         """Run ``cycles`` cycles and return the telemetry observed over them."""
         if cycles <= 0:
             raise ValueError("an epoch must span at least one cycle")
         stats_before = self.stats.snapshot()
         energy_before = self.power.snapshot()
-        self.run(cycles)
+        self.run(cycles, on_cycle=on_cycle)
         telemetry = self._build_epoch_telemetry(cycles, stats_before, energy_before)
         self._epoch_counter += 1
         return telemetry
@@ -235,7 +297,11 @@ class NoCSimulator:
         raise RuntimeError(f"network failed to drain within {max_cycles} cycles")
 
     def _fully_drained(self) -> bool:
-        if any(self._source_queues[node] for node in self._source_queues):
+        return self._network_empty()
+
+    def _network_empty(self) -> bool:
+        """No flits queued at any NI and none buffered in any router."""
+        if any(self._source_queues.values()):
             return False
         return all(router.buffered_flits == 0 for router in self.routers.values())
 
@@ -328,6 +394,38 @@ class NoCSimulator:
                 self.power.record_link_leakage(router.operating_point, links=outgoing_links)
         queued = sum(len(queue) for queue in self._source_queues.values())
         self.stats.record_cycle(buffered, queued)
+
+    def _idle_leakage_increments(self) -> list[float]:
+        """Per-cycle leakage increments, in the exact order and with the exact
+        values the full path's :meth:`_record_cycle_overheads` would add them,
+        cached until any router's operating point changes."""
+        cache = self._idle_leakage_cache
+        if cache is not None:
+            guards, increments = cache
+            if all(router.operating_point is point for router, point in guards):
+                return increments
+        guards = []
+        increments = []
+        for router in self.routers.values():
+            point = router.operating_point
+            guards.append((router, point))
+            increments.append(self.power.router_leakage_increment(point))
+            outgoing_links = len(router.output_ports) - 1
+            if outgoing_links:
+                increments.append(
+                    self.power.link_leakage_increment(point, links=outgoing_links)
+                )
+        self._idle_leakage_cache = (guards, increments)
+        return increments
+
+    def _record_idle_cycle(self) -> None:
+        energy = self.power.energy
+        leakage = energy.leakage_pj
+        for increment in self._idle_leakage_increments():
+            leakage += increment
+        energy.leakage_pj = leakage
+        self.stats.record_cycle(0, 0)
+        self.idle_cycles += 1
 
     # ------------------------------------------------------------------
     # telemetry

@@ -130,17 +130,30 @@ class PowerModel:
 
     # -- leakage ---------------------------------------------------------------
 
-    def record_router_leakage(self, point: OperatingPoint, routers: int = 1) -> None:
-        self.energy.leakage_pj += (
+    def router_leakage_increment(self, point: OperatingPoint, routers: int = 1) -> float:
+        """The leakage energy ``routers`` routers accrue in one cycle at ``point``.
+
+        Exposed so callers that batch leakage accounting (the simulator's
+        idle-cycle fast path) can pre-compute the exact per-cycle increments
+        and stay bit-identical to per-cycle :meth:`record_router_leakage` calls.
+        """
+        return (
             self.parameters.router_leakage_pj_per_cycle
             * routers
             * self._static_scale(point)
         )
 
-    def record_link_leakage(self, point: OperatingPoint, links: int = 1) -> None:
-        self.energy.leakage_pj += (
+    def link_leakage_increment(self, point: OperatingPoint, links: int = 1) -> float:
+        """The leakage energy ``links`` links accrue in one cycle at ``point``."""
+        return (
             self.parameters.link_leakage_pj_per_cycle * links * self._static_scale(point)
         )
+
+    def record_router_leakage(self, point: OperatingPoint, routers: int = 1) -> None:
+        self.energy.leakage_pj += self.router_leakage_increment(point, routers)
+
+    def record_link_leakage(self, point: OperatingPoint, links: int = 1) -> None:
+        self.energy.leakage_pj += self.link_leakage_increment(point, links)
 
     # -- reporting ---------------------------------------------------------------
 

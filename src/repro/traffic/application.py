@@ -83,17 +83,24 @@ class PhasedWorkload:
         self.repeat = repeat
         self._seed = seed
         self._generators = [
-            TrafficGenerator.from_names(
-                topology,
-                phase.pattern,
-                phase.rate_flits_per_node_cycle,
-                packet_size=phase.packet_size,
-                seed=seed + index,
-                **phase.pattern_kwargs,
-            )
+            self._build_generator(topology, phase, seed + index)
             for index, phase in enumerate(self.phases)
         ]
         self._total_cycles = sum(phase.duration_cycles for phase in self.phases)
+
+    def _build_generator(
+        self, topology: Mesh, phase: Phase, seed: int
+    ) -> TrafficGenerator:
+        """Hook subclasses override to customise per-phase traffic generation
+        (e.g. :class:`repro.exp.scenarios.ScenarioWorkload`'s bursty phases)."""
+        return TrafficGenerator.from_names(
+            topology,
+            phase.pattern,
+            phase.rate_flits_per_node_cycle,
+            packet_size=phase.packet_size,
+            seed=seed,
+            **phase.pattern_kwargs,
+        )
 
     @property
     def total_cycles(self) -> int:
@@ -124,4 +131,4 @@ class PhasedWorkload:
         index = self.phase_index_at(cycle)
         if index is None:
             return 0.0
-        return self.phases[index].rate_flits_per_node_cycle
+        return self._generators[index].offered_load(cycle)

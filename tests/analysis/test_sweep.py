@@ -65,6 +65,12 @@ class TestLoadLatencySweep:
 
 
 class TestRoutingThroughputSweep:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            routing_throughput_sweep(CONFIG, [], ["xy"])
+        with pytest.raises(ValueError):
+            routing_throughput_sweep(CONFIG, [-0.1], ["xy"])
+
     def test_sweeps_each_algorithm(self):
         results = routing_throughput_sweep(
             CONFIG, [0.05, 0.3], ["xy", "odd_even"], pattern="transpose", **SWEEP_KWARGS

@@ -1,0 +1,86 @@
+"""Tests for the process-pool runner: ordering, determinism, picklability."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.sweep import SweepTrial, _measure_point, load_latency_sweep
+from repro.exp.runner import default_chunk_size, run_scenarios, run_trials, trial_seed
+from repro.noc import SimulatorConfig
+
+CONFIG = SimulatorConfig(width=4)
+SWEEP_KWARGS = dict(warmup_cycles=150, measure_cycles=300, seed=1)
+
+
+class TestRunTrials:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_trials(_measure_point, [], jobs=0)
+
+    def test_empty_trial_list(self):
+        assert run_trials(_measure_point, [], jobs=4) == []
+
+    def test_serial_path_preserves_order(self):
+        trials = [
+            SweepTrial(CONFIG, "uniform", rate, 50, 100, seed=1, dvfs_level=0)
+            for rate in (0.05, 0.10, 0.15)
+        ]
+        points = run_trials(_measure_point, trials, jobs=1)
+        assert [point.injection_rate for point in points] == [0.05, 0.10, 0.15]
+
+    def test_trial_seed_is_stable_and_spread(self):
+        assert trial_seed(3, 5) == trial_seed(3, 5)
+        seeds = {trial_seed(0, index) for index in range(100)}
+        assert len(seeds) == 100
+        with pytest.raises(ValueError):
+            trial_seed(0, -1)
+
+    def test_default_chunk_size(self):
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(6, 4) == 1
+        assert default_chunk_size(64, 4) == 4
+
+
+class TestPicklability:
+    def test_sweep_trials_and_results_round_trip(self):
+        trial = SweepTrial(
+            CONFIG, "hotspot", 0.1, 50, 100, seed=2, dvfs_level=1,
+            pattern_kwargs={"hotspot_fraction": 0.3},
+        )
+        assert pickle.loads(pickle.dumps(trial)) == trial
+        point = _measure_point(trial)
+        assert pickle.loads(pickle.dumps(point)) == point
+
+    def test_scenario_results_round_trip(self):
+        [result] = run_scenarios(["uniform"], epochs=1, epoch_cycles=100)
+        assert pickle.loads(pickle.dumps(result)) == result
+
+
+@pytest.mark.slow
+class TestParallelEquivalence:
+    """jobs=1 and jobs=4 must produce identical result sequences."""
+
+    def test_load_latency_sweep_parallel_matches_serial(self):
+        rates = [0.05, 0.15, 0.30, 0.50]
+        serial = load_latency_sweep(CONFIG, rates, pattern="uniform", **SWEEP_KWARGS)
+        parallel = load_latency_sweep(
+            CONFIG, rates, pattern="uniform", jobs=4, **SWEEP_KWARGS
+        )
+        assert serial == parallel
+        assert [point.injection_rate for point in parallel] == rates
+
+    def test_scenario_fan_out_matches_serial(self):
+        names = ["uniform", "hotspot", "transpose"]
+        serial = run_scenarios(names, jobs=1, epochs=1, epoch_cycles=150)
+        parallel = run_scenarios(names, jobs=4, epochs=1, epoch_cycles=150)
+        assert [result.to_json() for result in serial] == [
+            result.to_json() for result in parallel
+        ]
+        assert [result.scenario for result in parallel] == names
+
+    def test_repeats_use_derived_seeds(self):
+        results = run_scenarios(
+            ["uniform"], jobs=2, repeats=2, seed=5, epochs=1, epoch_cycles=150
+        )
+        assert [result.seed for result in results] == [trial_seed(5, 0), trial_seed(5, 1)]
+        assert results[0].epochs != results[1].epochs

@@ -1,0 +1,136 @@
+"""Tests for the scenario registry: coverage, serialization, determinism."""
+
+import pytest
+
+from repro.exp.scenarios import (
+    FaultEvent,
+    ScenarioSpec,
+    TrafficPhase,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.noc.network import NoCSimulator
+
+
+class TestRegistry:
+    def test_seeded_with_required_scenario_families(self):
+        names = scenario_names()
+        assert len(names) >= 8
+        for required in (
+            "uniform",
+            "transpose",
+            "hotspot",
+            "bursty",
+            "bit-complement",
+            "diurnal-ramp",
+            "link-failure-storm",
+            "mixed-application",
+        ):
+            assert required in names
+
+    def test_unknown_scenario_reports_known_names(self):
+        with pytest.raises(KeyError, match="uniform"):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scenario("uniform")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(spec)
+        # ... unless explicitly replacing.
+        assert register_scenario(spec, replace_existing=True) is spec
+
+
+class TestSpecValidation:
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", description="", phases=())
+
+    def test_rejects_unknown_dvfs_policy(self):
+        with pytest.raises(ValueError, match="DVFS policy"):
+            ScenarioSpec(
+                name="x",
+                description="",
+                phases=(TrafficPhase(100, "uniform", 0.1),),
+                dvfs_policy="oracle",
+            )
+
+    def test_rejects_unknown_routing_eagerly(self):
+        with pytest.raises(KeyError):
+            ScenarioSpec(
+                name="x",
+                description="",
+                phases=(TrafficPhase(100, "uniform", 0.1),),
+                routing="banana",
+            )
+
+    def test_rejects_unknown_injection_process(self):
+        with pytest.raises(ValueError, match="injection process"):
+            TrafficPhase(100, "uniform", 0.1, injection="poisson")
+
+    def test_rejects_unknown_fault_action(self):
+        with pytest.raises(ValueError, match="fault action"):
+            FaultEvent(cycle=10, src=0, dst=1, action="wobble")
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_json_round_trip(self, name):
+        spec = get_scenario(name)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+class TestEveryScenarioRuns:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_builds_and_runs_a_short_epoch(self, name):
+        spec = get_scenario(name)
+        simulator = NoCSimulator(spec.build_simulator_config(seed=0))
+        simulator.traffic = spec.build_workload(simulator.topology, seed=0)
+        assert simulator.traffic.total_cycles == spec.total_phase_cycles()
+
+        result = run_scenario(name, seed=0, epochs=1, epoch_cycles=150)
+        assert result.scenario == name
+        assert result.cycles == 150
+        assert result.packets_delivered >= 0
+        assert result.energy_total_pj > 0.0
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_deterministic_golden(self, name):
+        """Two runs with the same seed are byte-identical (golden property the
+        process-pool runner relies on)."""
+        first = run_scenario(name, seed=7, epochs=2, epoch_cycles=250)
+        second = run_scenario(name, seed=7, epochs=2, epoch_cycles=250)
+        assert first.to_json().encode() == second.to_json().encode()
+        # A different seed must actually change the workload.
+        other = run_scenario(name, seed=8, epochs=2, epoch_cycles=250)
+        assert other.to_json() != first.to_json()
+
+
+class TestScenarioBehaviours:
+    def test_fault_storm_fails_and_repairs_links(self):
+        # 500 cycles cover the first fault (cycle 400) but no repairs.
+        partial = run_scenario("link-failure-storm", seed=0, epochs=2, epoch_cycles=250)
+        assert partial.failed_links == ((5, 6),)
+        # The shortened run must flag the five fault events it never reached.
+        assert partial.faults_skipped == 5
+        assert partial.summary()["faults_skipped"] == 5
+        # The full spec (4000 cycles) ends with every link repaired.
+        full = run_scenario("link-failure-storm", seed=0)
+        assert full.failed_links == ()
+        assert full.faults_skipped == 0
+
+    def test_threshold_policy_moves_dvfs_under_ramp(self):
+        result = run_scenario("diurnal-ramp", seed=0)
+        levels = {epoch["dvfs_level_index"] for epoch in result.epochs}
+        assert len(levels) > 1
+
+    def test_powersave_idle_exercises_the_fast_path(self):
+        result = run_scenario("powersave-idle", seed=0, epochs=2, epoch_cycles=250)
+        assert result.idle_cycles > 0
+        slow = run_scenario(
+            "powersave-idle", seed=0, epochs=2, epoch_cycles=250, idle_fast_path=False
+        )
+        assert slow.idle_cycles == 0
+        assert slow.epochs == result.epochs

@@ -198,6 +198,58 @@ class TestFaultInjection:
         with pytest.raises(RuntimeError, match="drain"):
             simulator.drain(100)
 
+    def test_fail_link_rejects_nonexistent_links(self):
+        simulator = make_simulator()
+        with pytest.raises(ValueError, match="no directed link"):
+            simulator.fail_link(0, 5)  # nodes exist but are not adjacent
+        with pytest.raises(ValueError, match="no directed link"):
+            simulator.fail_link(0, 99)  # node outside the topology
+        with pytest.raises(ValueError, match="no directed link"):
+            simulator.repair_link(0, 2)  # two hops apart
+
+    def test_mesh_border_has_no_wraparound_link(self):
+        simulator = make_simulator()
+        # Node 3 is the east border of a 4x4 mesh; 0 is the west border.
+        with pytest.raises(ValueError, match="no directed link"):
+            simulator.fail_link(3, 0)
+
+    def test_failed_links_are_tracked_and_repair_is_idempotent(self):
+        simulator = make_simulator()
+        assert simulator.failed_links == frozenset()
+        simulator.fail_link(1, 2)
+        simulator.fail_link(2, 1)
+        assert simulator.failed_links == {(1, 2), (2, 1)}
+        simulator.repair_link(1, 2)
+        assert simulator.failed_links == {(2, 1)}
+        # Repairing a healthy (but existing) link stays a no-op.
+        simulator.repair_link(1, 2)
+        assert simulator.failed_links == {(2, 1)}
+
+
+class TestIdleFastPath:
+    def test_idle_cycles_counted_at_low_load(self):
+        simulator = make_simulator(rate=0.0)
+        simulator.run(300)
+        assert simulator.idle_cycles == 300
+        assert simulator.stats.cycles == 300
+        assert simulator.power.energy.leakage_pj > 0.0
+        assert simulator.power.energy.dynamic_pj == 0.0
+
+    def test_fast_path_never_fires_while_flits_are_in_flight(self):
+        simulator = make_simulator(rate=0.4, seed=1)
+        simulator.run(300)
+        busy_idle = simulator.idle_cycles
+        assert busy_idle < 10
+        drained_in = simulator.drain(10_000)
+        assert simulator.idle_cycles == busy_idle  # drain exits once empty
+        assert drained_in >= 0
+
+    def test_disabling_the_fast_path_restores_the_full_loop(self):
+        simulator = make_simulator(rate=0.0)
+        simulator.idle_fast_path = False
+        simulator.run(100)
+        assert simulator.idle_cycles == 0
+
 
 class TestEpochTelemetry:
     def test_epoch_indices_increase(self):

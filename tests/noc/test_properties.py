@@ -91,6 +91,44 @@ def test_explicit_packet_batch_is_delivered_exactly_once(sources, routing):
 
 @SIM_SETTINGS
 @given(
+    rate=st.floats(min_value=0.0, max_value=0.12),
+    pattern=st.sampled_from(["uniform", "transpose", "hotspot"]),
+    dvfs_level=st.integers(min_value=0, max_value=3),
+    packet_size=st.integers(min_value=1, max_value=6),
+    cycles=st.integers(min_value=100, max_value=600),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_idle_fast_path_is_telemetry_identical_to_slow_path(
+    rate, pattern, dvfs_level, packet_size, cycles, seed
+):
+    """The idle-cycle fast path is an optimisation, not a semantic change:
+    over a low-load epoch it must produce byte-identical statistics and
+    energy (including the exact leakage floats) to the full cycle loop."""
+    simulators = []
+    for fast_path in (True, False):
+        config = SimulatorConfig(width=4, packet_size=packet_size, seed=seed)
+        simulator = NoCSimulator(config)
+        simulator.idle_fast_path = fast_path
+        simulator.set_global_dvfs_level(dvfs_level)
+        simulator.traffic = TrafficGenerator.from_names(
+            simulator.topology, pattern, rate, packet_size=packet_size, seed=seed
+        )
+        simulators.append(simulator)
+    fast, slow = simulators
+
+    fast_telemetry = fast.run_epoch(cycles)
+    slow_telemetry = slow.run_epoch(cycles)
+    assert fast_telemetry.as_dict() == slow_telemetry.as_dict()
+    assert fast_telemetry.energy.as_dict() == slow_telemetry.energy.as_dict()
+    assert fast.stats.snapshot() == slow.stats.snapshot()
+    assert fast.power.energy.leakage_pj == slow.power.energy.leakage_pj
+    assert slow.idle_cycles == 0
+    if rate == 0.0:
+        assert fast.idle_cycles == cycles
+
+
+@SIM_SETTINGS
+@given(
     occupancy_cycles=st.integers(min_value=50, max_value=300),
     rate=st.floats(min_value=0.1, max_value=0.6),
     seed=st.integers(min_value=0, max_value=1_000),

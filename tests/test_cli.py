@@ -30,6 +30,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["fly"])
 
+    def test_sweep_jobs_flag(self):
+        args = cli.build_parser().parse_args(["sweep", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_scenarios_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["scenarios"])
+
+    def test_scenarios_run_arguments(self):
+        args = cli.build_parser().parse_args(
+            ["scenarios", "run", "uniform", "hotspot", "--jobs", "2", "--seed", "9"]
+        )
+        assert args.scenarios_command == "run"
+        assert args.names == ["uniform", "hotspot"]
+        assert args.jobs == 2
+        assert args.seed == 9
+
 
 class TestSweepCommand:
     def test_prints_series(self, capsys):
@@ -41,6 +58,38 @@ class TestSweepCommand:
         assert "Load sweep" in output
         assert "latency" in output and "throughput" in output
         assert "0.05" in output
+
+
+class TestScenariosCommand:
+    def test_list_prints_every_scenario(self, capsys):
+        exit_code = cli.main(["scenarios", "list"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in ("uniform", "bursty", "link-failure-storm", "diurnal-ramp"):
+            assert name in output
+
+    def test_run_prints_summaries_and_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "results.json"
+        exit_code = cli.main(
+            [
+                "scenarios", "run", "uniform", "hotspot",
+                "--epochs", "1", "--epoch-cycles", "120",
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "uniform" in output and "hotspot" in output
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert [entry["scenario"] for entry in payload] == ["uniform", "hotspot"]
+        assert payload[0]["epochs"][0]["cycles"] == 120
+
+    def test_run_rejects_unknown_scenario(self, capsys):
+        exit_code = cli.main(["scenarios", "run", "no-such-scenario"])
+        assert exit_code == 2
+        assert "unknown scenario" in capsys.readouterr().err
 
 
 class TestEvaluateAndCompareCommands:
