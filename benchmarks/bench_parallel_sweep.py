@@ -17,7 +17,10 @@ import json
 import os
 import time
 
+import pytest
+
 from repro.analysis.sweep import load_latency_sweep
+from repro.exp.bench import RESULTS_SCHEMA, perf_record
 from repro.noc import SimulatorConfig
 
 RATES = [0.02, 0.08, 0.15, 0.25, 0.40, 0.60]
@@ -29,6 +32,7 @@ SWEEP_RATES = sorted(RATES * 2, reverse=True)
 SWEEP_KWARGS = dict(pattern="uniform", warmup_cycles=400, measure_cycles=1_200, seed=3)
 
 
+@pytest.mark.bench
 def test_parallel_sweep_speedup(report, results_dir, bench_jobs):
     config = SimulatorConfig(width=4)
 
@@ -46,6 +50,9 @@ def test_parallel_sweep_speedup(report, results_dir, bench_jobs):
 
     speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
     cpu_count = os.cpu_count() or 1
+    total_cycles = len(SWEEP_RATES) * (
+        SWEEP_KWARGS["warmup_cycles"] + SWEEP_KWARGS["measure_cycles"]
+    )
     artefact = {
         "trials": len(SWEEP_RATES),
         "jobs": bench_jobs,
@@ -53,6 +60,11 @@ def test_parallel_sweep_speedup(report, results_dir, bench_jobs):
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "speedup": speedup,
+        "schema": list(RESULTS_SCHEMA),
+        "runs": [
+            perf_record("fig1-load-latency", total_cycles, serial_seconds, engine="serial", jobs=1),
+            perf_record("fig1-load-latency", total_cycles, parallel_seconds, engine="parallel", jobs=bench_jobs),
+        ],
     }
     (results_dir / "parallel_sweep.json").write_text(json.dumps(artefact, indent=2))
     report(

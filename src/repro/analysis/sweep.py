@@ -14,6 +14,7 @@ records, so nothing but picklable data crosses process boundaries and
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.exp.runner import run_trials
@@ -32,6 +33,11 @@ class LoadLatencyPoint:
     offered_load: float
     energy_per_flit_pj: float
     delivered_packets: int
+    #: Wall-clock perf sample for this trial (warmup + measurement).
+    #: ``compare=False`` keeps serial-vs-parallel equivalence checks about
+    #: the simulated outcome only — wall time is not deterministic.
+    wall_time_s: float = field(default=0.0, compare=False)
+    cycles_per_second: float = field(default=0.0, compare=False)
 
     @property
     def saturated(self) -> bool:
@@ -71,9 +77,12 @@ def _measure_point(trial: SweepTrial) -> LoadLatencyPoint:
         seed=trial.seed,
         **trial.pattern_kwargs,
     )
+    start = time.perf_counter()
     if trial.warmup_cycles:
         simulator.run(trial.warmup_cycles)
     telemetry = simulator.run_epoch(trial.measure_cycles)
+    wall_time_s = time.perf_counter() - start
+    simulated_cycles = trial.warmup_cycles + trial.measure_cycles
     return LoadLatencyPoint(
         injection_rate=trial.rate,
         average_latency=telemetry.average_total_latency,
@@ -82,6 +91,8 @@ def _measure_point(trial: SweepTrial) -> LoadLatencyPoint:
         offered_load=telemetry.offered_load_flits_per_node_cycle,
         energy_per_flit_pj=telemetry.energy_per_flit_pj,
         delivered_packets=telemetry.packets_delivered,
+        wall_time_s=wall_time_s,
+        cycles_per_second=simulated_cycles / wall_time_s if wall_time_s > 0 else 0.0,
     )
 
 

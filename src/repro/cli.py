@@ -1,12 +1,14 @@
 """Command-line interface.
 
 Installed as the ``repro-noc`` console script (or invoked as
-``python -m repro.cli``).  Five subcommands cover the everyday workflows:
+``python -m repro.cli``).  Six subcommands cover the everyday workflows:
 
 * ``sweep``     — load/latency characterisation of a mesh (no learning);
   ``--jobs N`` fans the sweep points out over a process pool;
 * ``scenarios`` — list the named experiment scenarios or run a selection of
   them (``scenarios list`` / ``scenarios run NAME... --jobs N``);
+* ``bench``     — hot-path engine microbenchmark: cycles/sec of the
+  activity-tracked engine vs the naive scan-everything engine;
 * ``train``     — train the DQN self-configuration controller and optionally
   save a checkpoint;
 * ``evaluate``  — deploy a trained checkpoint or a named baseline on a
@@ -32,7 +34,13 @@ from repro.baselines import (
 )
 from repro.core import ExperimentConfig, TrafficSpec, checkpoint, evaluate_controller
 from repro.core.training import train_dqn_controller
-from repro.exp import all_scenarios, run_scenarios, scenario_names
+from repro.exp import (
+    HOTPATH_SCENARIOS,
+    all_scenarios,
+    run_hotpath_benchmark,
+    run_scenarios,
+    scenario_names,
+)
 from repro.noc import SimulatorConfig
 
 BASELINE_NAMES = ("static-max", "static-min", "heuristic", "random")
@@ -104,6 +112,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios_run.add_argument(
         "--json", dest="json_path", help="also write full per-epoch results to this file"
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="hot-path engine microbenchmark (cycles/sec, both engines)"
+    )
+    bench.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="NAME",
+        default=list(HOTPATH_SCENARIOS),
+        help=f"scenarios to measure (default: {' '.join(HOTPATH_SCENARIOS)})",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="trial seed")
+    bench.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=3,
+        help="runs per (scenario, engine); the best wall time is kept",
+    )
+    bench.add_argument(
+        "--epochs", type=_positive_int, default=None, help="override the spec's epoch count"
+    )
+    bench.add_argument(
+        "--epoch-cycles", type=_positive_int, default=None, help="override cycles per epoch"
+    )
+    bench.add_argument(
+        "--json", dest="json_path", help="also write the full payload to this file"
     )
 
     train = subparsers.add_parser("train", help="train the DQN controller")
@@ -224,6 +259,33 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    unknown = [name for name in args.scenarios if name not in scenario_names()]
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)}; "
+            f"known: {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    payload = run_hotpath_benchmark(
+        args.scenarios,
+        seed=args.seed,
+        epochs=args.epochs,
+        epoch_cycles=args.epoch_cycles,
+        repeats=args.repeats,
+    )
+    print(format_table(payload["runs"], title="Hot-path engine benchmark (best of runs)"))
+    for scenario, speedup in payload["speedups"].items():
+        equivalent = "ok" if payload["telemetry_equivalent"][scenario] else "DIVERGED"
+        print(f"  {scenario}: {speedup:.2f}x activity vs naive (telemetry {equivalent})")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"full payload written to {args.json_path}")
+    return 0 if all(payload["telemetry_equivalent"].values()) else 1
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     experiment = _experiment_from_preset(args.preset)
     env = experiment.build_environment()
@@ -269,6 +331,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "sweep": cmd_sweep,
     "scenarios": cmd_scenarios,
+    "bench": cmd_bench,
     "train": cmd_train,
     "evaluate": cmd_evaluate,
     "compare": cmd_compare,

@@ -5,6 +5,12 @@ This is the substrate the sweeps, benchmarks and CLI fan out through — see
 :mod:`repro.exp.runner` for the process-pool runner.
 """
 
+from repro.exp.bench import (
+    HOTPATH_SCENARIOS,
+    measure_engine,
+    perf_record,
+    run_hotpath_benchmark,
+)
 from repro.exp.runner import run_scenarios, run_trials, trial_seed
 from repro.exp.scenarios import (
     FaultEvent,
@@ -21,6 +27,10 @@ from repro.exp.scenarios import (
 
 __all__ = [
     "FaultEvent",
+    "HOTPATH_SCENARIOS",
+    "measure_engine",
+    "perf_record",
+    "run_hotpath_benchmark",
     "ScenarioResult",
     "ScenarioSpec",
     "ScenarioWorkload",

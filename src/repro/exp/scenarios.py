@@ -22,6 +22,7 @@ makes fan-out across a process pool (see :mod:`repro.exp.runner`) safe.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.baselines.heuristic import ThresholdDvfsPolicy
@@ -223,6 +224,13 @@ class ScenarioResult:
     #: never fired — nonzero means the run did not exercise the full fault
     #: script (e.g. a shortened --epochs/--epoch-cycles override).
     faults_skipped: int = 0
+    #: Wall-clock seconds spent in the epoch loop, so every sweep doubles as
+    #: a perf sample.  Excluded from comparisons and serialization (equality
+    #: and the to_json golden tests are about *simulated* outcomes, which
+    #: are deterministic; wall time is not).
+    wall_time_s: float = field(default=0.0, compare=False)
+    #: Simulated cycles per wall-clock second (plain float, picklable).
+    cycles_per_second: float = field(default=0.0, compare=False)
 
     @property
     def cycles(self) -> int:
@@ -302,13 +310,16 @@ def run_scenario(
     epochs: int | None = None,
     epoch_cycles: int | None = None,
     idle_fast_path: bool = True,
+    activity_tracking: bool = True,
 ) -> ScenarioResult:
     """Build and run one scenario trial; returns plain-data telemetry only.
 
     ``seed`` perturbs both the simulator's and the workload's RNG streams, so
     repeated trials of the same scenario are independent yet reproducible.
     ``epochs``/``epoch_cycles`` override the spec's defaults (the tests use
-    short overrides).
+    short overrides).  ``idle_fast_path`` / ``activity_tracking`` toggle the
+    simulator's engine optimisations (the hot-path benchmark and the
+    equivalence tests run both engines over the same spec).
     """
     if isinstance(spec, str):
         spec = get_scenario(spec)
@@ -321,6 +332,7 @@ def run_scenario(
 
     simulator = NoCSimulator(spec.build_simulator_config(seed=seed))
     simulator.idle_fast_path = idle_fast_path
+    simulator.activity_tracking = activity_tracking
     simulator.traffic = spec.build_workload(simulator.topology, seed=seed)
     simulator.set_global_dvfs_level(spec.dvfs_level)
     policy = None
@@ -341,12 +353,15 @@ def run_scenario(
 
     on_cycle = apply_due_faults if fault_queue else None
     epoch_payloads: list[dict] = []
+    start = time.perf_counter()
     for _ in range(spec.epochs):
         telemetry = simulator.run_epoch(spec.epoch_cycles, on_cycle=on_cycle)
         epoch_payloads.append(telemetry.as_dict())
         if policy is not None:
             level = policy.select_action(None, telemetry)
             simulator.set_global_dvfs_level(level)
+    wall_time_s = time.perf_counter() - start
+    total_cycles = spec.epochs * spec.epoch_cycles
 
     return ScenarioResult(
         scenario=spec.name,
@@ -355,6 +370,8 @@ def run_scenario(
         idle_cycles=simulator.idle_cycles,
         failed_links=tuple(sorted(simulator.failed_links)),
         faults_skipped=len(fault_queue),
+        wall_time_s=wall_time_s,
+        cycles_per_second=total_cycles / wall_time_s if wall_time_s > 0 else 0.0,
     )
 
 

@@ -28,20 +28,43 @@ class RoundRobinArbiter:
         return list(self._universe)
 
     def grant(self, requests: Iterable[Hashable]) -> Hashable | None:
-        """Grant one of ``requests`` (a subset of the universe) or ``None``."""
-        requesting = set(requests)
-        if not requesting:
+        """Grant one of ``requests`` or ``None`` for an empty request list.
+
+        Requests must be drawn from the universe; a request list containing
+        no universe member raises ``ValueError``.  (Validation is deferred
+        to the no-winner case so the per-cycle hot path never pays for it.)
+        """
+        if not isinstance(requests, list):
+            requests = list(requests)
+        if not requests:
             return None
-        unknown = requesting.difference(self._index)
-        if unknown:
-            raise ValueError(f"requests outside arbiter universe: {sorted(map(str, unknown))}")
+        index = self._index
         size = len(self._universe)
+        if len(requests) == 1:
+            # Uncontended fast path: a lone requester always wins regardless
+            # of the pointer position, which then advances just past it —
+            # exactly what the scan below would conclude.
+            candidate = requests[0]
+            position = index.get(candidate)
+            if position is None:
+                raise ValueError(f"requests outside arbiter universe: [{candidate!r}]")
+            self._pointer = (position + 1) % size
+            return candidate
+        # Small request lists (the realistic switch-allocation case) are
+        # cheaper to probe directly than to copy into a set.
+        requesting = requests if len(requests) <= 4 else set(requests)
+        universe = self._universe
+        pointer = self._pointer
         for offset in range(size):
-            candidate = self._universe[(self._pointer + offset) % size]
+            candidate = universe[(pointer + offset) % size]
             if candidate in requesting:
-                self._pointer = (self._index[candidate] + 1) % size
+                self._pointer = (index[candidate] + 1) % size
                 return candidate
-        return None
+        # The scan covers the whole universe, so reaching this point means
+        # no request named a universe member at all.
+        raise ValueError(
+            f"requests outside arbiter universe: {sorted(map(str, set(requests)))}"
+        )
 
 
 class PriorityArbiter:

@@ -29,6 +29,16 @@ class CreditBook:
     def depth(self) -> int:
         return self._depth
 
+    @property
+    def levels(self) -> dict[Direction, list[int]]:
+        """The live per-port credit counter lists (shared, not a copy).
+
+        Exposed for hot-path reads — the router's switch allocator checks
+        downstream space once per candidate per cycle.  Callers must not
+        mutate the counters; use :meth:`consume` / :meth:`release`.
+        """
+        return self._credits
+
     def available(self, port: Direction, vc: int) -> int:
         """Number of free downstream buffer slots for ``(port, vc)``."""
         return self._credits[port][vc]

@@ -6,7 +6,7 @@ The simulator advances in discrete cycles.  Each cycle it
    at the source network interfaces (NIs);
 2. injects at most one flit per node from the NI queue into the local router
    (respecting virtual-channel assignment and buffer space);
-3. steps every router (route computation, VC allocation, switch allocation);
+3. steps the routers (route computation, VC allocation, switch allocation);
 4. applies the resulting flit movements: delivers flits to downstream input
    buffers or ejects them at their destination NI, returning credits
    upstream; and
@@ -17,13 +17,53 @@ The reconfiguration surface used by the DRL controller is exposed as
 ``set_enabled_vcs``; ``fail_link`` provides a fault-injection hook used by
 the robustness tests.
 
+Activity-tracked engine
+-----------------------
+
+The cycle loop is *activity tracked*: instead of touching every router and
+every NI queue every cycle, the simulator incrementally maintains
+
+* an **active-router set** — the routers currently holding buffered flits,
+  updated at flit ingress (NI injection, downstream delivery) and egress
+  (ejection, forwarding);
+* a **nonempty-source set** — the NIs with queued flits, updated when
+  packets are queued and when flits are injected; and
+* running totals of buffered and queued flits, so the per-cycle occupancy
+  statistics and the ``buffered_flits`` / ``source_queue_backlog``
+  properties are O(1) instead of O(N) scans.
+
+With the sets in place, injection and router stepping iterate only over
+active members (in ascending node order, so floating-point energy
+accumulation matches the naive scan bit for bit), routers whose DVFS clock
+divider gates the current cycle (``cycle % divider != 0``) are skipped
+without so much as a method call, and the per-cycle leakage loop reuses the
+cached per-router increment schedule instead of recomputing voltage scaling
+for every router every cycle.
+
 When the network is completely empty — no flits buffered in any router and
 no flits queued at any NI — a cycle degenerates to leakage accounting.  The
-simulator detects this and takes an *idle-cycle fast path* that skips the
-router pipeline entirely while accruing the exact same leakage energy and
-occupancy statistics, which substantially speeds up low-load phases.  The
-fast path can be disabled per instance via ``idle_fast_path = False`` (the
-equivalence tests compare both paths cycle by cycle).
+simulator detects this (an O(1) check under activity tracking) and takes an
+*idle fast path* that skips the router pipeline entirely while accruing the
+exact same leakage energy and occupancy statistics.  If the traffic source
+implements the optional :meth:`TrafficSource.next_injection_cycle` hint,
+consecutive idle cycles are batched into one *idle span*: the simulator
+leaps ahead to the next possible injection in a single step, accruing K
+cycles of leakage and statistics bit-identically to K single idle cycles.
+
+Two per-instance toggles bound the behaviour for equivalence testing:
+
+* ``activity_tracking = False`` restores the naive engine — full scans over
+  all routers and queues every cycle, no gated-router skip, no idle-span
+  batching (the reference the property tests compare against);
+* ``idle_fast_path = False`` additionally forces empty cycles through the
+  full pipeline, as in the original cycle loop.
+
+Two observability counters (kept out of :class:`NetworkStats` so telemetry
+is identical whichever engine runs) expose what the optimisations saved:
+``idle_cycles`` counts cycles served by the idle fast path, and
+``skipped_router_steps`` counts :meth:`Router.step` invocations avoided
+relative to the naive engine (inactive routers, DVFS-gated routers and
+idle-span cycles).
 """
 
 from __future__ import annotations
@@ -44,11 +84,29 @@ from repro.noc.topology import Direction, Mesh, Torus
 
 
 class TrafficSource(Protocol):
-    """Anything that can hand the simulator new packets each cycle."""
+    """Anything that can hand the simulator new packets each cycle.
+
+    ``generate`` is required; ``next_injection_cycle`` is an optional hint
+    (the simulator probes for it with ``getattr``) that enables idle-span
+    batching.  A source that implements it promises that
+
+    * no packet is created before the returned cycle (``None`` meaning
+      "never again"), and
+    * skipping the ``generate`` calls for every cycle in
+      ``[cycle, returned)`` is unobservable — later ``generate`` calls
+      behave exactly as if the skipped ones had been made.
+    """
 
     def generate(self, cycle: int) -> list[Packet]:
         """Packets created at ``cycle`` (creation_cycle must equal ``cycle``)."""
         ...  # pragma: no cover - protocol definition
+
+    # Optional member (not part of the structural protocol, so sources that
+    # only implement ``generate`` still type-check):
+    #
+    #   def next_injection_cycle(self, cycle: int) -> int | None
+    #
+    # Earliest cycle ``>= cycle`` at which a packet may be created.
 
 
 @dataclass(frozen=True)
@@ -111,8 +169,10 @@ class NoCSimulator:
             )
 
         self.links: dict[tuple[int, int], Link] = {}
+        self._neighbor_of: dict[tuple[int, Direction], int] = {}
         for src, direction, dst in self.topology.links():
             self.links[(src, dst)] = Link(src=src, direction=direction, dst=dst)
+            self._neighbor_of[(src, direction)] = dst
 
         self._source_queues: dict[int, deque[Flit]] = {
             node: deque() for node in self.topology.nodes()
@@ -123,6 +183,18 @@ class NoCSimulator:
         self._epoch_counter = 0
         self._failed_links: set[tuple[int, int]] = set()
 
+        # Activity tracking state: maintained unconditionally at every flit
+        # ingress/egress point so the toggles below can flip mid-run.
+        self._active_routers: set[int] = set()
+        self._nonempty_sources: set[int] = set()
+        self._buffered_total = 0
+        self._queued_total = 0
+
+        #: When True (the default), the cycle loop iterates only the active
+        #: router / nonempty source sets, skips DVFS-gated routers and
+        #: batches idle spans.  False restores the naive full-scan engine
+        #: (the reference for the equivalence tests).
+        self.activity_tracking = True
         #: When True (the default), cycles with no in-flight flits and no
         #: pending injections skip the router pipeline (see module docstring).
         self.idle_fast_path = True
@@ -130,9 +202,17 @@ class NoCSimulator:
         #: deliberately kept out of NetworkStats so telemetry is identical
         #: with the fast path on or off).
         self.idle_cycles = 0
-        self._idle_leakage_cache: tuple[
-            list[tuple[Router, OperatingPoint]], list[float]
-        ] | None = None
+        #: Router.step invocations avoided relative to the naive engine
+        #: (observability only, like ``idle_cycles``).
+        self.skipped_router_steps = 0
+        # Cached per-cycle leakage increment schedule and distinct-divider
+        # set, invalidated through the router observer hook whenever any
+        # operating point changes (so the hot loop never re-scans the
+        # routers to validate them).
+        self._leakage_increments: list[float] | None = None
+        self._distinct_dividers: tuple[int, ...] | None = None
+        for router in self.routers.values():
+            router.on_operating_point_change = self._invalidate_operating_point_caches
 
     # ------------------------------------------------------------------
     # reconfiguration surface (what the DRL agent actuates)
@@ -174,6 +254,9 @@ class NoCSimulator:
         self._routing_name = name
 
     def set_enabled_vcs(self, count: int) -> None:
+        # Validate once up front so an out-of-range count can never leave a
+        # subset of the routers reconfigured when the exception propagates.
+        Router.validate_enabled_vcs(count, self.config.num_vcs)
         for router in self.routers.values():
             router.set_enabled_vcs(count)
         self._enabled_vcs = count
@@ -229,41 +312,113 @@ class NoCSimulator:
             )
             return
         self._source_queues[packet.src].extend(packet.flits())
+        self._nonempty_sources.add(packet.src)
+        self._queued_total += packet.size
 
     # ------------------------------------------------------------------
     # cycle loop
     # ------------------------------------------------------------------
 
     def step(self) -> None:
-        """Advance the simulation by one cycle."""
-        cycle = self.cycle
-        self._generate_traffic(cycle)
-        if self.idle_fast_path and self._network_empty():
-            # Idle-cycle fast path: nothing can move this cycle, so only the
-            # per-cycle overheads (leakage energy, occupancy statistics) are
-            # accrued — bit-identically to the full path.
-            self._record_idle_cycle()
-        else:
-            self._inject_from_sources(cycle)
-            movements = self._step_routers(cycle)
-            self._apply_movements(movements)
-            self._record_cycle_overheads()
-        self.cycle += 1
+        """Advance the simulation by exactly one cycle."""
+        self._advance(self.cycle + 1)
 
     def run(self, cycles: int, *, on_cycle: Callable[[int], None] | None = None) -> None:
         """Advance ``cycles`` cycles; ``on_cycle`` runs before each one.
 
         The hook receives the cycle number about to be simulated and may
         reconfigure the simulator (DVFS, routing, fault injection) — this is
-        how scripted scenarios apply mid-epoch events.
+        how scripted scenarios apply mid-epoch events.  With a hook attached
+        the engine steps strictly cycle by cycle (idle-span batching would
+        skip hook invocations).
         """
+        end = self.cycle + cycles
         if on_cycle is None:
-            for _ in range(cycles):
-                self.step()
+            self._advance(end)
             return
-        for _ in range(cycles):
+        while self.cycle < end:
             on_cycle(self.cycle)
-            self.step()
+            self._advance(self.cycle + 1)
+
+    def _advance(self, end: int) -> None:
+        """Advance to cycle ``end``, batching idle spans where possible.
+
+        This is the engine's innermost loop, so state that cannot change
+        while it runs — the traffic source and its idle-span hint, the
+        engine toggles, the activity sets and the divider table (hooked
+        runs and reconfiguration re-enter per cycle) — is hoisted into
+        locals, and the idle/gated fast paths are inlined.
+        """
+        traffic = self.traffic
+        hint = getattr(traffic, "next_injection_cycle", None)
+        tracking = self.activity_tracking
+        idle_fast = self.idle_fast_path
+        nonempty_sources = self._nonempty_sources
+        active_routers = self._active_routers
+        num_routers = len(self.routers)
+        power = self.power
+        dividers = self._distinct_dividers
+        if tracking and dividers is None:
+            dividers = self._rebuild_divider_table()
+        cycle = self.cycle
+        while cycle < end:
+            if traffic is not None:
+                for packet in traffic.generate(cycle):
+                    self.inject_packet(packet)
+            if idle_fast and (
+                not nonempty_sources and not active_routers
+                if tracking
+                else self._network_empty()
+            ):
+                # Idle fast path: nothing can move, so only the per-cycle
+                # overheads (leakage energy, occupancy statistics) are
+                # accrued — bit-identically to the full path.  With a
+                # next-injection hint the whole idle span collapses into
+                # one pass; the leakage loop still adds the per-cycle
+                # increments one by one to stay bit-identical.
+                span = 1
+                if tracking and end - cycle > 1:
+                    if traffic is None:
+                        span = end - cycle
+                    elif hint is not None:
+                        next_injection = hint(cycle + 1)
+                        if next_injection is None:
+                            span = end - cycle
+                        elif next_injection > cycle + 1:
+                            span = min(next_injection, end) - cycle
+                increments = self._leakage_increments
+                if increments is None:
+                    increments = self._cycle_leakage_increments()
+                power.accrue_leakage_increments(increments, span)
+                self.stats.record_idle_cycles(span)
+                self.idle_cycles += span
+                self.skipped_router_steps += span * num_routers
+                cycle += span
+                self.cycle = cycle
+                continue
+            if tracking:
+                gated = True
+                for divider in dividers:
+                    if cycle % divider == 0:
+                        gated = False
+                        break
+                if gated:
+                    # DVFS-gated cycle: every router's clock divider misses
+                    # this cycle, so injection and the whole pipeline are
+                    # no-ops and only the per-cycle overheads remain
+                    # (exactly what the naive loop would compute the long
+                    # way around).
+                    self._record_cycle_overheads()
+                    self.skipped_router_steps += num_routers
+                    cycle += 1
+                    self.cycle = cycle
+                    continue
+            self._inject_from_sources(cycle)
+            movements = self._step_routers(cycle)
+            self._apply_movements(movements)
+            self._record_cycle_overheads()
+            cycle += 1
+            self.cycle = cycle
 
     def run_epoch(
         self, cycles: int, *, on_cycle: Callable[[int], None] | None = None
@@ -281,9 +436,11 @@ class NoCSimulator:
     def drain(self, max_cycles: int = 10_000) -> int:
         """Run without new traffic until all queued/in-flight flits deliver.
 
-        Returns the number of cycles it took; raises ``RuntimeError`` if the
-        network fails to drain within ``max_cycles`` (e.g. a failed link has
-        trapped packets).
+        Returns the number of cycles it took; draining an already-empty
+        network is O(1) (the emptiness check reads the activity sets).
+        Raises ``RuntimeError`` — including the remaining backlog, for
+        debuggability — if the network fails to drain within ``max_cycles``
+        (e.g. a failed link has trapped packets).
         """
         saved_traffic = self.traffic
         self.traffic = None
@@ -294,13 +451,19 @@ class NoCSimulator:
                 self.step()
         finally:
             self.traffic = saved_traffic
-        raise RuntimeError(f"network failed to drain within {max_cycles} cycles")
+        raise RuntimeError(
+            f"network failed to drain within {max_cycles} cycles "
+            f"(source_queue_backlog={self.source_queue_backlog}, "
+            f"buffered_flits={self.buffered_flits})"
+        )
 
     def _fully_drained(self) -> bool:
         return self._network_empty()
 
     def _network_empty(self) -> bool:
         """No flits queued at any NI and none buffered in any router."""
+        if self.activity_tracking:
+            return not self._nonempty_sources and not self._active_routers
         if any(self._source_queues.values()):
             return False
         return all(router.buffered_flits == 0 for router in self.routers.values())
@@ -309,82 +472,138 @@ class NoCSimulator:
     # cycle-loop phases
     # ------------------------------------------------------------------
 
-    def _generate_traffic(self, cycle: int) -> None:
-        if self.traffic is None:
-            return
-        for packet in self.traffic.generate(cycle):
-            self.inject_packet(packet)
-
     def _inject_from_sources(self, cycle: int) -> None:
-        for node, queue in self._source_queues.items():
+        if self.activity_tracking:
+            # Ascending node order matches the naive scan (dicts preserve the
+            # topology's node insertion order), keeping energy accumulation
+            # bit-identical.
+            nodes = sorted(self._nonempty_sources)
+        else:
+            nodes = self._source_queues
+        source_queues = self._source_queues
+        routers = self.routers
+        ni_active_vc = self._ni_active_vc
+        local = Direction.LOCAL
+        for node in nodes:
+            queue = source_queues[node]
             if not queue:
                 continue
-            router = self.routers[node]
-            if not router.is_active_cycle(cycle):
+            router = routers[node]
+            if cycle % router.operating_point.divider:
                 continue
             flit = queue[0]
-            vc = self._ni_active_vc[node]
+            vc = ni_active_vc[node]
             if flit.is_head and vc is None:
-                vc = router.free_input_vc(Direction.LOCAL)
+                vc = router.free_input_vc(local)
                 if vc is None:
                     continue
-                self._ni_active_vc[node] = vc
+                ni_active_vc[node] = vc
                 flit.packet.injection_cycle = cycle
                 self.stats.record_packet_injected(flit.packet.size)
             if vc is None:
                 raise RuntimeError(f"NI at node {node} lost its VC assignment")
-            if not router.can_accept(Direction.LOCAL, vc):
+            ivc = router.inputs[local][vc]
+            if len(ivc.buffer) >= ivc.depth:
                 continue
             queue.popleft()
-            router.receive_flit(Direction.LOCAL, vc, flit)
+            self._queued_total -= 1
+            if not queue:
+                self._nonempty_sources.discard(node)
+            router.receive_flit(local, vc, flit)
+            self._buffered_total += 1
+            self._active_routers.add(node)
             self.power.record_buffer_write(router.operating_point)
             if flit.is_tail:
-                self._ni_active_vc[node] = None
+                ni_active_vc[node] = None
 
     def _step_routers(self, cycle: int) -> list[Movement]:
         movements: list[Movement] = []
-        for router in self.routers.values():
-            movements.extend(router.step(cycle, self.power))
+        if not self.activity_tracking:
+            for router in self.routers.values():
+                movements.extend(router.step(cycle, self.power))
+            return movements
+        routers = self.routers
+        power = self.power
+        stepped = 0
+        for node in sorted(self._active_routers):
+            router = routers[node]
+            if cycle % router.operating_point.divider:
+                continue  # DVFS clock divider gates this cycle entirely.
+            # Active set membership guarantees buffered flits, and the
+            # divider was just checked, so enter the pipeline directly.
+            router.step_into(cycle, power, movements)
+            stepped += 1
+        self.skipped_router_steps += len(routers) - stepped
         return movements
 
     def _apply_movements(self, movements: list[Movement]) -> None:
-        for movement in movements:
-            self._return_credit(movement)
-            if movement.out_port is Direction.LOCAL:
-                self._eject(movement)
-            else:
-                self._forward(movement)
+        """Deliver this cycle's flit movements: return credits upstream, then
+        eject at the local NI or forward into the downstream input buffer.
 
-    def _return_credit(self, movement: Movement) -> None:
-        if movement.in_port is Direction.LOCAL:
+        One fused per-movement loop (this is the per-flit hot path); the
+        activity sets and flit totals are maintained inline.
+        """
+        if not movements:
             return
-        upstream = self.topology.neighbor(movement.src_node, movement.in_port)
-        assert upstream is not None
-        self.routers[upstream].release_credit(movement.in_port.opposite, movement.in_vc)
-
-    def _eject(self, movement: Movement) -> None:
-        flit = movement.flit
-        self.stats.record_flit_delivered()
-        if flit.is_tail:
-            packet = flit.packet
-            packet.arrival_cycle = self.cycle
-            self.stats.record_packet_delivered(
-                packet.total_latency, packet.network_latency, packet.hops
-            )
-
-    def _forward(self, movement: Movement) -> None:
-        assert movement.dst_node is not None and movement.out_vc is not None
-        destination = self.routers[movement.dst_node]
-        destination.receive_flit(
-            movement.out_port.opposite, movement.out_vc, movement.flit
-        )
-        self.power.record_buffer_write(destination.operating_point)
-        self.links[(movement.src_node, movement.dst_node)].record_traversal()
-        self.stats.record_link_traversal()
-        if movement.flit.is_head:
-            movement.flit.packet.hops += 1
+        active = self._active_routers
+        routers = self.routers
+        neighbor_of = self._neighbor_of
+        links = self.links
+        stats = self.stats
+        power = self.power
+        local = Direction.LOCAL
+        cycle = self.cycle
+        sources = set()
+        for movement in movements:
+            src_node = movement.src_node
+            in_port = movement.in_port
+            sources.add(src_node)
+            if in_port is not local:
+                # Credit return: the movement freed one slot in the input
+                # buffer it left, so the upstream router on that port gets
+                # its credit back.
+                upstream = neighbor_of[(src_node, in_port)]
+                routers[upstream].release_credit(in_port.opposite, movement.in_vc)
+            flit = movement.flit
+            if movement.out_port is local:
+                # Ejection at the destination NI.
+                stats.flits_delivered += 1
+                if flit.is_tail:
+                    packet = flit.packet
+                    packet.arrival_cycle = cycle
+                    stats.record_packet_delivered(
+                        packet.total_latency, packet.network_latency, packet.hops
+                    )
+                self._buffered_total -= 1
+            else:
+                # Link traversal into the downstream router's input buffer.
+                dst_node = movement.dst_node
+                destination = routers[dst_node]
+                destination.receive_flit(movement.out_port.opposite, movement.out_vc, flit)
+                power.record_buffer_write(destination.operating_point)
+                links[(src_node, dst_node)].record_traversal()
+                stats.link_flit_traversals += 1
+                if flit.is_head:
+                    flit.packet.hops += 1
+                active.add(dst_node)
+        # Every movement removed one flit from its source router; prune the
+        # routers that ended the cycle empty (a node that also received
+        # flits above keeps a nonzero count and stays active).
+        for node in sources:
+            if routers[node].buffered_flits == 0:
+                active.discard(node)
 
     def _record_cycle_overheads(self) -> None:
+        if self.activity_tracking:
+            # The cached increment schedule replays the naive per-router
+            # leakage loop value-for-value and in order (bit-identical), and
+            # the occupancy sums come from the incremental counters.
+            increments = self._leakage_increments
+            if increments is None:
+                increments = self._cycle_leakage_increments()
+            self.power.accrue_leakage_increments(increments)
+            self.stats.record_cycle(self._buffered_total, self._queued_total)
+            return
         buffered = 0
         for router in self.routers.values():
             buffered += router.buffered_flits
@@ -395,37 +614,42 @@ class NoCSimulator:
         queued = sum(len(queue) for queue in self._source_queues.values())
         self.stats.record_cycle(buffered, queued)
 
-    def _idle_leakage_increments(self) -> list[float]:
+    def _invalidate_operating_point_caches(self) -> None:
+        self._leakage_increments = None
+        self._distinct_dividers = None
+
+    def _rebuild_divider_table(self) -> tuple[int, ...]:
+        """The distinct clock dividers present across the routers: a cycle on
+        which none of them fires is fully DVFS-gated (no injection, no
+        pipeline work)."""
+        dividers = tuple(
+            {router.operating_point.divider for router in self.routers.values()}
+        )
+        self._distinct_dividers = dividers
+        return dividers
+
+    def _cycle_leakage_increments(self) -> list[float]:
         """Per-cycle leakage increments, in the exact order and with the exact
-        values the full path's :meth:`_record_cycle_overheads` would add them,
-        cached until any router's operating point changes."""
-        cache = self._idle_leakage_cache
-        if cache is not None:
-            guards, increments = cache
-            if all(router.operating_point is point for router, point in guards):
-                return increments
-        guards = []
+        values the naive :meth:`_record_cycle_overheads` loop would add them.
+
+        Rebuilt lazily after any DVFS change (every router reports operating
+        point changes through ``on_operating_point_change``), so validating
+        the cache costs O(1) per cycle instead of an O(N) guard scan.
+        """
+        increments = self._leakage_increments
+        if increments is not None:
+            return increments
         increments = []
         for router in self.routers.values():
             point = router.operating_point
-            guards.append((router, point))
             increments.append(self.power.router_leakage_increment(point))
             outgoing_links = len(router.output_ports) - 1
             if outgoing_links:
                 increments.append(
                     self.power.link_leakage_increment(point, links=outgoing_links)
                 )
-        self._idle_leakage_cache = (guards, increments)
+        self._leakage_increments = increments
         return increments
-
-    def _record_idle_cycle(self) -> None:
-        energy = self.power.energy
-        leakage = energy.leakage_pj
-        for increment in self._idle_leakage_increments():
-            leakage += increment
-        energy.leakage_pj = leakage
-        self.stats.record_cycle(0, 0)
-        self.idle_cycles += 1
 
     # ------------------------------------------------------------------
     # telemetry
@@ -433,11 +657,11 @@ class NoCSimulator:
 
     @property
     def source_queue_backlog(self) -> int:
-        return sum(len(queue) for queue in self._source_queues.values())
+        return self._queued_total
 
     @property
     def buffered_flits(self) -> int:
-        return sum(router.buffered_flits for router in self.routers.values())
+        return self._buffered_total
 
     def _build_epoch_telemetry(
         self,

@@ -99,11 +99,23 @@ class PowerModel:
 
     parameters: PowerParameters = field(default_factory=PowerParameters)
     energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    # The dynamic scale is a pure function of the (frozen) operating point
+    # and the (frozen) parameters, so the last computation is memoized by
+    # point identity — the ``** 2`` sits on the per-flit-event hot path and
+    # consecutive events overwhelmingly share one operating point.  Excluded
+    # from equality/repr: the memo is an implementation detail, not state.
+    _scale_point: OperatingPoint | None = field(default=None, compare=False, repr=False)
+    _scale_value: float = field(default=0.0, compare=False, repr=False)
 
     # -- scaling helpers ---------------------------------------------------
 
     def _dynamic_scale(self, point: OperatingPoint) -> float:
-        return (point.voltage / self.parameters.nominal_voltage) ** 2
+        if point is self._scale_point:
+            return self._scale_value
+        scale = (point.voltage / self.parameters.nominal_voltage) ** 2
+        self._scale_point = point
+        self._scale_value = scale
+        return scale
 
     def _static_scale(self, point: OperatingPoint) -> float:
         return point.voltage / self.parameters.nominal_voltage
@@ -127,6 +139,19 @@ class PowerModel:
 
     def record_link_traversal(self, point: OperatingPoint, flits: int = 1) -> None:
         self.energy.link_pj += self.parameters.link_pj * flits * self._dynamic_scale(point)
+
+    def record_flit_traversal(self, point: OperatingPoint, link: bool) -> None:
+        """One switch traversal: buffer read + crossbar, plus the link when the
+        flit leaves the router.  Fused so the hot path pays a single call and
+        scale lookup; adds the exact floats the individual ``record_*`` calls
+        would add, to their separate accumulators."""
+        scale = self._dynamic_scale(point)
+        parameters = self.parameters
+        energy = self.energy
+        energy.buffer_pj += parameters.buffer_read_pj * scale
+        energy.crossbar_pj += parameters.crossbar_pj * scale
+        if link:
+            energy.link_pj += parameters.link_pj * scale
 
     # -- leakage ---------------------------------------------------------------
 
@@ -154,6 +179,25 @@ class PowerModel:
 
     def record_link_leakage(self, point: OperatingPoint, links: int = 1) -> None:
         self.energy.leakage_pj += self.link_leakage_increment(point, links)
+
+    def accrue_leakage_increments(
+        self, increments: list[float], cycles: int = 1
+    ) -> None:
+        """Add each increment once per cycle, in order.
+
+        Replaying a cached increment schedule keeps the floating-point
+        accumulation order identical to ``cycles`` passes of per-router
+        :meth:`record_router_leakage` / :meth:`record_link_leakage` calls,
+        so the result is bit-identical — summing ``cycles * increment`` up
+        front would not be.  The simulator's activity-tracked engine routes
+        both its busy-cycle overheads and its idle-span batching through
+        this method.
+        """
+        leakage = self.energy.leakage_pj
+        for _ in range(cycles):
+            for increment in increments:
+                leakage += increment
+        self.energy.leakage_pj = leakage
 
     # -- reporting ---------------------------------------------------------------
 

@@ -26,6 +26,7 @@ import random
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
+from typing import Callable
 
 from repro.noc.arbiters import RoundRobinArbiter
 from repro.noc.dvfs import OperatingPoint
@@ -44,7 +45,7 @@ class VCState(Enum):
     ACTIVE = "active"
 
 
-@dataclass
+@dataclass(slots=True)
 class Movement:
     """A flit leaving a router during one cycle, to be applied by the network."""
 
@@ -86,6 +87,12 @@ class InputVirtualChannel:
 class Router:
     """One NoC router attached to node ``node`` of ``topology``."""
 
+    #: Optional observer invoked whenever :meth:`set_operating_point` changes
+    #: the DVFS level; the simulator uses it to invalidate its cached leakage
+    #: increment schedule without re-scanning every router every cycle.
+    #: Operating-point changes must go through :meth:`set_operating_point`.
+    on_operating_point_change: "Callable[[], None] | None" = None
+
     def __init__(
         self,
         node: int,
@@ -117,12 +124,21 @@ class Router:
         self.input_ports: list[Direction] = [Direction.LOCAL] + list(neighbors)
         self.output_ports: list[Direction] = [Direction.LOCAL] + list(neighbors)
         self._neighbor_ports: list[Direction] = list(neighbors)
+        self._neighbor_by_port: dict[Direction, int] = dict(neighbors)
 
         self.inputs: dict[Direction, list[InputVirtualChannel]] = {
             port: [InputVirtualChannel(buffer_depth) for _ in range(num_vcs)]
             for port in self.input_ports
         }
+        # Static (port, vc, ivc) scan order, filtered per cycle by occupancy.
+        self._vc_scan: list[tuple[Direction, int, InputVirtualChannel]] = [
+            (port, vc_index, ivc)
+            for port in self.input_ports
+            for vc_index, ivc in enumerate(self.inputs[port])
+        ]
         self.credits = CreditBook(self._neighbor_ports, num_vcs, buffer_depth)
+        self._credit_levels = self.credits.levels
+        self._routable_ports = frozenset(self._neighbor_ports)
         # Which (input port, vc) currently holds each output VC (wormhole hold).
         self._output_vc_owner: dict[Direction, list[tuple[Direction, int] | None]] = {
             port: [None] * num_vcs for port in self._neighbor_ports
@@ -137,6 +153,8 @@ class Router:
 
     def set_operating_point(self, point: OperatingPoint) -> None:
         self.operating_point = point
+        if self.on_operating_point_change is not None:
+            self.on_operating_point_change()
 
     def set_routing(self, routing: RoutingAlgorithm) -> None:
         self.routing = routing
@@ -144,9 +162,19 @@ class Router:
     def set_selection(self, selection: SelectionPolicy) -> None:
         self.selection = selection
 
+    @staticmethod
+    def validate_enabled_vcs(count: int, num_vcs: int) -> None:
+        """Raise ``ValueError`` unless ``1 <= count <= num_vcs``.
+
+        Shared with :meth:`NoCSimulator.set_enabled_vcs`, which validates the
+        count once up front so a bad value cannot leave half the routers
+        reconfigured when the exception propagates.
+        """
+        if not 1 <= count <= num_vcs:
+            raise ValueError(f"enabled VC count must be in [1, {num_vcs}]")
+
     def set_enabled_vcs(self, count: int) -> None:
-        if not 1 <= count <= self.num_vcs:
-            raise ValueError(f"enabled VC count must be in [1, {self.num_vcs}]")
+        self.validate_enabled_vcs(count, self.num_vcs)
         self.enabled_vcs = count
 
     def block_port(self, port: Direction) -> None:
@@ -159,15 +187,17 @@ class Router:
     # -- flit ingress ------------------------------------------------------------
 
     def can_accept(self, port: Direction, vc: int) -> bool:
-        return self.inputs[port][vc].has_space
+        ivc = self.inputs[port][vc]
+        return len(ivc.buffer) < ivc.depth
 
     def receive_flit(self, port: Direction, vc: int, flit: Flit) -> None:
         ivc = self.inputs[port][vc]
-        if not ivc.has_space:
+        buffer = ivc.buffer
+        if len(buffer) >= ivc.depth:
             raise RuntimeError(
                 f"buffer overflow at node {self.node} port {port.name} vc {vc}"
             )
-        ivc.buffer.append(flit)
+        buffer.append(flit)
         self.buffered_flits += 1
 
     def occupancy(self) -> int:
@@ -183,27 +213,46 @@ class Router:
         """Run one router cycle; return the flit movements to apply."""
         if self.buffered_flits == 0 or not self.is_active_cycle(cycle):
             return []
-        self._route_and_allocate()
-        return self._switch_traversal(power)
+        movements: list[Movement] = []
+        self.step_into(cycle, power, movements)
+        return movements
 
-    # route computation + VC allocation
-    def _route_and_allocate(self) -> None:
-        for port in self.input_ports:
-            for vc_index in range(self.num_vcs):
-                ivc = self.inputs[port][vc_index]
-                if not ivc.buffer:
-                    continue
-                if ivc.state is VCState.IDLE:
-                    head = ivc.buffer[0]
-                    if not head.is_head:
-                        raise RuntimeError(
-                            f"flit ordering violated at node {self.node}: "
-                            f"expected head flit, found {head.flit_type}"
-                        )
-                    ivc.out_port = self._compute_route(head)
-                    ivc.state = VCState.ROUTED
-                if ivc.state is VCState.ROUTED:
-                    self._allocate_output_vc(port, vc_index, ivc)
+    def step_into(
+        self, cycle: int, power: PowerModel, movements: list[Movement]
+    ) -> None:
+        """Run the pipeline, appending movements to a caller-owned list.
+
+        Precondition: the router holds buffered flits and ``cycle`` is clock
+        active — the activity-tracked engine has already established both
+        from its active set and divider table, so this entry point skips the
+        re-checks and the per-router result list that :meth:`step` pays for.
+
+        The occupancy scan and the RC/VA stage share one pass: the pipeline
+        only ever acts on VCs holding flits, so the ports x VCs grid is
+        walked exactly once per cycle (the naive switch-allocation loop used
+        to rescan it once per output port).
+        """
+        idle = VCState.IDLE
+        routed = VCState.ROUTED
+        occupied: list[tuple[Direction, int, InputVirtualChannel]] = []
+        for entry in self._vc_scan:
+            ivc = entry[2]
+            if not ivc.buffer:
+                continue
+            occupied.append(entry)
+            state = ivc.state
+            if state is idle:
+                head = ivc.buffer[0]
+                if not head.is_head:
+                    raise RuntimeError(
+                        f"flit ordering violated at node {self.node}: "
+                        f"expected head flit, found {head.flit_type}"
+                    )
+                ivc.out_port = self._compute_route(head)
+                ivc.state = state = routed
+            if state is routed:
+                self._allocate_output_vc(entry[0], entry[1], ivc)
+        self._switch_traversal(occupied, power, movements)
 
     def _compute_route(self, head: Flit) -> Direction:
         candidates = self.routing(self.topology, self.node, head.src, head.dst)
@@ -213,7 +262,7 @@ class Router:
             )
         if Direction.LOCAL in candidates:
             return Direction.LOCAL
-        usable = [c for c in candidates if c in self.credits.ports()]
+        usable = [c for c in candidates if c in self._routable_ports]
         if not usable:
             raise RuntimeError(
                 f"routing produced off-chip candidates {candidates} at node {self.node}"
@@ -249,38 +298,79 @@ class Router:
         # No free output VC this cycle; retry on a later cycle.
 
     # switch allocation + traversal
-    def _switch_traversal(self, power: PowerModel) -> list[Movement]:
-        movements: list[Movement] = []
+    def _switch_traversal(
+        self,
+        occupied: list[tuple[Direction, int, InputVirtualChannel]],
+        power: PowerModel,
+        movements: list[Movement],
+    ) -> None:
+        # Group the allocated VCs by their output port up front; arbitration
+        # then only visits ports that actually have requesters.  A VC's
+        # grant cannot perturb another port's candidates (credits are
+        # per-port and a VC requests exactly one port), so deferring the
+        # downstream-space check to the grant loop reproduces the naive
+        # scan-per-output-port behaviour exactly.
+        active_state = VCState.ACTIVE
+        requests_by_port: dict[
+            Direction, list[tuple[Direction, int, InputVirtualChannel]]
+        ] = {}
+        for entry in occupied:
+            ivc = entry[2]
+            if ivc.state is active_state:
+                out_port = ivc.out_port
+                candidates = requests_by_port.get(out_port)
+                if candidates is None:
+                    requests_by_port[out_port] = [entry]
+                else:
+                    candidates.append(entry)
+        if not requests_by_port:
+            return
+        blocked = self.blocked_ports
+        credit_levels = self._credit_levels
+        if len(requests_by_port) == 1:
+            # Single-output-port fast path (the common low-contention case):
+            # the output-port iteration order and the used-input-port filter
+            # cannot matter with one port in play.
+            out_port, candidates = next(iter(requests_by_port.items()))
+            if out_port in blocked:
+                return
+            if out_port is Direction.LOCAL:
+                requests = [(in_port, vc_index) for in_port, vc_index, ivc in candidates]
+            else:
+                levels = credit_levels[out_port]
+                requests = [
+                    (in_port, vc_index)
+                    for in_port, vc_index, ivc in candidates
+                    if levels[ivc.out_vc] > 0
+                ]
+            winner = self._switch_arbiters[out_port].grant(requests)
+            if winner is not None:
+                movements.append(self._traverse(winner[0], winner[1], out_port, power))
+            return
         used_input_ports: set[Direction] = set()
         for out_port in self.output_ports:
-            if out_port in self.blocked_ports:
+            candidates = requests_by_port.get(out_port)
+            if not candidates or out_port in blocked:
                 continue
-            requests = []
-            for in_port in self.input_ports:
-                if in_port in used_input_ports:
-                    continue
-                for vc_index in range(self.num_vcs):
-                    ivc = self.inputs[in_port][vc_index]
-                    if (
-                        ivc.state is VCState.ACTIVE
-                        and ivc.buffer
-                        and ivc.out_port is out_port
-                        and self._has_downstream_space(out_port, ivc.out_vc)
-                    ):
-                        requests.append((in_port, vc_index))
+            if out_port is Direction.LOCAL:
+                requests = [
+                    (in_port, vc_index)
+                    for in_port, vc_index, ivc in candidates
+                    if in_port not in used_input_ports
+                ]
+            else:
+                levels = credit_levels[out_port]
+                requests = [
+                    (in_port, vc_index)
+                    for in_port, vc_index, ivc in candidates
+                    if in_port not in used_input_ports and levels[ivc.out_vc] > 0
+                ]
             winner = self._switch_arbiters[out_port].grant(requests)
             if winner is None:
                 continue
             in_port, vc_index = winner
             used_input_ports.add(in_port)
             movements.append(self._traverse(in_port, vc_index, out_port, power))
-        return movements
-
-    def _has_downstream_space(self, out_port: Direction, out_vc: int | None) -> bool:
-        if out_port is Direction.LOCAL:
-            return True
-        assert out_vc is not None
-        return self.credits.has_credit(out_port, out_vc)
 
     def _traverse(
         self, in_port: Direction, vc_index: int, out_port: Direction, power: PowerModel
@@ -289,15 +379,20 @@ class Router:
         flit = ivc.buffer.popleft()
         self.buffered_flits -= 1
         out_vc = ivc.out_vc
-        power.record_buffer_read(self.operating_point)
-        power.record_crossbar_traversal(self.operating_point)
+        local = out_port is Direction.LOCAL
+        power.record_flit_traversal(self.operating_point, link=not local)
 
         dst_node: int | None = None
-        if out_port is not Direction.LOCAL:
+        if not local:
             assert out_vc is not None
-            self.credits.consume(out_port, out_vc)
-            power.record_link_traversal(self.operating_point)
-            dst_node = self.topology.neighbor(self.node, out_port)
+            # Inline CreditBook.consume (hot path): spend one credit.
+            levels = self._credit_levels[out_port]
+            if levels[out_vc] <= 0:
+                raise RuntimeError(
+                    f"credit underflow on port {out_port.name} vc {out_vc}"
+                )
+            levels[out_vc] -= 1
+            dst_node = self._neighbor_by_port[out_port]
 
         if flit.is_tail:
             if out_port is not Direction.LOCAL:
@@ -305,15 +400,7 @@ class Router:
                 self._output_vc_owner[out_port][out_vc] = None
             ivc.reset_allocation()
 
-        return Movement(
-            flit=flit,
-            src_node=self.node,
-            in_port=in_port,
-            in_vc=vc_index,
-            out_port=out_port,
-            out_vc=out_vc,
-            dst_node=dst_node,
-        )
+        return Movement(flit, self.node, in_port, vc_index, out_port, out_vc, dst_node)
 
     # -- credit interface used by the network -------------------------------------
 

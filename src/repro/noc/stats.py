@@ -60,6 +60,14 @@ class NetworkStats:
         self.occupancy_flit_cycles += buffered_flits
         self.source_queue_flit_cycles += source_queue_flits
 
+    def record_idle_cycles(self, count: int) -> None:
+        """Record ``count`` cycles with nothing buffered or queued.
+
+        Integer-exact equivalent of ``count`` calls to ``record_cycle(0, 0)``;
+        used by the simulator's idle-span batching.
+        """
+        self.cycles += count
+
     def record_link_traversal(self, flits: int = 1) -> None:
         self.link_flit_traversals += flits
 

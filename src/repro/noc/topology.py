@@ -35,13 +35,14 @@ class Direction(IntEnum):
         return _OPPOSITE[self]
 
 
-_OPPOSITE = {
-    Direction.LOCAL: Direction.LOCAL,
-    Direction.NORTH: Direction.SOUTH,
-    Direction.SOUTH: Direction.NORTH,
-    Direction.EAST: Direction.WEST,
-    Direction.WEST: Direction.EAST,
-}
+# Indexed by Direction value (hot-path lookup, cheaper than a dict).
+_OPPOSITE = (
+    Direction.LOCAL,
+    Direction.SOUTH,
+    Direction.NORTH,
+    Direction.WEST,
+    Direction.EAST,
+)
 
 #: Cardinal (non-local) directions in a fixed iteration order.
 CARDINAL_DIRECTIONS = (
@@ -74,6 +75,16 @@ class Mesh:
             raise ValueError("mesh dimensions must be at least 2x2")
         self.width = width
         self.height = height
+        # The topology is immutable, so coordinate and neighbour queries are
+        # precomputed tables rather than per-call arithmetic (they sit on the
+        # simulator's per-flit hot path).
+        self._coordinate_table = tuple(
+            Coordinate(node % width, node // width) for node in range(width * height)
+        )
+        self._neighbor_table = tuple(
+            tuple(self._compute_neighbor(node, direction) for direction in Direction)
+            for node in range(width * height)
+        )
 
     # -- basic geometry -------------------------------------------------
 
@@ -86,7 +97,7 @@ class Mesh:
 
     def coordinates(self, node: int) -> Coordinate:
         self._check_node(node)
-        return Coordinate(node % self.width, node // self.width)
+        return self._coordinate_table[node]
 
     def node_at(self, x: int, y: int) -> int:
         if not (0 <= x < self.width and 0 <= y < self.height):
@@ -105,7 +116,12 @@ class Mesh:
         Returns ``None`` when the port faces off-chip (mesh border), and the
         node itself for ``Direction.LOCAL``.
         """
-        coord = self.coordinates(node)
+        self._check_node(node)
+        return self._neighbor_table[node][direction]
+
+    def _compute_neighbor(self, node: int, direction: Direction) -> int | None:
+        """Uncached neighbour arithmetic used to build the lookup table."""
+        coord = Coordinate(node % self.width, node // self.width)
         if direction is Direction.LOCAL:
             return node
         if direction is Direction.NORTH:
@@ -182,8 +198,8 @@ class Mesh:
 class Torus(Mesh):
     """A 2-D torus: a mesh whose rows and columns wrap around."""
 
-    def neighbor(self, node: int, direction: Direction) -> int | None:
-        coord = self.coordinates(node)
+    def _compute_neighbor(self, node: int, direction: Direction) -> int | None:
+        coord = Coordinate(node % self.width, node // self.width)
         if direction is Direction.LOCAL:
             return node
         if direction is Direction.NORTH:

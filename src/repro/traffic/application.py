@@ -87,6 +87,11 @@ class PhasedWorkload:
             for index, phase in enumerate(self.phases)
         ]
         self._total_cycles = sum(phase.duration_cycles for phase in self.phases)
+        self._phase_ends: list[int] = []
+        elapsed = 0
+        for phase in self.phases:
+            elapsed += phase.duration_cycles
+            self._phase_ends.append(elapsed)
 
     def _build_generator(
         self, topology: Mesh, phase: Phase, seed: int
@@ -126,6 +131,25 @@ class PhasedWorkload:
         if index is None:
             return []
         return self._generators[index].generate(cycle)
+
+    def next_injection_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle ``>= cycle`` at which a packet may be created.
+
+        Delegates to the generator of the phase active at ``cycle`` and
+        never looks past the end of that phase occurrence (the next phase
+        may inject immediately), so the simulator's idle-span batching only
+        ever skips ``generate`` calls that would have gone to the current —
+        necessarily quiescent — phase generator.
+        """
+        index = self.phase_index_at(cycle)
+        if index is None:
+            return None
+        position = cycle % self._total_cycles if cycle >= self._total_cycles else cycle
+        phase_end = cycle + (self._phase_ends[index] - position)
+        hint = self._generators[index].next_injection_cycle(cycle)
+        if hint is not None and hint < phase_end:
+            return max(hint, cycle)
+        return phase_end
 
     def offered_load(self, cycle: int) -> float:
         index = self.phase_index_at(cycle)

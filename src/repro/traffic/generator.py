@@ -71,21 +71,48 @@ class TrafficGenerator:
         if self.end_cycle is not None and cycle >= self.end_cycle:
             return []
         packets = []
+        # Bound-method hoists: this loop runs once per node per simulated
+        # cycle.  The per-node RNG draw order (injection first, then the
+        # destination only for injecting nodes) is part of the determinism
+        # contract and must not be reordered.
+        should_inject = self.injection.should_inject
+        destination_of = self.pattern.destination
+        rng = self._rng
+        packet_size = self.packet_size
         for node in self.topology.nodes():
-            if not self.injection.should_inject(node, cycle, self._rng):
+            if not should_inject(node, cycle, rng):
                 continue
-            destination = self.pattern.destination(node, self._rng)
+            destination = destination_of(node, rng)
             if destination == node:
                 continue
             packets.append(
                 Packet(
                     src=node,
                     dst=destination,
-                    size=self.packet_size,
+                    size=packet_size,
                     creation_cycle=cycle,
                 )
             )
         return packets
+
+    def next_injection_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle ``>= cycle`` at which a packet may be created.
+
+        Implements the :class:`~repro.noc.network.TrafficSource` idle-span
+        hint: before ``start_cycle`` no packets (and no RNG draws) happen, a
+        quiescent injection process can never produce an observable packet,
+        and past ``end_cycle`` the source is silent forever — so skipping
+        ``generate`` calls over the reported gap is unobservable.  An active
+        in-window Bernoulli/bursty process draws RNG every cycle, so the
+        hint degenerates to ``cycle`` (no skip).
+        """
+        if self.end_cycle is not None and cycle >= self.end_cycle:
+            return None
+        if self.injection.is_quiescent():
+            return None
+        if cycle < self.start_cycle:
+            return self.start_cycle
+        return cycle
 
     def offered_load(self, cycle: int = 0) -> float:
         """Nominal offered load (flits/node/cycle) at ``cycle``."""

@@ -23,6 +23,16 @@ class InjectionProcess(ABC):
     def offered_load(self, cycle: int) -> float:
         """Nominal offered load (flits/node/cycle) at ``cycle``."""
 
+    def is_quiescent(self) -> bool:
+        """True when this process can never inject a packet, at any cycle.
+
+        Quiescent processes let the simulator's idle-span batching skip
+        ``generate`` calls wholesale: any RNG the skipped calls would have
+        consumed can never influence an observable packet.  The default is
+        the conservative ``False``.
+        """
+        return False
+
 
 def _packet_probability(rate_flits: float, packet_size: int) -> float:
     if rate_flits < 0:
@@ -51,6 +61,9 @@ class BernoulliInjection(InjectionProcess):
 
     def offered_load(self, cycle: int) -> float:
         return self.rate
+
+    def is_quiescent(self) -> bool:
+        return self._probability == 0.0
 
 
 class BurstyInjection(InjectionProcess):
@@ -94,3 +107,6 @@ class BurstyInjection(InjectionProcess):
     def offered_load(self, cycle: int) -> float:
         duty = (1.0 / self._exit_on) / (1.0 / self._exit_on + 1.0 / self._exit_off)
         return duty * self.rate_on + (1.0 - duty) * self.rate_off
+
+    def is_quiescent(self) -> bool:
+        return self._p_on == 0.0 and self._p_off == 0.0

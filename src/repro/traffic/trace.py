@@ -9,6 +9,7 @@ reproducible workloads are shared between the examples and the benchmarks.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -84,6 +85,7 @@ class TraceTrafficSource:
         self._by_cycle: dict[int, list[TraceRecord]] = {}
         for record in self.records:
             self._by_cycle.setdefault(record.cycle, []).append(record)
+        self._sorted_cycles = sorted(self._by_cycle)
 
     def generate(self, cycle: int) -> list[Packet]:
         effective = cycle - self.cycle_offset
@@ -97,6 +99,37 @@ class TraceTrafficSource:
                 Packet(src=record.src, dst=record.dst, size=record.size, creation_cycle=cycle)
             )
         return packets
+
+    def next_injection_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle ``>= cycle`` with a trace record (idle-span hint).
+
+        Replay is a pure table lookup — no RNG — so skipping ``generate``
+        calls across the reported gap is always safe.  With ``repeat_every``
+        the hint wraps to the next occurrence in the following period
+        (records at or past the period length are never replayed, matching
+        :meth:`generate`).
+        """
+        if not self._sorted_cycles:
+            return None
+        effective = cycle - self.cycle_offset
+        if self.repeat_every is None:
+            if effective < 0:
+                effective = 0
+            index = bisect_left(self._sorted_cycles, effective)
+            if index == len(self._sorted_cycles):
+                return None
+            return self._sorted_cycles[index] + self.cycle_offset
+        period = self.repeat_every
+        in_period = self._sorted_cycles[: bisect_left(self._sorted_cycles, period)]
+        if not in_period:
+            return None
+        if effective < 0:
+            return self.cycle_offset + in_period[0]
+        position = effective % period
+        index = bisect_left(in_period, position)
+        if index < len(in_period):
+            return cycle + (in_period[index] - position)
+        return cycle + (period - position) + in_period[0]
 
     def __len__(self) -> int:
         return len(self.records)

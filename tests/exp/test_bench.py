@@ -1,0 +1,64 @@
+"""Tests for the hot-path engine microbenchmark helpers."""
+
+import pytest
+
+from repro.exp.bench import (
+    HOTPATH_SCENARIOS,
+    RESULTS_SCHEMA,
+    measure_engine,
+    perf_record,
+    run_hotpath_benchmark,
+)
+
+
+class TestPerfRecord:
+    def test_shared_schema_fields(self):
+        record = perf_record("uniform", 4_000, 2.0)
+        assert set(RESULTS_SCHEMA) <= set(record)
+        assert record["cycles_per_s"] == pytest.approx(2_000.0)
+
+    def test_zero_wall_time_is_safe(self):
+        assert perf_record("uniform", 100, 0.0)["cycles_per_s"] == 0.0
+
+    def test_extra_keys_pass_through(self):
+        assert perf_record("uniform", 1, 1.0, engine="naive")["engine"] == "naive"
+
+
+class TestMeasureEngine:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            measure_engine("uniform", "turbo")
+
+    def test_both_engines_simulate_identically(self):
+        naive_record, naive_result = measure_engine(
+            "powersave-idle", "naive", epochs=1, epoch_cycles=150
+        )
+        activity_record, activity_result = measure_engine(
+            "powersave-idle", "activity", epochs=1, epoch_cycles=150
+        )
+        assert naive_record["engine"] == "naive"
+        assert activity_record["engine"] == "activity"
+        assert naive_record["cycles"] == activity_record["cycles"] == 150
+        assert naive_result.epochs == activity_result.epochs
+        assert naive_result.idle_cycles == 0
+        assert activity_result.idle_cycles > 0
+
+
+class TestRunHotpathBenchmark:
+    def test_default_scenarios_are_registered(self):
+        assert "powersave-idle" in HOTPATH_SCENARIOS
+        assert "bursty" in HOTPATH_SCENARIOS
+
+    def test_small_run_payload_shape(self):
+        payload = run_hotpath_benchmark(
+            ["powersave-idle"], epochs=1, epoch_cycles=100, repeats=2
+        )
+        assert payload["schema"] == list(RESULTS_SCHEMA)
+        assert payload["repeats"] == 2
+        assert len(payload["runs"]) == 2  # best run per engine
+        assert payload["telemetry_equivalent"] == {"powersave-idle": True}
+        assert payload["speedups"]["powersave-idle"] > 0.0
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            run_hotpath_benchmark(["uniform"], repeats=0)

@@ -6,6 +6,9 @@ from repro.noc.network import NoCSimulator, SimulatorConfig
 from repro.noc.packet import Packet
 from repro.noc.routing import SelectionPolicy
 from repro.noc.topology import Direction
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.injection import BernoulliInjection
+from repro.traffic.patterns import get_pattern
 
 from tests.conftest import make_simulator, single_packet_simulator
 
@@ -226,6 +229,133 @@ class TestFaultInjection:
         assert simulator.failed_links == {(2, 1)}
 
 
+class TestActivityTracking:
+    def test_activity_sets_track_occupancy_exactly(self):
+        simulator = make_simulator(rate=0.25, seed=4)
+        for _ in range(10):
+            simulator.run(25)
+            assert simulator._active_routers == {
+                node
+                for node, router in simulator.routers.items()
+                if router.buffered_flits
+            }
+            assert simulator._nonempty_sources == {
+                node for node, queue in simulator._source_queues.items() if queue
+            }
+            assert simulator.buffered_flits == sum(
+                router.buffered_flits for router in simulator.routers.values()
+            )
+            assert simulator.source_queue_backlog == sum(
+                len(queue) for queue in simulator._source_queues.values()
+            )
+
+    def test_skipped_router_steps_counts_avoided_work(self):
+        simulator = make_simulator(rate=0.02, seed=6)
+        simulator.run(300)
+        # Sixteen routers, 300 cycles: the naive engine would step 4800
+        # times; a near-idle network must skip the overwhelming majority.
+        assert simulator.skipped_router_steps > 4_000
+        naive = make_simulator(rate=0.02, seed=6)
+        naive.activity_tracking = False
+        naive.idle_fast_path = False
+        naive.run(300)
+        assert naive.skipped_router_steps == 0
+        assert naive.stats.snapshot() == simulator.stats.snapshot()
+
+    def test_gated_cycles_are_skipped_at_low_dvfs(self):
+        simulator = make_simulator(rate=0.3, seed=2)
+        simulator.set_global_dvfs_level(3)  # divider 4: 3 of 4 cycles gated
+        simulator.run(400)
+        assert simulator.skipped_router_steps >= 300 // 4 * 3 * 16
+
+    def test_toggling_tracking_mid_run_is_safe(self):
+        simulator = make_simulator(rate=0.2, seed=9)
+        simulator.run(150)
+        simulator.activity_tracking = False
+        simulator.run(150)
+        simulator.activity_tracking = True
+        simulator.run(150)
+        reference = make_simulator(rate=0.2, seed=9)
+        reference.run(450)
+        assert simulator.stats.snapshot() == reference.stats.snapshot()
+        assert simulator.power.energy.leakage_pj == reference.power.energy.leakage_pj
+
+    def test_dvfs_change_invalidates_leakage_cache(self):
+        simulator = make_simulator(rate=0.0)
+        simulator.run(10)
+        before = list(simulator._cycle_leakage_increments())
+        simulator.set_dvfs_level(5, 3)
+        after = simulator._cycle_leakage_increments()
+        assert after != before
+
+    def test_set_enabled_vcs_validates_before_reconfiguring(self):
+        simulator = make_simulator(num_vcs=2)
+        simulator.set_enabled_vcs(1)
+        with pytest.raises(ValueError, match=r"enabled VC count"):
+            simulator.set_enabled_vcs(5)
+        with pytest.raises(ValueError, match=r"enabled VC count"):
+            simulator.set_enabled_vcs(0)
+        # No router may be left reconfigured by the failed calls.
+        assert all(router.enabled_vcs == 1 for router in simulator.routers.values())
+        assert simulator.enabled_vcs == 1
+
+
+class TestIdleSpanBatching:
+    def test_windowed_traffic_leaps_the_leading_gap(self):
+        config = SimulatorConfig(width=4)
+        simulator = NoCSimulator(config)
+        simulator.traffic = TrafficGenerator(
+            simulator.topology,
+            get_pattern("uniform", simulator.topology),
+            BernoulliInjection(0.1, 4),
+            packet_size=4,
+            seed=0,
+            start_cycle=500,
+        )
+        simulator.run(500)
+        assert simulator.cycle == 500
+        assert simulator.idle_cycles == 500
+        assert simulator.stats.cycles == 500
+        simulator.run(100)
+        assert simulator.stats.packets_created > 0
+
+    def test_no_traffic_source_batches_to_the_horizon(self):
+        simulator = NoCSimulator(SimulatorConfig(width=4))
+        simulator.run(10_000)
+        assert simulator.cycle == 10_000
+        assert simulator.idle_cycles == 10_000
+        assert simulator.stats.cycles == 10_000
+        assert simulator.power.energy.leakage_pj > 0.0
+
+    def test_step_advances_exactly_one_cycle(self):
+        simulator = NoCSimulator(SimulatorConfig(width=4))
+        simulator.step()
+        assert simulator.cycle == 1
+        assert simulator.idle_cycles == 1
+
+    def test_on_cycle_hook_sees_every_cycle_despite_batching(self):
+        simulator = NoCSimulator(SimulatorConfig(width=4))
+        seen = []
+        simulator.run(50, on_cycle=seen.append)
+        assert seen == list(range(50))
+
+
+class TestDrain:
+    def test_drain_on_empty_network_returns_immediately(self):
+        simulator = make_simulator(rate=0.0)
+        simulator.run(50)
+        before = simulator.stats.cycles
+        assert simulator.drain(10_000) == 0
+        assert simulator.stats.cycles == before  # not a single cycle simulated
+
+    def test_drain_error_reports_backlog(self):
+        simulator, _packet = single_packet_simulator(src=0, dst=3, size=2)
+        simulator.fail_link(1, 2)
+        with pytest.raises(RuntimeError, match=r"buffered_flits=\d+") as excinfo:
+            simulator.drain(100)
+        assert "source_queue_backlog=" in str(excinfo.value)
+
+
 class TestIdleFastPath:
     def test_idle_cycles_counted_at_low_load(self):
         simulator = make_simulator(rate=0.0)
@@ -316,3 +446,15 @@ class TestSelectionPolicies:
         simulator.run(800)
         simulator.drain(5000)
         assert simulator.stats.packets_delivered == simulator.stats.packets_created
+
+
+class TestIdleCycleStats:
+    def test_record_idle_cycles_equals_repeated_record_cycle(self):
+        from repro.noc.stats import NetworkStats
+
+        batched = NetworkStats()
+        batched.record_idle_cycles(9)
+        reference = NetworkStats()
+        for _ in range(9):
+            reference.record_cycle(0, 0)
+        assert batched.snapshot() == reference.snapshot()

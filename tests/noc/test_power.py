@@ -98,3 +98,40 @@ class TestPowerModel:
         model = PowerModel()
         model.record_crossbar_traversal(boost)
         assert model.energy.crossbar_pj > model.parameters.crossbar_pj
+
+
+class TestBatchedAccrual:
+    def test_accrue_matches_per_cycle_record_calls_bitwise(self):
+        reference = PowerModel()
+        increments = [
+            reference.router_leakage_increment(NOMINAL),
+            reference.link_leakage_increment(LOW, links=3),
+            reference.router_leakage_increment(LOW),
+        ]
+        for _ in range(7):
+            reference.record_router_leakage(NOMINAL)
+            reference.record_link_leakage(LOW, links=3)
+            reference.record_router_leakage(LOW)
+        batched = PowerModel()
+        batched.accrue_leakage_increments(increments, cycles=7)
+        assert batched.energy.leakage_pj == reference.energy.leakage_pj
+
+    def test_fused_flit_traversal_matches_individual_events(self):
+        reference = PowerModel()
+        reference.record_buffer_read(LOW)
+        reference.record_crossbar_traversal(LOW)
+        reference.record_link_traversal(LOW)
+        fused = PowerModel()
+        fused.record_flit_traversal(LOW, link=True)
+        assert fused.energy.as_dict() == reference.energy.as_dict()
+        local = PowerModel()
+        local.record_flit_traversal(LOW, link=False)
+        assert local.energy.link_pj == 0.0
+        assert local.energy.buffer_pj == reference.energy.buffer_pj
+
+    def test_scale_memo_tracks_operating_point_changes(self):
+        model = PowerModel()
+        model.record_buffer_write(NOMINAL)
+        at_nominal = model.energy.buffer_pj
+        model.record_buffer_write(LOW)
+        assert model.energy.buffer_pj - at_nominal < at_nominal  # lower V^2 scale

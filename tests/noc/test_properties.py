@@ -2,7 +2,11 @@
 
 These encode the global invariants of a lossless, credit-flow-controlled
 network: flit conservation, credit restoration, latency lower bounds and
-buffer-occupancy bounds, under randomly drawn workloads and configurations.
+buffer-occupancy bounds, under randomly drawn workloads and configurations —
+plus the equivalence contract of the activity-tracked cycle engine: with
+every optimisation enabled it must be *bit-identical* (statistics, energy
+floats and all) to the naive scan-everything engine, including under
+mid-run reconfiguration.
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -11,6 +15,8 @@ from hypothesis import strategies as st
 from repro.noc.network import NoCSimulator, SimulatorConfig
 from repro.noc.packet import Packet
 from repro.traffic.generator import TrafficGenerator
+from repro.traffic.injection import BernoulliInjection
+from repro.traffic.patterns import get_pattern
 
 SIM_SETTINGS = settings(
     max_examples=12,
@@ -125,6 +131,142 @@ def test_idle_fast_path_is_telemetry_identical_to_slow_path(
     assert slow.idle_cycles == 0
     if rate == 0.0:
         assert fast.idle_cycles == cycles
+
+
+#: Adjacent (src, dst) pairs of the 4x4 mesh used for fault events.
+_FAULT_LINKS = [(1, 2), (5, 6), (6, 10), (9, 10), (0, 4), (10, 11)]
+
+_EVENT_KINDS = ("node_dvfs", "global_dvfs", "fail", "repair", "vcs")
+
+
+def _apply_event(simulator, kind, a, b):
+    if kind == "node_dvfs":
+        simulator.set_dvfs_level(a % 16, b)
+    elif kind == "global_dvfs":
+        simulator.set_global_dvfs_level(b)
+    elif kind == "fail":
+        simulator.fail_link(*_FAULT_LINKS[a % len(_FAULT_LINKS)])
+    elif kind == "repair":
+        simulator.repair_link(*_FAULT_LINKS[a % len(_FAULT_LINKS)])
+    else:
+        simulator.set_enabled_vcs(1 + b % simulator.config.num_vcs)
+
+
+@SIM_SETTINGS
+@given(
+    rate=st.floats(min_value=0.0, max_value=0.25),
+    pattern=st.sampled_from(["uniform", "transpose", "hotspot"]),
+    routing=st.sampled_from(["xy", "odd_even", "west_first"]),
+    packet_size=st.integers(min_value=1, max_value=5),
+    cycles=st.integers(min_value=80, max_value=400),
+    seed=st.integers(min_value=0, max_value=10_000),
+    events=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=399),
+            st.sampled_from(_EVENT_KINDS),
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=8,
+    ),
+)
+def test_activity_engine_is_bit_identical_to_naive_engine(
+    rate, pattern, routing, packet_size, cycles, seed, events
+):
+    """The activity-tracked engine (active sets, gated skip, idle fast path)
+    and the naive scan-everything engine must produce byte-identical
+    statistics and energy — including under mid-run per-node DVFS changes,
+    link failures/repairs and enabled-VC reconfiguration."""
+    by_cycle: dict[int, list[tuple[str, int, int]]] = {}
+    for event_cycle, kind, a, b in events:
+        by_cycle.setdefault(event_cycle, []).append((kind, a, b))
+
+    simulators = []
+    for optimised in (True, False):
+        config = SimulatorConfig(
+            width=4, routing=routing, packet_size=packet_size, seed=seed
+        )
+        simulator = NoCSimulator(config)
+        simulator.activity_tracking = optimised
+        simulator.idle_fast_path = optimised
+        simulator.traffic = TrafficGenerator.from_names(
+            simulator.topology, pattern, rate, packet_size=packet_size, seed=seed
+        )
+
+        def on_cycle(cycle, simulator=simulator):
+            for kind, a, b in by_cycle.get(cycle, ()):
+                _apply_event(simulator, kind, a, b)
+
+        telemetry = simulator.run_epoch(cycles, on_cycle=on_cycle)
+        simulators.append((simulator, telemetry))
+
+    (fast, fast_telemetry), (naive, naive_telemetry) = simulators
+    assert fast_telemetry.as_dict() == naive_telemetry.as_dict()
+    assert fast_telemetry.energy.as_dict() == naive_telemetry.energy.as_dict()
+    assert fast.stats.snapshot() == naive.stats.snapshot()
+    assert fast.power.energy.leakage_pj == naive.power.energy.leakage_pj
+    assert fast.buffered_flits == naive.buffered_flits
+    assert fast.source_queue_backlog == naive.source_queue_backlog
+    for node in fast.routers:
+        assert fast.routers[node].buffered_flits == naive.routers[node].buffered_flits
+    # The incremental activity state must agree with a full scan.
+    assert fast.buffered_flits == sum(
+        router.buffered_flits for router in fast.routers.values()
+    )
+    assert fast.source_queue_backlog == sum(
+        len(queue) for queue in fast._source_queues.values()
+    )
+    assert fast._active_routers == {
+        node for node, router in fast.routers.items() if router.buffered_flits
+    }
+    assert fast._nonempty_sources == {
+        node for node, queue in fast._source_queues.items() if queue
+    }
+    assert naive.idle_cycles == 0
+    assert naive.skipped_router_steps == 0
+
+
+@SIM_SETTINGS
+@given(
+    gap=st.integers(min_value=1, max_value=200),
+    burst_cycles=st.integers(min_value=0, max_value=120),
+    rate=st.floats(min_value=0.0, max_value=0.2),
+    packet_size=st.integers(min_value=1, max_value=4),
+    cycles=st.integers(min_value=100, max_value=500),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_idle_span_batching_is_bit_identical_to_per_cycle_idle_path(
+    gap, burst_cycles, rate, packet_size, cycles, seed
+):
+    """A windowed traffic source (silent before ``gap`` and after the burst)
+    lets the engine leap whole idle spans via ``next_injection_cycle``; the
+    result must match the naive per-cycle engine bit for bit."""
+    simulators = []
+    for optimised in (True, False):
+        config = SimulatorConfig(width=4, packet_size=packet_size, seed=seed)
+        simulator = NoCSimulator(config)
+        simulator.activity_tracking = optimised
+        simulator.idle_fast_path = optimised
+        simulator.traffic = TrafficGenerator(
+            simulator.topology,
+            get_pattern("uniform", simulator.topology),
+            BernoulliInjection(rate, packet_size),
+            packet_size=packet_size,
+            seed=seed,
+            start_cycle=gap,
+            end_cycle=gap + burst_cycles,
+        )
+        telemetry = simulator.run_epoch(cycles)
+        simulators.append((simulator, telemetry))
+
+    (fast, fast_telemetry), (naive, naive_telemetry) = simulators
+    assert fast_telemetry.as_dict() == naive_telemetry.as_dict()
+    assert fast.stats.snapshot() == naive.stats.snapshot()
+    assert fast.power.energy.leakage_pj == naive.power.energy.leakage_pj
+    assert fast.cycle == naive.cycle == cycles
+    # The leading gap is entirely idle, so the optimised engine must have
+    # served at least those cycles through the fast path.
+    assert fast.idle_cycles >= min(gap, cycles)
 
 
 @SIM_SETTINGS

@@ -168,3 +168,43 @@ class TestTrainCommand:
         output = capsys.readouterr().out
         assert "checkpoint saved" in output
         assert (tmp_path / "ckpt" / "manifest.json").exists()
+
+
+class TestBenchCommand:
+    def test_parser_defaults(self):
+        args = cli.build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert "powersave-idle" in args.scenarios
+        assert args.repeats == 3
+        assert args.json_path is None
+
+    def test_unknown_scenario_rejected(self, capsys):
+        exit_code = cli.main(["bench", "--scenarios", "no-such-scenario"])
+        assert exit_code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bench_prints_table_and_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "hotpath.json"
+        exit_code = cli.main(
+            [
+                "bench",
+                "--scenarios",
+                "powersave-idle",
+                "--epochs",
+                "1",
+                "--epoch-cycles",
+                "120",
+                "--repeats",
+                "1",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cycles_per_s" in output
+        assert "telemetry ok" in output
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        assert payload["telemetry_equivalent"] == {"powersave-idle": True}

@@ -70,3 +70,37 @@ class TestPhasedWorkload:
         workload = PhasedWorkload(MESH, default_phases(phase_cycles=100), seed=1)
         packets = workload.generate(250)
         assert all(packet.creation_cycle == 250 for packet in packets)
+
+
+class TestNextInjectionCycle:
+    def test_quiet_phase_skips_to_the_phase_boundary(self):
+        phases = [Phase(100, "uniform", 0.0), Phase(100, "uniform", 0.3)]
+        workload = PhasedWorkload(MESH, phases, seed=2)
+        assert workload.next_injection_cycle(0) == 100
+        assert workload.next_injection_cycle(99) == 100
+        assert workload.next_injection_cycle(100) == 100
+        assert workload.next_injection_cycle(150) == 150
+
+    def test_repeating_workload_wraps_phase_boundaries(self):
+        phases = [Phase(100, "uniform", 0.0), Phase(100, "uniform", 0.3)]
+        workload = PhasedWorkload(MESH, phases, seed=2, repeat=True)
+        # Pass 2: cycles 200-299 are the quiet phase again.
+        assert workload.next_injection_cycle(250) == 300
+
+    def test_finished_non_repeating_workload_never_injects(self):
+        phases = [Phase(50, "uniform", 0.2)]
+        workload = PhasedWorkload(MESH, phases, seed=2, repeat=False)
+        assert workload.next_injection_cycle(49) == 49
+        assert workload.next_injection_cycle(50) is None
+
+    def test_hint_contract_matches_generate(self):
+        phases = [
+            Phase(60, "uniform", 0.0),
+            Phase(60, "uniform", 0.4),
+            Phase(60, "uniform", 0.0),
+        ]
+        workload = PhasedWorkload(MESH, phases, seed=7)
+        for cycle in range(200):
+            hint = workload.next_injection_cycle(cycle)
+            if hint is None or hint > cycle:
+                assert workload.generate(cycle) == []

@@ -69,3 +69,41 @@ class TestTrafficGenerator:
                 BernoulliInjection(0.1, packet_size=4),
                 packet_size=0,
             )
+
+
+class TestNextInjectionCycle:
+    def test_active_generator_reports_the_same_cycle(self):
+        generator = TrafficGenerator.from_names(MESH, "uniform", 0.2, seed=1)
+        assert generator.next_injection_cycle(0) == 0
+        assert generator.next_injection_cycle(123) == 123
+
+    def test_quiescent_generator_never_injects(self):
+        generator = TrafficGenerator.from_names(MESH, "uniform", 0.0, seed=1)
+        assert generator.next_injection_cycle(0) is None
+
+    def test_window_start_is_reported(self):
+        generator = TrafficGenerator(
+            MESH,
+            UniformRandomPattern(MESH),
+            BernoulliInjection(0.2, packet_size=4),
+            start_cycle=300,
+            end_cycle=400,
+        )
+        assert generator.next_injection_cycle(0) == 300
+        assert generator.next_injection_cycle(350) == 350
+        assert generator.next_injection_cycle(400) is None
+        assert generator.next_injection_cycle(1_000) is None
+
+    def test_hint_contract_matches_generate(self):
+        generator = TrafficGenerator(
+            MESH,
+            UniformRandomPattern(MESH),
+            BernoulliInjection(0.5, packet_size=2),
+            start_cycle=10,
+            end_cycle=20,
+            seed=5,
+        )
+        for cycle in range(30):
+            hint = generator.next_injection_cycle(cycle)
+            if hint is None or hint > cycle:
+                assert generator.generate(cycle) == []

@@ -82,3 +82,14 @@ class TestBurstyInjection:
         # Bernoulli process with the same mean rate.
         flips = sum(1 for a, b in zip(decisions, decisions[1:]) if a != b)
         assert flips < 1000
+
+
+class TestQuiescence:
+    def test_bernoulli_zero_rate_is_quiescent(self):
+        assert BernoulliInjection(0.0, packet_size=4).is_quiescent()
+        assert not BernoulliInjection(0.1, packet_size=4).is_quiescent()
+
+    def test_bursty_quiescent_only_when_both_rates_are_zero(self):
+        assert BurstyInjection(0.0, 0.0, packet_size=4).is_quiescent()
+        assert not BurstyInjection(0.3, 0.0, packet_size=4).is_quiescent()
+        assert not BurstyInjection(0.0, 0.1, packet_size=4).is_quiescent()

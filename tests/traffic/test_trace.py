@@ -90,3 +90,38 @@ class TestTraceTrafficSource:
             replayed.extend((p.creation_cycle, p.src, p.dst) for p in source.generate(cycle))
         recorded = [(r.cycle, r.src, r.dst) for r in records]
         assert replayed == recorded
+
+
+class TestNextInjectionCycle:
+    def test_reports_next_record_cycle(self):
+        source = TraceTrafficSource(make_records())
+        assert source.next_injection_cycle(0) == 0
+        assert source.next_injection_cycle(1) == 7
+        assert source.next_injection_cycle(7) == 7
+        assert source.next_injection_cycle(8) is None
+
+    def test_respects_cycle_offset(self):
+        source = TraceTrafficSource(make_records(), cycle_offset=40)
+        assert source.next_injection_cycle(0) == 40
+        assert source.next_injection_cycle(41) == 47
+        assert source.next_injection_cycle(48) is None
+
+    def test_wraps_with_repeat_period(self):
+        source = TraceTrafficSource(make_records(), repeat_every=10)
+        assert source.next_injection_cycle(8) == 10  # next period's cycle-0 records
+        assert source.next_injection_cycle(10) == 10
+        assert source.next_injection_cycle(15) == 17
+        assert source.next_injection_cycle(995) == 997
+
+    def test_empty_trace_never_injects(self):
+        source = TraceTrafficSource([])
+        assert source.next_injection_cycle(0) is None
+
+    def test_hint_contract_matches_generate(self):
+        source = TraceTrafficSource(make_records(), cycle_offset=3, repeat_every=12)
+        for cycle in range(60):
+            hint = source.next_injection_cycle(cycle)
+            if hint is None or hint > cycle:
+                assert source.generate(cycle) == []
+            if hint == cycle:
+                assert source.generate(cycle)
