@@ -16,7 +16,12 @@ def test_fig3_training_convergence(benchmark, report, results_dir, training_resu
     report(
         "Figure 3 — DQN training convergence (episode return, latency and "
         "energy per flit vs episode)",
-        format_series("episode", episodes, series),
+        format_series("episode", episodes, series)
+        + (
+            f"\ntraining wall time: {training_result.wall_time_s:.1f}s "
+            f"({training_result.episodes_per_second:.2f} episodes/s, "
+            "sharded engine — REPRO_BENCH_TRAIN_JOBS actors)"
+        ),
     )
     save_rows_csv(
         [

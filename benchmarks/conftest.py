@@ -14,7 +14,9 @@ Environment knobs (all optional):
 * ``REPRO_BENCH_ABLATION_EPISODES`` — training episodes per ablation variant
   (default 12);
 * ``REPRO_BENCH_JOBS`` — worker processes for the embarrassingly-parallel
-  sweep benchmarks (default: the machine's CPU count).
+  sweep benchmarks (default: the machine's CPU count);
+* ``REPRO_BENCH_TRAIN_JOBS`` — actor processes for DQN training (default 1:
+  the serial reference path, bit-identical to the pre-sharding trainer).
 """
 
 from __future__ import annotations
@@ -30,13 +32,15 @@ from repro.baselines import (
     static_max_performance,
     static_min_energy,
 )
-from repro.core import ExperimentConfig, evaluate_controller, train_dqn_controller
+from repro.core import ExperimentConfig, evaluate_controller
+from repro.exp.training import train_dqn_sharded
 
 RESULTS_DIR = Path(__file__).parent / "results"
 TRAIN_EPISODES = int(os.environ.get("REPRO_BENCH_EPISODES", "22"))
 EPSILON_DECAY_STEPS = int(os.environ.get("REPRO_BENCH_EPS_DECAY", "400"))
 ABLATION_EPISODES = int(os.environ.get("REPRO_BENCH_ABLATION_EPISODES", "12"))
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+TRAIN_JOBS = int(os.environ.get("REPRO_BENCH_TRAIN_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
@@ -73,11 +77,16 @@ def default_experiment() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def training_result(default_experiment):
-    """The DQN controller trained once and reused by every figure/table."""
-    env = default_experiment.build_environment()
-    return train_dqn_controller(
-        env,
+    """The DQN controller trained once and reused by every figure/table.
+
+    Routed through the sharded training engine; with the default
+    ``REPRO_BENCH_TRAIN_JOBS=1`` this is the serial reference path,
+    bit-identical to the pre-sharding ``train_dqn_controller``.
+    """
+    return train_dqn_sharded(
+        default_experiment,
         episodes=TRAIN_EPISODES,
+        jobs=TRAIN_JOBS,
         epsilon_decay_steps=EPSILON_DECAY_STEPS,
         seed=1,
     )

@@ -8,9 +8,12 @@ Installed as the ``repro-noc`` console script (or invoked as
 * ``scenarios`` — list the named experiment scenarios or run a selection of
   them (``scenarios list`` / ``scenarios run NAME... --jobs N``);
 * ``bench``     — hot-path engine microbenchmark: cycles/sec of the
-  activity-tracked engine vs the naive scan-everything engine;
-* ``train``     — train the DQN self-configuration controller and optionally
-  save a checkpoint;
+  activity-tracked engine vs the naive scan-everything engine; with
+  ``--check --baseline FILE`` it doubles as the perf-regression guard and
+  exits nonzero when throughput falls past ``--tolerance``;
+* ``train``     — train the DQN self-configuration controller (``--jobs N``
+  shards actor rollouts over a process pool; ``--resume`` continues from a
+  checkpoint) and optionally save a checkpoint;
 * ``evaluate``  — deploy a trained checkpoint or a named baseline on a
   held-out workload and print its summary;
 * ``compare``   — evaluate the baselines (and optionally a checkpoint) side
@@ -32,14 +35,20 @@ from repro.baselines import (
     static_max_performance,
     static_min_energy,
 )
-from repro.core import ExperimentConfig, TrafficSpec, checkpoint, evaluate_controller
-from repro.core.training import train_dqn_controller
+from repro.core import ExperimentConfig, checkpoint, evaluate_controller
 from repro.exp import (
     HOTPATH_SCENARIOS,
     all_scenarios,
+    default_experiment_dqn_config,
     run_hotpath_benchmark,
     run_scenarios,
     scenario_names,
+    train_dqn_sharded,
+)
+from repro.exp.perfguard import (
+    DEFAULT_TOLERANCE,
+    check_against_baseline,
+    format_regressions,
 )
 from repro.noc import SimulatorConfig
 
@@ -140,12 +149,43 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", dest="json_path", help="also write the full payload to this file"
     )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against --baseline and exit nonzero on a perf regression",
+    )
+    bench.add_argument(
+        "--baseline",
+        help="stored benchmarks/results artefact to compare cycles_per_s against",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fraction of baseline throughput that must be retained (default 0.75)",
+    )
 
     train = subparsers.add_parser("train", help="train the DQN controller")
-    train.add_argument("--episodes", type=int, default=20)
+    train.add_argument("--episodes", type=_positive_int, default=20)
     train.add_argument("--preset", choices=("default", "small", "joint"), default="default")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--checkpoint", help="directory to save the trained controller to")
+    train.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="actor processes for rollout episodes (1 = the serial reference path)",
+    )
+    train.add_argument(
+        "--sync-interval",
+        type=_positive_int,
+        default=1,
+        help="actor rounds between policy-weight broadcasts (jobs > 1 only)",
+    )
+    train.add_argument(
+        "--resume",
+        help="checkpoint directory to resume training from (see --checkpoint)",
+    )
 
     evaluate = subparsers.add_parser(
         "evaluate", help="evaluate a checkpoint or a named baseline"
@@ -283,21 +323,71 @@ def cmd_bench(args: argparse.Namespace) -> int:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"full payload written to {args.json_path}")
-    return 0 if all(payload["telemetry_equivalent"].values()) else 1
+    exit_code = 0 if all(payload["telemetry_equivalent"].values()) else 1
+    if args.check or args.baseline:
+        if not args.baseline:
+            print("--check requires --baseline", file=sys.stderr)
+            return 2
+        regressions = check_against_baseline(payload, args.baseline, args.tolerance)
+        print(format_regressions(regressions))
+        if regressions and not exit_code:
+            exit_code = 3
+    return exit_code
 
 
 def cmd_train(args: argparse.Namespace) -> int:
     experiment = _experiment_from_preset(args.preset)
-    env = experiment.build_environment()
-    print(f"Training DQN controller: {args.episodes} episodes on preset '{args.preset}' ...")
-    result = train_dqn_controller(
-        env,
-        episodes=args.episodes,
-        epsilon_decay_steps=max(args.episodes * experiment.episode_epochs // 2, 50),
-        seed=args.seed,
-    )
+    if args.resume:
+        restored = checkpoint.load_dqn_checkpoint(args.resume)
+        expected = default_experiment_dqn_config(experiment)
+        config = restored.agent.config
+        if (config.observation_dim, config.num_actions) != (
+            expected.observation_dim,
+            expected.num_actions,
+        ):
+            print(
+                f"checkpoint {args.resume} does not fit preset '{args.preset}': it was "
+                f"trained with observation_dim={config.observation_dim}, "
+                f"num_actions={config.num_actions} but the preset needs "
+                f"observation_dim={expected.observation_dim}, "
+                f"num_actions={expected.num_actions}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"Resuming DQN training from {args.resume} ({restored.episodes} episodes "
+            f"trained) to {args.episodes} episodes with jobs={args.jobs} ..."
+        )
+        print(
+            "  (hyperparameters, including the epsilon schedule, come from the "
+            "checkpoint; --seed and fresh-train defaults are ignored)"
+        )
+        result = train_dqn_sharded(
+            experiment,
+            episodes=args.episodes,
+            jobs=args.jobs,
+            sync_interval=args.sync_interval,
+            resume_from=restored,
+        )
+    else:
+        print(
+            f"Training DQN controller: {args.episodes} episodes on preset "
+            f"'{args.preset}' with jobs={args.jobs} ..."
+        )
+        result = train_dqn_sharded(
+            experiment,
+            episodes=args.episodes,
+            jobs=args.jobs,
+            sync_interval=args.sync_interval,
+            epsilon_decay_steps=max(args.episodes * experiment.episode_epochs // 2, 50),
+            seed=args.seed,
+        )
     print(f"  first episode return: {result.episode_returns[0]:.1f}")
     print(f"  final episode return: {result.final_return:.1f}")
+    print(
+        f"  wall time: {result.wall_time_s:.1f}s "
+        f"({result.episodes_per_second:.2f} episodes/s)"
+    )
     if args.checkpoint:
         path = checkpoint.save_dqn_checkpoint(result, args.checkpoint)
         print(f"  checkpoint saved to {path}")

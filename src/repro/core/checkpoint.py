@@ -12,6 +12,15 @@ re-deployed later without retraining::
 
     restored = checkpoint.load_dqn_checkpoint("controller.ckpt")
     policy = restored.to_policy()
+
+Format version 2 additionally captures the *full training state* — the
+optimizer slot variables, the exploration schedule position and RNG stream,
+and the replay buffer (contents, write cursor, sampling RNG stream) — in a
+second ``training_state.npz``.  Restoring it makes resumed training
+(``repro-noc train --resume``, or ``train_dqn_sharded(resume_from=...)``)
+bit-identical to a run that never stopped.  Version-1 checkpoints still
+load (deploy/evaluate works), but resume from them restarts with a cold
+buffer and optimizer.
 """
 
 from __future__ import annotations
@@ -27,15 +36,22 @@ from repro.rl.dqn import DQNAgent, DQNConfig
 
 _MANIFEST_NAME = "manifest.json"
 _PARAMETERS_NAME = "parameters.npz"
-FORMAT_VERSION = 1
+_TRAINING_STATE_NAME = "training_state.npz"
+_TRANSITION_KEYS = ("states", "actions", "rewards", "next_states", "dones")
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_dqn_checkpoint(result: TrainingResult, path: str | Path) -> Path:
+def save_dqn_checkpoint(
+    result: TrainingResult, path: str | Path, *, include_training_state: bool = True
+) -> Path:
     """Persist a trained DQN controller (agent + training curve) to ``path``.
 
     ``path`` is created as a directory containing ``manifest.json`` and
-    ``parameters.npz``.  Only DQN agents are supported (the tabular agent is
-    cheap enough to retrain).
+    ``parameters.npz`` (plus ``training_state.npz`` unless
+    ``include_training_state=False`` — skip it for deploy-only artefacts
+    where the replay buffer would be dead weight).  Only DQN agents are
+    supported (the tabular agent is cheap enough to retrain).
     """
     agent = result.agent
     if not isinstance(agent, DQNAgent):
@@ -64,13 +80,84 @@ def save_dqn_checkpoint(result: TrainingResult, path: str | Path) -> Path:
         "episode_mean_latency": list(result.episode_mean_latency),
         "episode_mean_energy_per_flit": list(result.episode_mean_energy_per_flit),
     }
+    if include_training_state:
+        manifest["training_state"] = _save_training_state(
+            agent.get_training_state(), path / _TRAINING_STATE_NAME
+        )
     (path / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2), encoding="utf-8")
     return path
 
 
+def _save_training_state(training_state: dict, arrays_path: Path) -> dict:
+    """Write the array parts to ``arrays_path``; return the JSON-safe rest."""
+    arrays: dict[str, np.ndarray] = {}
+    buffer_state = training_state["buffer"]
+    for key in _TRANSITION_KEYS:
+        arrays[f"buffer_{key}"] = buffer_state["transitions"][key]
+    buffer_meta = {
+        "size": int(len(buffer_state["transitions"]["actions"])),
+        "next_index": int(buffer_state["next_index"]),
+        "rng": buffer_state["rng"],
+    }
+    if "priorities" in buffer_state:
+        arrays["buffer_priorities"] = buffer_state["priorities"]
+        buffer_meta["max_priority"] = float(buffer_state["max_priority"])
+
+    # Serialize the optimizer payload generically from its shape — slot
+    # variables are lists of per-parameter arrays, everything else is a
+    # JSON-able scalar — so new optimizers (or new state keys on existing
+    # ones) round-trip without this module growing a name allowlist.
+    optimizer_state = training_state["optimizer"]
+    slots: dict[str, int] = {}
+    scalars: dict = {}
+    for key, value in optimizer_state.items():
+        if isinstance(value, list):
+            slots[key] = len(value)
+            for index, array in enumerate(value):
+                arrays[f"optimizer_{key}_{index}"] = array
+        else:
+            scalars[key] = value
+    optimizer_meta = {"slots": slots, "scalars": scalars}
+
+    np.savez(arrays_path, **arrays)
+    return {
+        "policy": training_state["policy"],
+        "buffer": buffer_meta,
+        "optimizer": optimizer_meta,
+    }
+
+
+def _load_training_state(meta: dict, arrays) -> dict:
+    """Inverse of :func:`_save_training_state`."""
+    buffer_state: dict = {
+        "transitions": {key: arrays[f"buffer_{key}"] for key in _TRANSITION_KEYS},
+        "next_index": int(meta["buffer"]["next_index"]),
+        "rng": meta["buffer"]["rng"],
+    }
+    if "max_priority" in meta["buffer"]:
+        buffer_state["priorities"] = arrays["buffer_priorities"]
+        buffer_state["max_priority"] = float(meta["buffer"]["max_priority"])
+
+    optimizer_state: dict = dict(meta["optimizer"].get("scalars", {}))
+    for slot, count in meta["optimizer"]["slots"].items():
+        optimizer_state[slot] = [arrays[f"optimizer_{slot}_{index}"] for index in range(count)]
+
+    return {
+        "policy": meta["policy"],
+        "buffer": buffer_state,
+        "optimizer": optimizer_state,
+    }
+
+
 def load_dqn_checkpoint(path: str | Path) -> TrainingResult:
     """Restore a :class:`TrainingResult` previously saved by
-    :func:`save_dqn_checkpoint`."""
+    :func:`save_dqn_checkpoint`.
+
+    When the checkpoint carries the full training state (format version 2
+    with ``training_state.npz``), the restored agent's optimizer, policy and
+    replay buffer resume exactly; otherwise only the learned parameters and
+    the training curve come back.
+    """
     path = Path(path)
     manifest_path = path / _MANIFEST_NAME
     parameters_path = path / _PARAMETERS_NAME
@@ -78,7 +165,7 @@ def load_dqn_checkpoint(path: str | Path) -> TrainingResult:
         raise FileNotFoundError(f"{path} does not look like a DQN checkpoint directory")
 
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    if manifest.get("format_version") != FORMAT_VERSION:
+    if manifest.get("format_version") not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported checkpoint format version {manifest.get('format_version')!r}"
         )
@@ -102,6 +189,20 @@ def load_dqn_checkpoint(path: str | Path) -> TrainingResult:
             "biases": [arrays[f"{network_name}_bias_{i}"] for i in range(num_layers)],
         }
     agent.set_state(state)
+
+    training_state_path = path / _TRAINING_STATE_NAME
+    if "training_state" in manifest:
+        if not training_state_path.exists():
+            raise FileNotFoundError(
+                f"{path} declares a training state in its manifest but "
+                f"{_TRAINING_STATE_NAME} is missing; refusing to resume from a "
+                "cold buffer/optimizer (re-save the checkpoint or strip "
+                "'training_state' from the manifest for deploy-only use)"
+            )
+        with np.load(training_state_path) as state_arrays:
+            agent.set_training_state(
+                _load_training_state(manifest["training_state"], state_arrays)
+            )
 
     return TrainingResult(
         agent=agent,

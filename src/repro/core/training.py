@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,6 +28,13 @@ class TrainingResult:
     episode_returns: list[float] = field(default_factory=list)
     episode_mean_latency: list[float] = field(default_factory=list)
     episode_mean_energy_per_flit: list[float] = field(default_factory=list)
+    #: Wall-clock seconds spent in the training loop.  Excluded from
+    #: comparisons (the equivalence tests are about *learned* outcomes, which
+    #: are deterministic; wall time is not) — same convention as
+    #: :class:`repro.exp.scenarios.ScenarioResult`.
+    wall_time_s: float = field(default=0.0, compare=False)
+    #: Training throughput in episodes per wall-clock second.
+    episodes_per_second: float = field(default=0.0, compare=False)
 
     @property
     def episodes(self) -> int:
@@ -57,7 +65,7 @@ class TrainingResult:
         return DRLControllerPolicy(self.agent, name=name)
 
 
-def _run_training_episode(env: NoCConfigEnv, agent) -> tuple[float, float, float]:
+def run_training_episode(env: NoCConfigEnv, agent) -> tuple[float, float, float]:
     """One training episode; returns (return, mean latency, mean energy/flit)."""
     observation = env.reset()
     episode_return = 0.0
@@ -85,6 +93,12 @@ def _run_training_episode(env: NoCConfigEnv, agent) -> tuple[float, float, float
     mean_latency = float(np.mean(latencies)) if latencies else 0.0
     mean_energy = float(np.mean(energies)) if energies else 0.0
     return episode_return, mean_latency, mean_energy
+
+
+def record_training_timing(result: TrainingResult, episodes: int, wall_time_s: float) -> None:
+    """Fill in the compare-excluded perf fields of ``result``."""
+    result.wall_time_s = wall_time_s
+    result.episodes_per_second = episodes / wall_time_s if wall_time_s > 0 else 0.0
 
 
 def default_dqn_config(env: NoCConfigEnv, **overrides) -> DQNConfig:
@@ -120,11 +134,13 @@ def train_dqn_controller(
     config = dqn_config or default_dqn_config(env, **dqn_overrides)
     agent = DQNAgent(config)
     result = TrainingResult(agent=agent)
+    start = time.perf_counter()
     for _ in range(episodes):
-        episode_return, mean_latency, mean_energy = _run_training_episode(env, agent)
+        episode_return, mean_latency, mean_energy = run_training_episode(env, agent)
         result.episode_returns.append(episode_return)
         result.episode_mean_latency.append(mean_latency)
         result.episode_mean_energy_per_flit.append(mean_energy)
+    record_training_timing(result, episodes, time.perf_counter() - start)
     return result
 
 
@@ -146,11 +162,13 @@ def train_tabular_controller(
     )
     agent = TabularQAgent(config, UniformDiscretizer(lows, highs, bins_per_feature))
     result = TrainingResult(agent=agent)
+    start = time.perf_counter()
     for _ in range(episodes):
-        episode_return, mean_latency, mean_energy = _run_training_episode(env, agent)
+        episode_return, mean_latency, mean_energy = run_training_episode(env, agent)
         result.episode_returns.append(episode_return)
         result.episode_mean_latency.append(mean_latency)
         result.episode_mean_energy_per_flit.append(mean_energy)
+    record_training_timing(result, episodes, time.perf_counter() - start)
     return result
 
 

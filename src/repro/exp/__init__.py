@@ -1,8 +1,10 @@
 """Experiment engine: named scenarios plus a parallel trial runner.
 
 This is the substrate the sweeps, benchmarks and CLI fan out through — see
-:mod:`repro.exp.scenarios` for the scenario registry and
-:mod:`repro.exp.runner` for the process-pool runner.
+:mod:`repro.exp.scenarios` for the scenario registry,
+:mod:`repro.exp.runner` for the process-pool runner,
+:mod:`repro.exp.training` for the sharded DQN training engine and
+:mod:`repro.exp.perfguard` for the perf-regression guard.
 """
 
 from repro.exp.bench import (
@@ -11,7 +13,8 @@ from repro.exp.bench import (
     perf_record,
     run_hotpath_benchmark,
 )
-from repro.exp.runner import run_scenarios, run_trials, trial_seed
+from repro.exp.perfguard import Regression, find_regressions, format_regressions
+from repro.exp.runner import TrialPool, run_scenarios, run_trials, trial_seed
 from repro.exp.scenarios import (
     FaultEvent,
     ScenarioResult,
@@ -24,23 +27,39 @@ from repro.exp.scenarios import (
     run_scenario,
     scenario_names,
 )
+from repro.exp.training import (
+    ActorRollout,
+    ActorTask,
+    default_experiment_dqn_config,
+    run_actor_episode,
+    train_dqn_sharded,
+)
 
 __all__ = [
+    "ActorRollout",
+    "ActorTask",
     "FaultEvent",
     "HOTPATH_SCENARIOS",
-    "measure_engine",
-    "perf_record",
-    "run_hotpath_benchmark",
+    "Regression",
     "ScenarioResult",
     "ScenarioSpec",
     "ScenarioWorkload",
     "TrafficPhase",
+    "TrialPool",
     "all_scenarios",
+    "default_experiment_dqn_config",
+    "find_regressions",
+    "format_regressions",
     "get_scenario",
+    "measure_engine",
+    "perf_record",
     "register_scenario",
+    "run_actor_episode",
+    "run_hotpath_benchmark",
     "run_scenario",
     "run_scenarios",
     "run_trials",
     "scenario_names",
+    "train_dqn_sharded",
     "trial_seed",
 ]

@@ -1,0 +1,128 @@
+"""Perf-regression guard over the shared ``benchmarks/results/`` schema.
+
+Every perf artefact in this repository records runs as
+``{"scenario", "cycles", "wall_s", "cycles_per_s"}`` dicts (plus free-form
+extras such as the engine name — see :func:`repro.exp.bench.perf_record`).
+This module compares a fresh set of runs against a stored baseline artefact
+and flags every scenario whose ``cycles_per_s`` fell below
+``tolerance * baseline``:
+
+* ``repro-noc bench --check --baseline benchmarks/results/hotpath.json``
+  exits nonzero when the hot-path engines regress past tolerance;
+* ``benchmarks/bench_parallel_sweep.py`` runs the same comparison against
+  its previous artefact (advisory: recorded in the payload, not fatal).
+
+Records are matched by ``(scenario, engine)``; scenarios present on only
+one side are ignored (new benchmarks must not fail the guard, retired ones
+must not block it).  When a side holds several samples for one key the
+fastest is used, mirroring the best-of-N convention of the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+DEFAULT_TOLERANCE = 0.75
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One (scenario, engine) whose throughput fell past tolerance."""
+
+    scenario: str
+    engine: str
+    baseline_cycles_per_s: float
+    current_cycles_per_s: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_cycles_per_s <= 0:
+            return 0.0
+        return self.current_cycles_per_s / self.baseline_cycles_per_s
+
+    def describe(self) -> str:
+        label = f"{self.scenario}[{self.engine}]" if self.engine else self.scenario
+        return (
+            f"{label}: {self.current_cycles_per_s:,.0f} cycles/s vs baseline "
+            f"{self.baseline_cycles_per_s:,.0f} ({self.ratio:.2f}x < tolerance "
+            f"{self.tolerance:.2f})"
+        )
+
+
+def extract_records(payload) -> list[dict]:
+    """Pull the perf-record list out of ``payload``.
+
+    Accepts a bare record list, a benchmark payload with a ``"runs"`` key
+    (the hot-path and parallel-sweep artefacts), or a single record dict.
+    """
+    if isinstance(payload, Mapping):
+        if "runs" in payload:
+            return list(payload["runs"])
+        if "scenario" in payload:
+            return [dict(payload)]
+        raise ValueError("payload dict carries neither 'runs' nor a perf record")
+    return [dict(record) for record in payload]
+
+
+def _best_by_key(records: Iterable[dict]) -> dict[tuple[str, str], float]:
+    best: dict[tuple[str, str], float] = {}
+    for record in records:
+        key = (str(record["scenario"]), str(record.get("engine", "")))
+        cycles_per_s = float(record["cycles_per_s"])
+        if key not in best or cycles_per_s > best[key]:
+            best[key] = cycles_per_s
+    return best
+
+
+def find_regressions(current, baseline, tolerance: float = DEFAULT_TOLERANCE) -> list[Regression]:
+    """Compare two artefacts; return the scenarios regressing past tolerance.
+
+    ``tolerance`` is the fraction of baseline throughput that must be
+    retained: 0.75 tolerates a 25% slowdown (benchmarks on shared CI runners
+    are noisy), 1.0 demands parity.
+    """
+    if not 0.0 < tolerance:
+        raise ValueError("tolerance must be positive")
+    current_best = _best_by_key(extract_records(current))
+    baseline_best = _best_by_key(extract_records(baseline))
+    regressions = []
+    for key in sorted(current_best.keys() & baseline_best.keys()):
+        baseline_cps = baseline_best[key]
+        current_cps = current_best[key]
+        if baseline_cps <= 0:
+            continue
+        if current_cps < tolerance * baseline_cps:
+            scenario, engine = key
+            regressions.append(
+                Regression(
+                    scenario=scenario,
+                    engine=engine,
+                    baseline_cycles_per_s=baseline_cps,
+                    current_cycles_per_s=current_cps,
+                    tolerance=tolerance,
+                )
+            )
+    return regressions
+
+
+def format_regressions(regressions: list[Regression]) -> str:
+    if not regressions:
+        return "perf guard: no regressions past tolerance"
+    lines = [f"perf guard: {len(regressions)} regression(s) past tolerance"]
+    lines.extend(f"  {regression.describe()}" for regression in regressions)
+    return "\n".join(lines)
+
+
+def check_against_baseline(
+    current, baseline_path: str | Path, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Regression]:
+    """Compare ``current`` (payload or record list) against a baseline file."""
+    baseline_path = Path(baseline_path)
+    if not baseline_path.exists():
+        raise FileNotFoundError(f"perf baseline {baseline_path} does not exist")
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    return find_regressions(current, baseline, tolerance)

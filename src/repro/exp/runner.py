@@ -40,6 +40,53 @@ def default_chunk_size(num_trials: int, jobs: int) -> int:
     return max(1, num_trials // (jobs * 4))
 
 
+class TrialPool:
+    """A reusable process pool with :func:`run_trials`' ordering contract.
+
+    Unlike :func:`run_trials` (which builds and tears down an executor per
+    call), a :class:`TrialPool` keeps its worker processes alive across
+    ``run`` calls, which matters for callers that fan out many small rounds —
+    the sharded DQN trainer dispatches one actor round per policy sync and
+    would otherwise pay pool startup on every round.  ``jobs=1`` degrades to
+    a plain in-process loop and spawns nothing.  Use as a context manager
+    (or call :meth:`close`) to release the workers.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self._pool: ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> "TrialPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def run(
+        self,
+        worker: Callable[[TrialT], ResultT],
+        trials: Iterable[TrialT],
+        *,
+        chunk_size: int | None = None,
+    ) -> list[ResultT]:
+        """Run ``worker`` over ``trials``; results come back in trial order."""
+        trial_list = list(trials)
+        if self.jobs == 1 or len(trial_list) <= 1:
+            return [worker(trial) for trial in trial_list]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        if chunk_size is None:
+            chunk_size = default_chunk_size(len(trial_list), min(self.jobs, len(trial_list)))
+        return list(self._pool.map(worker, trial_list, chunksize=chunk_size))
+
+
 def run_trials(
     worker: Callable[[TrialT], ResultT],
     trials: Iterable[TrialT],
@@ -54,16 +101,8 @@ def run_trials(
     must pickle (the in-process ``jobs=1`` path imposes no such constraint
     but every worker in this repository honours it anyway).
     """
-    if jobs < 1:
-        raise ValueError("jobs must be at least 1")
-    trial_list = list(trials)
-    if jobs == 1 or len(trial_list) <= 1:
-        return [worker(trial) for trial in trial_list]
-    workers = min(jobs, len(trial_list))
-    if chunk_size is None:
-        chunk_size = default_chunk_size(len(trial_list), workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(worker, trial_list, chunksize=chunk_size))
+    with TrialPool(jobs) as pool:
+        return pool.run(worker, trials, chunk_size=chunk_size)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,281 @@
+"""Sharded DQN training: parallel actor rollouts feeding a single learner.
+
+The serial trainer (:func:`repro.core.training.train_dqn_controller`)
+interleaves environment rollout and gradient descent in one loop, which
+caps training throughput at a single core.  This module splits the two
+roles the way distributed DQN implementations do:
+
+* **Actors** — ``jobs`` worker processes.  Each actor task runs one rollout
+  episode against its *own* :class:`~repro.core.environment.NoCConfigEnv`,
+  choosing actions epsilon-greedily from a broadcast snapshot of the online
+  network, and ships the episode's transition batch back to the parent in
+  the compact :func:`~repro.rl.replay.pack_transitions` wire format.
+* **Learner** — the parent process.  It feeds returned transitions (in
+  episode order) through the one true ``DQNAgent`` — the existing
+  :class:`~repro.rl.replay.ReplayBuffer`/``PrioritizedReplayBuffer`` and
+  ``train_step`` machinery — so minibatch sampling, target-network syncs
+  and train-interval bookkeeping behave exactly as in serial training.
+* **Policy broadcast** — actors run against a possibly stale weight
+  snapshot; the snapshot is refreshed from the learner every
+  ``sync_interval`` rounds (one round = ``jobs`` episodes).
+
+RNG-order contract (same discipline as the PR 2 engine toggles):
+
+* ``jobs=1`` runs the *exact* serial loop — same environment factory, same
+  agent, same call order — and is bit-identical to
+  ``train_dqn_controller`` (timing fields excluded).
+* ``jobs>=2`` derives every random stream from the episode index alone:
+  episode ``e`` rolls out on an environment seeded with
+  ``trial_seed(seed, e)``, explores with an RNG seeded
+  ``trial_seed(seed + 1, e)``, and evaluates the epsilon schedule at global
+  step ``e * steps_per_episode + t``.  Results therefore depend only on
+  ``(episodes, jobs, sync_interval, config)`` — never on process
+  scheduling — and repeated runs are identical.
+
+Resume: :func:`train_dqn_sharded` accepts a ``resume_from``
+:class:`~repro.core.training.TrainingResult` (typically restored via
+:mod:`repro.core.checkpoint`).  With the checkpoint's full training state
+(optimizer slots, exploration RNG, replay buffer) restored, the continued
+run reproduces the uninterrupted run's tail bit for bit; sharded resumes
+must restart at a round boundary (``episodes_trained % jobs == 0``) and, for
+``sync_interval > 1``, at a sync boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig
+from repro.core.training import (
+    TrainingResult,
+    default_dqn_config,
+    record_training_timing,
+    run_training_episode,
+)
+from repro.exp.runner import TrialPool, trial_seed
+from repro.rl.agent import Transition
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.replay import pack_transitions, unpack_transitions
+
+
+def default_experiment_dqn_config(experiment: ExperimentConfig, **overrides) -> DQNConfig:
+    """The :func:`default_dqn_config` sized from an experiment's spaces.
+
+    Identical to probing a built environment, but without paying for the
+    warm-up simulation an ``env.reset()`` would run.
+    """
+    probe = SimpleNamespace(
+        observation_dim=experiment.build_feature_extractor().dim,
+        num_actions=experiment.build_action_space().size,
+    )
+    return default_dqn_config(probe, **overrides)
+
+
+@dataclass(frozen=True)
+class ActorTask:
+    """Everything one actor process needs to roll out one episode.
+
+    Plain data end to end: the experiment spec, the agent hyperparameters,
+    a weight snapshot (``MLP.get_state`` payload) and the episode index the
+    RNG streams and the epsilon schedule position derive from.
+    """
+
+    experiment: ExperimentConfig
+    dqn_config: DQNConfig
+    network_state: dict
+    episode_index: int
+    steps_per_episode: int
+
+
+@dataclass(frozen=True)
+class ActorRollout:
+    """One episode's transition batch plus its training-curve samples."""
+
+    episode_index: int
+    transitions: dict
+    episode_return: float
+    mean_latency: float
+    mean_energy: float
+
+
+def run_actor_episode(task: ActorTask) -> ActorRollout:
+    """Roll out one episode under the broadcast policy (module-level: picklable).
+
+    The actor never trains — it only evaluates the snapshot network — so the
+    learner's optimizer, replay and target-network state stay in one place.
+    """
+    config = task.dqn_config
+    env = task.experiment.build_environment(
+        seed_offset=trial_seed(config.seed, task.episode_index)
+    )
+    agent = DQNAgent(config)
+    agent.online.set_state(task.network_state)
+    # Reuse the agent's own EpsilonGreedyPolicy (one exploration code path
+    # repo-wide), repositioned for this episode: a per-episode RNG stream and
+    # the schedule step the serial trainer would have reached by now.
+    agent.policy.set_state(
+        {
+            "steps": task.episode_index * task.steps_per_episode,
+            "rng": np.random.default_rng(
+                trial_seed(config.seed + 1, task.episode_index)
+            ).bit_generator.state,
+        }
+    )
+
+    observation = env.reset()
+    transitions: list[Transition] = []
+    episode_return = 0.0
+    latencies: list[float] = []
+    energies: list[float] = []
+    done = False
+    while not done:
+        action = agent.act(observation, explore=True)
+        next_observation, reward, done, info = env.step(action)
+        transitions.append(
+            Transition(
+                state=observation,
+                action=action,
+                reward=reward,
+                next_state=next_observation,
+                done=done,
+            )
+        )
+        observation = next_observation
+        episode_return += reward
+        telemetry = info["telemetry"]
+        latencies.append(telemetry.average_total_latency)
+        energies.append(telemetry.energy_per_flit_pj)
+
+    return ActorRollout(
+        episode_index=task.episode_index,
+        transitions=pack_transitions(transitions),
+        episode_return=episode_return,
+        mean_latency=float(np.mean(latencies)) if latencies else 0.0,
+        mean_energy=float(np.mean(energies)) if energies else 0.0,
+    )
+
+
+def _resolve_agent_and_result(
+    experiment: ExperimentConfig,
+    dqn_config: DQNConfig | None,
+    resume_from: TrainingResult | None,
+    dqn_overrides: dict,
+) -> tuple[DQNAgent, TrainingResult]:
+    if resume_from is not None:
+        agent = resume_from.agent
+        if not isinstance(agent, DQNAgent):
+            raise TypeError(
+                "resume_from must carry a DQNAgent "
+                f"(got {type(agent).__name__}); restore one via repro.core.checkpoint"
+            )
+        if dqn_config is not None or dqn_overrides:
+            raise ValueError(
+                "dqn_config/overrides cannot be combined with resume_from; "
+                "the resumed agent already fixes the hyperparameters"
+            )
+        result = TrainingResult(
+            agent=agent,
+            episode_returns=list(resume_from.episode_returns),
+            episode_mean_latency=list(resume_from.episode_mean_latency),
+            episode_mean_energy_per_flit=list(resume_from.episode_mean_energy_per_flit),
+        )
+        return agent, result
+    config = dqn_config or default_experiment_dqn_config(experiment, **dqn_overrides)
+    agent = DQNAgent(config)
+    return agent, TrainingResult(agent=agent)
+
+
+def train_dqn_sharded(
+    experiment: ExperimentConfig,
+    episodes: int = 30,
+    *,
+    jobs: int = 1,
+    sync_interval: int = 1,
+    dqn_config: DQNConfig | None = None,
+    resume_from: TrainingResult | None = None,
+    **dqn_overrides,
+) -> TrainingResult:
+    """Train a DQN controller on ``experiment``, sharding rollouts over ``jobs``.
+
+    ``episodes`` is the *total* target episode count; with ``resume_from``
+    the engine trains only the remaining ``episodes - resume_from.episodes``
+    and returns the combined curve.  ``jobs=1`` is the serial reference
+    path (bit-identical to :func:`~repro.core.training.train_dqn_controller`);
+    ``jobs>=2`` fans actor rollouts over a persistent process pool and
+    broadcasts learner weights every ``sync_interval`` rounds.
+    """
+    if episodes < 1:
+        raise ValueError("episodes must be positive")
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if sync_interval < 1:
+        raise ValueError("sync_interval must be at least 1")
+
+    agent, result = _resolve_agent_and_result(experiment, dqn_config, resume_from, dqn_overrides)
+    start_episode = result.episodes
+    if start_episode >= episodes:
+        return result
+
+    if jobs == 1:
+        env = experiment.build_environment(seed_offset=start_episode)
+        start = time.perf_counter()
+        for _ in range(start_episode, episodes):
+            episode_return, mean_latency, mean_energy = run_training_episode(env, agent)
+            result.episode_returns.append(episode_return)
+            result.episode_mean_latency.append(mean_latency)
+            result.episode_mean_energy_per_flit.append(mean_energy)
+        record_training_timing(result, episodes - start_episode, time.perf_counter() - start)
+        return result
+
+    if start_episode % jobs != 0:
+        raise ValueError(
+            f"sharded resume must start at a round boundary: {start_episode} trained "
+            f"episodes is not divisible by jobs={jobs}"
+        )
+    if start_episode and (start_episode // jobs) % sync_interval != 0:
+        # Resuming mid-sync-window would force a fresh broadcast where the
+        # uninterrupted run used a stale one, silently breaking the
+        # bit-identical-resume contract.
+        raise ValueError(
+            f"sharded resume must start at a policy-sync boundary: round "
+            f"{start_episode // jobs} is not a multiple of sync_interval={sync_interval}"
+        )
+
+    steps_per_episode = experiment.episode_epochs
+    round_index = start_episode // jobs
+    broadcast_state: dict | None = None
+    start = time.perf_counter()
+    with TrialPool(jobs) as pool:
+        episode = start_episode
+        while episode < episodes:
+            if broadcast_state is None or round_index % sync_interval == 0:
+                broadcast_state = agent.online.get_state()
+            round_episodes = range(episode, min(episode + jobs, episodes))
+            tasks = [
+                ActorTask(
+                    experiment=experiment,
+                    dqn_config=agent.config,
+                    network_state=broadcast_state,
+                    episode_index=index,
+                    steps_per_episode=steps_per_episode,
+                )
+                for index in round_episodes
+            ]
+            # One task per actor per round: chunk_size=1 so every worker
+            # process gets exactly one episode.
+            rollouts = pool.run(run_actor_episode, tasks, chunk_size=1)
+            for rollout in rollouts:
+                for transition in unpack_transitions(rollout.transitions):
+                    agent.observe(transition)
+                agent.end_episode()
+                result.episode_returns.append(rollout.episode_return)
+                result.episode_mean_latency.append(rollout.mean_latency)
+                result.episode_mean_energy_per_flit.append(rollout.mean_energy)
+            episode += len(round_episodes)
+            round_index += 1
+    record_training_timing(result, episodes - start_episode, time.perf_counter() - start)
+    return result

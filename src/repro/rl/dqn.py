@@ -215,6 +215,26 @@ class DQNAgent:
         self.train_steps = int(state.get("train_steps", 0))
         self.observe_steps = int(state.get("observe_steps", 0))
 
+    def get_training_state(self) -> dict:
+        """Everything beyond :meth:`get_state` needed for *exact* resume.
+
+        Restoring this alongside the learned parameters makes continued
+        training bit-identical to a run that never stopped: the optimizer
+        slots, the exploration schedule position and RNG stream, and the
+        replay buffer (contents, write cursor and sampling RNG stream) all
+        pick up exactly where they left off.
+        """
+        return {
+            "optimizer": self.optimizer.get_state(),
+            "policy": self.policy.get_state(),
+            "buffer": self.buffer.get_state(),
+        }
+
+    def set_training_state(self, state: dict) -> None:
+        self.optimizer.set_state(state["optimizer"])
+        self.policy.set_state(state["policy"])
+        self.buffer.set_state(state["buffer"])
+
     @property
     def epsilon(self) -> float:
         return self.policy.epsilon

@@ -19,6 +19,17 @@ class Optimizer(ABC):
     def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
         """Apply one update step in place."""
 
+    def get_state(self) -> dict:
+        """Snapshot of the optimizer's slot variables (for exact resume).
+
+        The payload maps slot names to lists of arrays (one per parameter)
+        plus optional scalars; stateless optimizers return an empty dict.
+        """
+        return {}
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+
     def _check(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
         if len(params) != len(grads):
             raise ValueError("parameter and gradient lists must have the same length")
@@ -57,6 +68,15 @@ class Momentum(Optimizer):
             velocity -= self.learning_rate * grad
             param += velocity
 
+    def get_state(self) -> dict:
+        if self._velocity is None:
+            return {}
+        return {"velocity": [array.copy() for array in self._velocity]}
+
+    def set_state(self, state: dict) -> None:
+        if "velocity" in state:
+            self._velocity = [np.asarray(array, dtype=float).copy() for array in state["velocity"]]
+
 
 class RMSProp(Optimizer):
     """RMSProp (the optimizer used by the original DQN paper)."""
@@ -79,6 +99,17 @@ class RMSProp(Optimizer):
             mean_square *= self.decay
             mean_square += (1.0 - self.decay) * grad**2
             param -= self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)
+
+    def get_state(self) -> dict:
+        if self._mean_square is None:
+            return {}
+        return {"mean_square": [array.copy() for array in self._mean_square]}
+
+    def set_state(self, state: dict) -> None:
+        if "mean_square" in state:
+            self._mean_square = [
+                np.asarray(array, dtype=float).copy() for array in state["mean_square"]
+            ]
 
 
 class Adam(Optimizer):
@@ -117,6 +148,21 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def get_state(self) -> dict:
+        if self._m is None:
+            return {"step_count": self._step_count}
+        return {
+            "step_count": self._step_count,
+            "m": [array.copy() for array in self._m],
+            "v": [array.copy() for array in self._v],
+        }
+
+    def set_state(self, state: dict) -> None:
+        self._step_count = int(state.get("step_count", 0))
+        if "m" in state:
+            self._m = [np.asarray(array, dtype=float).copy() for array in state["m"]]
+            self._v = [np.asarray(array, dtype=float).copy() for array in state["v"]]
 
 
 _OPTIMIZERS = {

@@ -76,6 +76,16 @@ class EpsilonGreedyPolicy:
                 return int(self._rng.integers(q_values.size))
         return int(np.argmax(q_values))
 
+    # -- checkpointing -------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Snapshot of the step counter and exploration RNG stream."""
+        return {"steps": self.steps, "rng": self._rng.bit_generator.state}
+
+    def set_state(self, state: dict) -> None:
+        self.steps = int(state["steps"])
+        self._rng.bit_generator.state = state["rng"]
+
 
 class SoftmaxPolicy:
     """Boltzmann exploration: sample actions proportionally to exp(Q / tau)."""

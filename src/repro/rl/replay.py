@@ -33,10 +33,7 @@ class ReplayBuffer:
         self._next_index = (self._next_index + 1) % self.capacity
 
     def sample(self, batch_size: int) -> list[Transition]:
-        if batch_size < 1:
-            raise ValueError("batch size must be positive")
-        if not self._storage:
-            raise ValueError("cannot sample from an empty replay buffer")
+        _check_batch_size(batch_size, len(self._storage))
         indices = self._rng.integers(0, len(self._storage), size=batch_size)
         return [self._storage[index] for index in indices]
 
@@ -44,6 +41,29 @@ class ReplayBuffer:
         """Sample and stack into (states, actions, rewards, next_states, dones)."""
         batch = self.sample(batch_size)
         return _stack(batch)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Snapshot of the stored transitions, write cursor and RNG stream."""
+        return {
+            "transitions": pack_transitions(self._storage),
+            "next_index": self._next_index,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        storage = unpack_transitions(state["transitions"])
+        if len(storage) > self.capacity:
+            # Validate before mutating so a failed restore leaves the buffer
+            # untouched rather than half-swapped.
+            raise ValueError(
+                f"checkpointed buffer holds {len(storage)} transitions "
+                f"but capacity is {self.capacity}"
+            )
+        self._storage = storage
+        self._next_index = int(state["next_index"])
+        self._rng.bit_generator.state = state["rng"]
 
 
 class PrioritizedReplayBuffer:
@@ -90,11 +110,8 @@ class PrioritizedReplayBuffer:
 
     def sample(self, batch_size: int):
         """Return (transitions, indices, importance_weights)."""
-        if batch_size < 1:
-            raise ValueError("batch size must be positive")
         size = len(self._storage)
-        if size == 0:
-            raise ValueError("cannot sample from an empty replay buffer")
+        _check_batch_size(batch_size, size)
         scaled = self._priorities[:size] ** self.alpha
         total = scaled.sum()
         if total <= 0:
@@ -112,6 +129,85 @@ class PrioritizedReplayBuffer:
         for index, priority in zip(indices, td_errors):
             self._priorities[index] = priority
             self._max_priority = max(self._max_priority, float(priority))
+
+    # -- checkpointing -------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Snapshot of transitions, priorities, write cursor and RNG stream."""
+        return {
+            "transitions": pack_transitions(self._storage),
+            "priorities": self._priorities.copy(),
+            "next_index": self._next_index,
+            "max_priority": self._max_priority,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        storage = unpack_transitions(state["transitions"])
+        if len(storage) > self.capacity:
+            # Validate before mutating so a failed restore leaves the buffer
+            # untouched rather than half-swapped.
+            raise ValueError(
+                f"checkpointed buffer holds {len(storage)} transitions "
+                f"but capacity is {self.capacity}"
+            )
+        self._storage = storage
+        self._priorities = np.asarray(state["priorities"], dtype=float).copy()
+        self._next_index = int(state["next_index"])
+        self._max_priority = float(state["max_priority"])
+        self._rng.bit_generator.state = state["rng"]
+
+
+def _check_batch_size(batch_size: int, available: int) -> None:
+    if batch_size < 1:
+        raise ValueError("batch size must be positive")
+    if available == 0:
+        raise ValueError("cannot sample from an empty replay buffer")
+    if batch_size > available:
+        raise ValueError(
+            f"batch size {batch_size} exceeds the {available} transition(s) "
+            "currently stored; wait for the buffer to warm up or sample fewer"
+        )
+
+
+def pack_transitions(batch: list[Transition] | tuple[Transition, ...]) -> dict:
+    """Stack transitions into a compact dict of arrays (picklable, npz-able).
+
+    This is the wire format actor processes use to ship rollout batches to
+    the learner, and the storage format replay-buffer checkpoints use; it is
+    lossless for the float observation vectors the environments emit.
+    """
+    batch = list(batch)
+    if not batch:
+        return {
+            "states": np.zeros((0, 0)),
+            "actions": np.zeros(0, dtype=int),
+            "rewards": np.zeros(0),
+            "next_states": np.zeros((0, 0)),
+            "dones": np.zeros(0, dtype=bool),
+        }
+    states, actions, rewards, next_states, dones = _stack(batch)
+    return {
+        "states": states,
+        "actions": actions,
+        "rewards": rewards,
+        "next_states": next_states,
+        "dones": np.asarray([t.done for t in batch], dtype=bool),
+    }
+
+
+def unpack_transitions(arrays: dict) -> list[Transition]:
+    """Rebuild the :class:`Transition` list packed by :func:`pack_transitions`."""
+    return [
+        Transition(
+            state=np.asarray(arrays["states"][index], dtype=float),
+            action=int(arrays["actions"][index]),
+            reward=float(arrays["rewards"][index]),
+            next_state=np.asarray(arrays["next_states"][index], dtype=float),
+            done=bool(arrays["dones"][index]),
+        )
+        for index in range(len(arrays["actions"]))
+    ]
 
 
 def _stack(batch: list[Transition]):

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.config import ExperimentConfig, TrafficSpec
 from repro.core.environment import NoCConfigEnv
-from repro.noc.network import SimulatorConfig
 from repro.noc.stats import EpochTelemetry
 
 

@@ -1,0 +1,143 @@
+"""Tests for the perf-regression guard and its ``repro-noc bench`` wiring."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.exp.bench import perf_record
+from repro.exp.perfguard import (
+    check_against_baseline,
+    extract_records,
+    find_regressions,
+    format_regressions,
+)
+
+
+def records(**cycles_per_s_by_scenario):
+    return [
+        perf_record(scenario, cycles=10_000, wall_s=10_000 / cps)
+        for scenario, cps in cycles_per_s_by_scenario.items()
+    ]
+
+
+class TestExtractRecords:
+    def test_accepts_bare_lists_payloads_and_single_records(self):
+        record = perf_record("uniform", 1000, 1.0)
+        assert extract_records([record]) == [record]
+        assert extract_records({"runs": [record], "seed": 0}) == [record]
+        assert extract_records(record) == [record]
+
+    def test_rejects_unrecognised_dicts(self):
+        with pytest.raises(ValueError):
+            extract_records({"speedups": {}})
+
+
+class TestFindRegressions:
+    def test_detects_a_regression_past_tolerance(self):
+        baseline = records(uniform=1000.0, bursty=500.0)
+        current = records(uniform=600.0, bursty=490.0)  # uniform lost 40%
+        regressions = find_regressions(current, baseline, tolerance=0.75)
+        assert [regression.scenario for regression in regressions] == ["uniform"]
+        assert regressions[0].ratio == pytest.approx(0.6)
+        assert "uniform" in format_regressions(regressions)
+
+    def test_within_tolerance_passes(self):
+        baseline = records(uniform=1000.0)
+        current = records(uniform=800.0)  # -20% is inside 0.75
+        assert find_regressions(current, baseline, tolerance=0.75) == []
+
+    def test_improvements_pass(self):
+        baseline = records(uniform=1000.0)
+        current = records(uniform=2000.0)
+        assert find_regressions(current, baseline) == []
+
+    def test_scenarios_on_one_side_only_are_ignored(self):
+        baseline = records(uniform=1000.0, retired=9999.0)
+        current = records(uniform=900.0, brand_new=1.0)
+        assert find_regressions(current, baseline) == []
+
+    def test_records_match_on_scenario_and_engine(self):
+        baseline = [
+            perf_record("uniform", 1000, 1.0, engine="naive"),
+            perf_record("uniform", 4000, 1.0, engine="activity"),
+        ]
+        current = [
+            perf_record("uniform", 1000, 1.0, engine="naive"),
+            perf_record("uniform", 1000, 1.0, engine="activity"),  # 4x slower
+        ]
+        regressions = find_regressions(current, baseline, tolerance=0.75)
+        assert [(r.scenario, r.engine) for r in regressions] == [("uniform", "activity")]
+
+    def test_best_of_duplicate_samples_is_used(self):
+        baseline = records(uniform=1000.0)
+        current = records(uniform=100.0) + records(uniform=990.0)
+        assert find_regressions(current, baseline) == []
+
+    def test_rejects_non_positive_tolerance(self):
+        with pytest.raises(ValueError):
+            find_regressions([], [], tolerance=0.0)
+
+    def test_zero_baseline_throughput_is_skipped(self):
+        baseline = [perf_record("uniform", 1000, 0.0)]  # cycles_per_s == 0
+        current = records(uniform=1.0)
+        assert find_regressions(current, baseline) == []
+
+
+class TestCheckAgainstBaseline:
+    def test_missing_baseline_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            check_against_baseline([], tmp_path / "nowhere.json")
+
+    def test_reads_baseline_payload_from_disk(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps({"runs": records(uniform=1000.0)}))
+        regressions = check_against_baseline(
+            records(uniform=100.0), baseline_path, tolerance=0.75
+        )
+        assert len(regressions) == 1
+
+
+BENCH_ARGS = [
+    "bench",
+    "--scenarios",
+    "powersave-idle",
+    "--repeats",
+    "1",
+    "--epochs",
+    "1",
+    "--epoch-cycles",
+    "40",
+]
+
+
+class TestBenchCheckCli:
+    """End-to-end wiring: `repro-noc bench --check --baseline ... --tolerance ...`."""
+
+    def _baseline(self, tmp_path, cycles_per_s: float) -> str:
+        runs = [
+            perf_record("powersave-idle", 40, 40 / cycles_per_s, engine=engine)
+            for engine in ("naive", "activity")
+        ]
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"runs": runs}))
+        return str(path)
+
+    def test_regressed_baseline_exits_nonzero(self, tmp_path, capsys):
+        baseline = self._baseline(tmp_path, cycles_per_s=1e12)
+        code = cli.main(BENCH_ARGS + ["--check", "--baseline", baseline])
+        assert code == 3
+        assert "regression" in capsys.readouterr().out
+
+    def test_healthy_baseline_exits_zero(self, tmp_path, capsys):
+        baseline = self._baseline(tmp_path, cycles_per_s=1e-6)
+        code = cli.main(
+            BENCH_ARGS + ["--check", "--baseline", baseline, "--tolerance", "0.75"]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_check_without_baseline_is_an_error(self, capsys):
+        code = cli.main(BENCH_ARGS + ["--check"])
+        assert code == 2
+        assert "--baseline" in capsys.readouterr().err

@@ -5,7 +5,13 @@ import pickle
 import pytest
 
 from repro.analysis.sweep import SweepTrial, _measure_point, load_latency_sweep
-from repro.exp.runner import default_chunk_size, run_scenarios, run_trials, trial_seed
+from repro.exp.runner import (
+    TrialPool,
+    default_chunk_size,
+    run_scenarios,
+    run_trials,
+    trial_seed,
+)
 from repro.noc import SimulatorConfig
 
 CONFIG = SimulatorConfig(width=4)
@@ -39,6 +45,39 @@ class TestRunTrials:
         assert default_chunk_size(0, 4) == 1
         assert default_chunk_size(6, 4) == 1
         assert default_chunk_size(64, 4) == 4
+
+
+class TestTrialPool:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            TrialPool(0)
+
+    def test_serial_pool_runs_in_process(self):
+        with TrialPool(1) as pool:
+            trials = [
+                SweepTrial(CONFIG, "uniform", rate, 50, 100, seed=1, dvfs_level=0)
+                for rate in (0.05, 0.10)
+            ]
+            points = pool.run(_measure_point, trials)
+        assert [point.injection_rate for point in points] == [0.05, 0.10]
+
+    def test_close_is_idempotent(self):
+        pool = TrialPool(1)
+        pool.run(_measure_point, [])
+        pool.close()
+        pool.close()
+
+    @pytest.mark.slow
+    def test_pool_reuse_across_rounds_matches_serial(self):
+        trials = [
+            SweepTrial(CONFIG, "uniform", rate, 50, 100, seed=1, dvfs_level=0)
+            for rate in (0.05, 0.10, 0.15, 0.20)
+        ]
+        serial = [_measure_point(trial) for trial in trials]
+        with TrialPool(2) as pool:
+            first_round = pool.run(_measure_point, trials[:2])
+            second_round = pool.run(_measure_point, trials[2:])
+        assert first_round + second_round == serial
 
 
 class TestPicklability:

@@ -6,7 +6,6 @@ from repro.exp.scenarios import (
     FaultEvent,
     ScenarioSpec,
     TrafficPhase,
-    all_scenarios,
     get_scenario,
     register_scenario,
     run_scenario,

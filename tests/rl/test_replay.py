@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.rl.agent import Transition
-from repro.rl.replay import PrioritizedReplayBuffer, ReplayBuffer
+from repro.rl.replay import (
+    PrioritizedReplayBuffer,
+    ReplayBuffer,
+    pack_transitions,
+    unpack_transitions,
+)
 
 
 def make_transition(value: float, action: int = 0, done: bool = False) -> Transition:
@@ -45,7 +50,7 @@ class TestReplayBuffer:
         for value in range(5):
             buffer.add(make_transition(float(value)))
         assert len(buffer) == 3
-        rewards = {t.reward for t in buffer.sample(50)}
+        rewards = {t.reward for _ in range(20) for t in buffer.sample(3)}
         assert rewards.issubset({2.0, 3.0, 4.0})
         assert 0.0 not in rewards
 
@@ -53,17 +58,27 @@ class TestReplayBuffer:
         buffer = ReplayBuffer(10, seed=1)
         for value in range(10):
             buffer.add(make_transition(float(value)))
-        rewards = {t.reward for t in buffer.sample(500)}
+        rewards = {t.reward for _ in range(50) for t in buffer.sample(10)}
         assert rewards == {float(v) for v in range(10)}
+
+    def test_oversized_batches_are_rejected(self):
+        buffer = ReplayBuffer(8, seed=0)
+        for value in range(3):
+            buffer.add(make_transition(float(value)))
+        with pytest.raises(ValueError, match="exceeds"):
+            buffer.sample(4)
+        with pytest.raises(ValueError, match="exceeds"):
+            buffer.sample_arrays(4)
+        assert len(buffer.sample(3)) == 3
 
     def test_sample_arrays_shapes(self):
         buffer = ReplayBuffer(8, seed=2)
         for value in range(8):
             buffer.add(make_transition(float(value), action=value % 3, done=value == 7))
-        states, actions, rewards, next_states, dones = buffer.sample_arrays(16)
-        assert states.shape == (16, 2)
-        assert next_states.shape == (16, 2)
-        assert actions.shape == rewards.shape == dones.shape == (16,)
+        states, actions, rewards, next_states, dones = buffer.sample_arrays(8)
+        assert states.shape == (8, 2)
+        assert next_states.shape == (8, 2)
+        assert actions.shape == rewards.shape == dones.shape == (8,)
         assert actions.dtype.kind == "i"
         assert set(np.unique(dones)).issubset({0.0, 1.0})
 
@@ -72,7 +87,35 @@ class TestReplayBuffer:
         for value in range(8):
             a.add(make_transition(float(value)))
             b.add(make_transition(float(value)))
-        assert [t.reward for t in a.sample(10)] == [t.reward for t in b.sample(10)]
+        assert [t.reward for t in a.sample(8)] == [t.reward for t in b.sample(8)]
+
+    def test_state_round_trip_resumes_sampling_stream(self):
+        buffer = ReplayBuffer(8, seed=4)
+        for value in range(6):
+            buffer.add(make_transition(float(value)))
+        buffer.sample(4)  # advance the RNG stream
+        state = buffer.get_state()
+
+        clone = ReplayBuffer(8, seed=99)
+        clone.set_state(state)
+        assert len(clone) == len(buffer)
+        assert [t.reward for t in clone.sample(6)] == [t.reward for t in buffer.sample(6)]
+        # The write cursor survives too: the next add overwrites the same slot.
+        buffer.add(make_transition(77.0))
+        clone.add(make_transition(77.0))
+        assert [t.reward for t in buffer._storage] == [t.reward for t in clone._storage]
+
+    def test_state_round_trip_rejects_overfull_payloads(self):
+        buffer = ReplayBuffer(8, seed=0)
+        for value in range(4):
+            buffer.add(make_transition(float(value)))
+        small = ReplayBuffer(2, seed=0)
+        small.add(make_transition(9.0))
+        with pytest.raises(ValueError, match="capacity"):
+            small.set_state(buffer.get_state())
+        # The failed restore must not have touched the buffer.
+        assert len(small) == 1
+        assert small.sample(1)[0].reward == 9.0
 
 
 class TestPrioritizedReplayBuffer:
@@ -102,16 +145,28 @@ class TestPrioritizedReplayBuffer:
             buffer.add(make_transition(float(value)))
         # Give item 0 a huge TD error and the rest tiny ones.
         buffer.update_priorities(np.arange(10), np.array([100.0] + [0.001] * 9))
-        _, indices, _ = buffer.sample(500)
-        counts = np.bincount(indices, minlength=10)
+        counts = np.zeros(10, dtype=int)
+        for _ in range(50):
+            _, indices, _ = buffer.sample(10)
+            counts += np.bincount(indices, minlength=10)
         assert counts[0] > 300
+
+    def test_oversized_batches_are_rejected(self):
+        buffer = PrioritizedReplayBuffer(8, seed=0)
+        for value in range(3):
+            buffer.add(make_transition(float(value)))
+        with pytest.raises(ValueError, match="exceeds"):
+            buffer.sample(4)
+        transitions, _, _ = buffer.sample(3)
+        assert len(transitions) == 3
 
     def test_wraparound_overwrites_oldest(self):
         buffer = PrioritizedReplayBuffer(3, seed=2)
         for value in range(5):
             buffer.add(make_transition(float(value)))
-        transitions, _, _ = buffer.sample(100)
-        rewards = {t.reward for t in transitions}
+        rewards = {
+            t.reward for _ in range(30) for t in buffer.sample(3)[0]
+        }
         assert rewards.issubset({2.0, 3.0, 4.0})
 
     def test_new_items_get_max_priority(self):
@@ -121,6 +176,46 @@ class TestPrioritizedReplayBuffer:
         buffer.add(make_transition(1.0))
         # The new item inherits the running max priority, so it is sampled
         # roughly as often as the high-priority item.
-        _, indices, _ = buffer.sample(400)
-        counts = np.bincount(indices, minlength=2)
+        counts = np.zeros(2, dtype=int)
+        for _ in range(200):
+            _, indices, _ = buffer.sample(2)
+            counts += np.bincount(indices, minlength=2)
         assert counts[1] > 100
+
+    def test_state_round_trip_resumes_sampling_stream(self):
+        buffer = PrioritizedReplayBuffer(8, alpha=1.0, seed=5)
+        for value in range(6):
+            buffer.add(make_transition(float(value)))
+        buffer.update_priorities(np.arange(6), np.linspace(0.5, 5.0, 6))
+        buffer.sample(4)  # advance the RNG stream
+        state = buffer.get_state()
+
+        clone = PrioritizedReplayBuffer(8, alpha=1.0, seed=99)
+        clone.set_state(state)
+        original_transitions, original_indices, original_weights = buffer.sample(6)
+        clone_transitions, clone_indices, clone_weights = clone.sample(6)
+        np.testing.assert_array_equal(original_indices, clone_indices)
+        np.testing.assert_allclose(original_weights, clone_weights)
+        assert [t.reward for t in original_transitions] == [
+            t.reward for t in clone_transitions
+        ]
+
+
+class TestPackTransitions:
+    def test_round_trip_preserves_every_field(self):
+        batch = [
+            make_transition(float(value), action=value % 3, done=value == 4)
+            for value in range(5)
+        ]
+        arrays = pack_transitions(batch)
+        restored = unpack_transitions(arrays)
+        assert len(restored) == 5
+        for original, rebuilt in zip(batch, restored):
+            np.testing.assert_array_equal(original.state, rebuilt.state)
+            np.testing.assert_array_equal(original.next_state, rebuilt.next_state)
+            assert original.action == rebuilt.action
+            assert original.reward == rebuilt.reward
+            assert original.done == rebuilt.done
+
+    def test_empty_batch_round_trips(self):
+        assert unpack_transitions(pack_transitions([])) == []

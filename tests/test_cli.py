@@ -169,6 +169,49 @@ class TestTrainCommand:
         assert "checkpoint saved" in output
         assert (tmp_path / "ckpt" / "manifest.json").exists()
 
+    def test_train_resume_continues_from_checkpoint(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            ExperimentConfig,
+            "small",
+            classmethod(lambda cls, **kw: ExperimentConfig(
+                traffic=TrafficSpec.synthetic("uniform", 0.1),
+                epoch_cycles=150,
+                episode_epochs=3,
+            )),
+        )
+        ckpt = str(tmp_path / "ckpt")
+        assert cli.main(
+            ["train", "--preset", "small", "--episodes", "1", "--checkpoint", ckpt]
+        ) == 0
+        capsys.readouterr()
+        exit_code = cli.main(
+            ["train", "--preset", "small", "--episodes", "2", "--resume", ckpt]
+        )
+        assert exit_code == 0
+        assert "Resuming" in capsys.readouterr().out
+
+    def test_train_resume_rejects_mismatched_preset(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            ExperimentConfig,
+            "small",
+            classmethod(lambda cls, **kw: ExperimentConfig(
+                traffic=TrafficSpec.synthetic("uniform", 0.1),
+                epoch_cycles=150,
+                episode_epochs=3,
+            )),
+        )
+        ckpt = str(tmp_path / "ckpt")
+        assert cli.main(
+            ["train", "--preset", "small", "--episodes", "1", "--checkpoint", ckpt]
+        ) == 0
+        capsys.readouterr()
+        # The joint preset has a different action space than the checkpoint.
+        exit_code = cli.main(
+            ["train", "--preset", "joint", "--episodes", "2", "--resume", ckpt]
+        )
+        assert exit_code == 2
+        assert "does not fit preset" in capsys.readouterr().err
+
 
 class TestBenchCommand:
     def test_parser_defaults(self):
