@@ -1,48 +1,36 @@
 """Figure 1 — load/latency curve (4x4 mesh, uniform random traffic, XY routing).
 
-Regenerates the classical characterisation plot: average packet latency and
-accepted throughput versus offered load, from well below to beyond the
-saturation point, at the fastest and the slowest DVFS level.
+Thin wrapper over the registered ``fig1`` suite: the offered loads, DVFS
+levels and sweep sizes live in :mod:`repro.exp.suites` as pure data; this
+module runs the suite and asserts the classical saturation behaviour.
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_series, save_rows_csv
-from repro.analysis.sweep import load_latency_sweep
-from repro.noc import SimulatorConfig
-
-RATES = [0.02, 0.08, 0.15, 0.25, 0.40, 0.60]
-SWEEP_KWARGS = dict(warmup_cycles=400, measure_cycles=1_200, seed=3)
 
 
-def test_fig1_load_latency(benchmark, report, results_dir, bench_jobs):
-    config = SimulatorConfig(width=4)
+def test_fig1_load_latency(benchmark, report, results_dir, suite_runner):
+    outcome = benchmark.pedantic(lambda: suite_runner("fig1"), rounds=1, iterations=1)
 
-    def run_sweep():
-        return load_latency_sweep(
-            config, RATES, pattern="uniform", dvfs_level=0, jobs=bench_jobs, **SWEEP_KWARGS
-        )
-
-    turbo_points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    powersave_points = load_latency_sweep(
-        config, RATES, pattern="uniform", dvfs_level=3, jobs=bench_jobs, **SWEEP_KWARGS
-    )
-
+    turbo = outcome.rows("turbo")
+    powersave = outcome.rows("powersave")
+    rates = [row["rate"] for row in turbo]
     series = {
-        "latency_turbo": [p.average_latency for p in turbo_points],
-        "latency_powersave": [p.average_latency for p in powersave_points],
-        "throughput_turbo": [p.throughput for p in turbo_points],
-        "throughput_powersave": [p.throughput for p in powersave_points],
+        "latency_turbo": [row["average_latency"] for row in turbo],
+        "latency_powersave": [row["average_latency"] for row in powersave],
+        "throughput_turbo": [row["throughput"] for row in turbo],
+        "throughput_powersave": [row["throughput"] for row in powersave],
     }
     report(
         "Figure 1 — average latency & accepted throughput vs offered load "
         "(4x4 mesh, uniform, XY)",
-        format_series("offered_load", RATES, series),
+        format_series("offered_load", rates, series),
     )
     save_rows_csv(
         [
             {"rate": rate, **{name: values[i] for name, values in series.items()}}
-            for i, rate in enumerate(RATES)
+            for i, rate in enumerate(rates)
         ],
         results_dir / "fig1_load_latency.csv",
     )

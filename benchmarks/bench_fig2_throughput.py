@@ -1,44 +1,34 @@
 """Figure 2 — accepted throughput vs offered load for deterministic (XY) and
 turn-model adaptive (odd-even, west-first) routing under adversarial traffic.
+
+Thin wrapper over the registered ``fig2`` suite (one sweep unit per routing
+algorithm, all fanned through one process pool).
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_series, save_rows_csv
-from repro.analysis.sweep import routing_throughput_sweep
-from repro.noc import SimulatorConfig
 
-RATES = [0.05, 0.15, 0.25, 0.35, 0.45]
 ALGORITHMS = ["xy", "odd_even", "west_first"]
 
 
-def test_fig2_routing_throughput(benchmark, report, results_dir, bench_jobs):
-    config = SimulatorConfig(width=4)
+def test_fig2_routing_throughput(benchmark, report, results_dir, suite_runner):
+    outcome = benchmark.pedantic(lambda: suite_runner("fig2"), rounds=1, iterations=1)
 
-    def run_sweep():
-        return routing_throughput_sweep(
-            config,
-            RATES,
-            ALGORITHMS,
-            pattern="transpose",
-            warmup_cycles=400,
-            measure_cycles=1_200,
-            seed=5,
-            jobs=bench_jobs,
-        )
-
-    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-
+    rows_by_algorithm = {name: outcome.rows(name) for name in ALGORITHMS}
+    rates = [row["rate"] for row in rows_by_algorithm["xy"]]
     throughput_series = {
-        f"throughput_{name}": [p.throughput for p in points] for name, points in results.items()
+        f"throughput_{name}": [row["throughput"] for row in rows]
+        for name, rows in rows_by_algorithm.items()
     }
     latency_series = {
-        f"latency_{name}": [p.average_latency for p in points] for name, points in results.items()
+        f"latency_{name}": [row["average_latency"] for row in rows]
+        for name, rows in rows_by_algorithm.items()
     }
     report(
         "Figure 2 — accepted throughput vs offered load per routing algorithm "
         "(4x4 mesh, transpose traffic)",
-        format_series("offered_load", RATES, {**throughput_series, **latency_series}),
+        format_series("offered_load", rates, {**throughput_series, **latency_series}),
     )
     save_rows_csv(
         [
@@ -46,7 +36,7 @@ def test_fig2_routing_throughput(benchmark, report, results_dir, bench_jobs):
                 "rate": rate,
                 **{name: values[i] for name, values in throughput_series.items()},
             }
-            for i, rate in enumerate(RATES)
+            for i, rate in enumerate(rates)
         ],
         results_dir / "fig2_routing_throughput.csv",
     )
@@ -55,8 +45,8 @@ def test_fig2_routing_throughput(benchmark, report, results_dir, bench_jobs):
     # (note transpose skips the self-directed diagonal nodes, so the measured
     # offered load is below the nominal rate); near saturation the adaptive
     # algorithms sustain at least XY's throughput.
-    low_point = results["xy"][0]
-    assert low_point.throughput > 0.9 * low_point.offered_load
+    low_point = rows_by_algorithm["xy"][0]
+    assert low_point["throughput"] > 0.9 * low_point["offered_load"]
     best_adaptive = max(
         throughput_series["throughput_odd_even"][-1],
         throughput_series["throughput_west_first"][-1],

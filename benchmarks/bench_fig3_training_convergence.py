@@ -1,17 +1,27 @@
-"""Figure 3 — DQN training convergence: episode return vs training episode."""
+"""Figure 3 — DQN training convergence: episode return vs training episode.
+
+Thin wrapper over the registered ``fig3`` suite.  The training itself is
+memoized inside :mod:`repro.exp.suites`, so the curve reported here comes
+from the same controller every other figure/table deploys.
+"""
 
 from __future__ import annotations
 
 from repro.analysis import format_series, save_rows_csv
 
 
-def test_fig3_training_convergence(benchmark, report, results_dir, training_result):
-    episodes = list(range(training_result.episodes))
+def test_fig3_training_convergence(
+    benchmark, report, results_dir, suite_runner, training_result
+):
+    outcome = suite_runner("fig3")
+    rows = outcome.rows("dqn-train")
+
+    episodes = [row["episode"] for row in rows]
     series = {
-        "episode_return": training_result.episode_returns,
-        "smoothed_return": training_result.smoothed_returns(window=3),
-        "mean_latency": training_result.episode_mean_latency,
-        "mean_energy_per_flit": training_result.episode_mean_energy_per_flit,
+        "episode_return": [row["episode_return"] for row in rows],
+        "smoothed_return": [row["smoothed_return"] for row in rows],
+        "mean_latency": [row["mean_latency"] for row in rows],
+        "mean_energy_per_flit": [row["mean_energy_per_flit"] for row in rows],
     }
     report(
         "Figure 3 — DQN training convergence (episode return, latency and "
@@ -38,6 +48,6 @@ def test_fig3_training_convergence(benchmark, report, results_dir, training_resu
 
     # Reproduction check: training improves — the best smoothed return in the
     # last third of training beats the first-episode return clearly.
-    smoothed = training_result.smoothed_returns(window=3)
+    smoothed = series["smoothed_return"]
     last_third = smoothed[len(smoothed) * 2 // 3 :]
     assert max(last_third) > smoothed[0] + 5.0

@@ -1,47 +1,41 @@
 """Figure 4 — runtime adaptation: DVFS level and latency over time as the
-workload phases change, DRL controller vs static-max vs heuristic."""
+workload phases change, DRL controller vs static-max vs heuristic.
+
+Thin wrapper over the registered ``fig4`` suite (three phased evaluations,
+fanned through one process pool).
+"""
 
 from __future__ import annotations
 
 from repro.analysis import format_table, save_rows_csv
-from repro.noc import NoCSimulator, SimulatorConfig
-from repro.traffic import TrafficGenerator
 
 
-def test_fig4_runtime_adaptation(benchmark, report, results_dir, controller_traces):
-    drl = controller_traces["drl"].records
-    static = controller_traces["static-max"].records
-    heuristic = controller_traces["heuristic"].records
+def test_fig4_runtime_adaptation(benchmark, report, results_dir, suite_runner):
+    outcome = benchmark.pedantic(lambda: suite_runner("fig4"), rounds=1, iterations=1)
 
-    rows = []
-    for index, record in enumerate(drl):
-        rows.append(
-            {
-                "epoch": record.epoch,
-                "offered_load": record.telemetry.offered_load_flits_per_node_cycle,
-                "drl_level": record.telemetry.dvfs_level_index,
-                "heuristic_level": heuristic[index].telemetry.dvfs_level_index,
-                "static_level": static[index].telemetry.dvfs_level_index,
-                "drl_latency": record.telemetry.average_total_latency,
-                "heuristic_latency": heuristic[index].telemetry.average_total_latency,
-                "static_latency": static[index].telemetry.average_total_latency,
-            }
-        )
+    drl = outcome.rows("phased/drl")
+    static = outcome.rows("phased/static-max")
+    heuristic = outcome.rows("phased/heuristic")
+
+    rows = [
+        {
+            "epoch": d["epoch"],
+            "offered_load": d["offered_load"],
+            "drl_level": d["dvfs_level"],
+            "heuristic_level": h["dvfs_level"],
+            "static_level": s["dvfs_level"],
+            "drl_latency": d["latency"],
+            "heuristic_latency": h["latency"],
+            "static_latency": s["latency"],
+        }
+        for d, s, h in zip(drl, static, heuristic)
+    ]
     report(
         "Figure 4 — runtime adaptation over one pass of the phased workload "
         "(DVFS level and per-epoch latency)",
         format_table(rows),
     )
     save_rows_csv(rows, results_dir / "fig4_adaptation.csv")
-
-    # Microbenchmark: the cost of one control epoch of simulation (the unit of
-    # work between two controller decisions).
-    config = SimulatorConfig(width=4)
-    simulator = NoCSimulator(config)
-    simulator.traffic = TrafficGenerator.from_names(
-        simulator.topology, "uniform", 0.15, packet_size=4, seed=11
-    )
-    benchmark.pedantic(lambda: simulator.run_epoch(500), rounds=3, iterations=1)
 
     # Reproduction checks: the DRL controller uses more than one level over the
     # pass (it adapts), and it down-clocks during the lowest-load epochs while

@@ -1,38 +1,39 @@
 """Figure 5 — latency/energy trade-off scatter: where each controller lands
-in the (average latency, energy per flit) plane on the phased workload."""
+in the (average latency, energy per flit) plane on the phased workload.
+
+Thin wrapper over the registered ``fig5`` suite, which includes the
+intermediate static levels (static-L1, static-L2) so the static trade-off
+curve is visible alongside the adaptive controllers.
+"""
 
 from __future__ import annotations
 
 from repro.analysis import format_table, save_rows_csv
-from repro.baselines import StaticPolicy
-from repro.core import evaluate_controller
+
+POLICIES = (
+    "drl",
+    "static-max",
+    "static-min",
+    "heuristic",
+    "random",
+    "static-L1",
+    "static-L2",
+)
 
 
-def test_fig5_latency_energy_tradeoff(
-    benchmark, report, results_dir, default_experiment, controller_traces
-):
-    # Add the intermediate static levels so the static trade-off curve is
-    # visible alongside the adaptive controllers.
-    def evaluate_static_mid_levels():
-        return {
-            f"static-L{level}": evaluate_controller(
-                default_experiment, StaticPolicy(level, name=f"static-L{level}")
-            )
-            for level in (1, 2)
-        }
-
-    mid_traces = benchmark.pedantic(evaluate_static_mid_levels, rounds=1, iterations=1)
-    traces = {**controller_traces, **mid_traces}
+def test_fig5_latency_energy_tradeoff(benchmark, report, results_dir, suite_runner):
+    outcome = benchmark.pedantic(lambda: suite_runner("fig5"), rounds=1, iterations=1)
 
     rows = []
-    for name, trace in traces.items():
+    for policy in POLICIES:
+        summary = outcome.summary(f"phased/{policy}")
         rows.append(
             {
-                "policy": name,
-                "average_latency": trace.average_latency,
-                "energy_per_flit_pj": trace.energy_per_flit_pj,
-                "edp": trace.energy_delay_product,
-                "mean_reward": trace.mean_reward,
+                "policy": policy,
+                "average_latency": summary["average_latency"],
+                "energy_per_flit_pj": summary["energy_per_flit_pj"],
+                "edp": summary["edp"],
+                "mean_reward": summary["mean_reward"],
             }
         )
     rows.sort(key=lambda row: row["energy_per_flit_pj"])

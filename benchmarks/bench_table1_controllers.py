@@ -1,52 +1,27 @@
 """Table I — controller comparison across traffic patterns.
 
-Average latency, energy per flit, EDP and mean reward of the DRL controller
+Thin wrapper over the registered ``table1`` suite: the DRL controller
 against static-max, static-min, the threshold heuristic and a random
-controller, on the phased workload and on three fixed synthetic patterns.
+controller, on the phased workload and on three fixed synthetic patterns
+(all 20 evaluations fan through one process pool).
 """
 
 from __future__ import annotations
 
-from repro.analysis import format_table, save_rows_csv, summarize_trace
-from repro.core import ExperimentConfig, TrafficSpec, evaluate_controller
+from repro.analysis import format_table, save_rows_csv
 
-PATTERN_EXPERIMENTS = {
-    "uniform-0.15": TrafficSpec.synthetic("uniform", 0.15),
-    "transpose-0.20": TrafficSpec.synthetic("transpose", 0.20),
-    "hotspot-0.20": TrafficSpec.synthetic("hotspot", 0.20, hotspot_fraction=0.15),
-}
-FIXED_PATTERN_EPOCHS = 8
+POLICIES = ("drl", "static-max", "static-min", "heuristic", "random")
+PATTERN_WORKLOADS = ("uniform-0.15", "transpose-0.20", "hotspot-0.20")
 
 
-def test_table1_controller_comparison(
-    benchmark, report, results_dir, default_experiment, training_result,
-    baseline_policies, controller_traces,
-):
+def test_table1_controller_comparison(benchmark, report, results_dir, suite_runner):
+    outcome = benchmark.pedantic(lambda: suite_runner("table1"), rounds=1, iterations=1)
+
     rows = []
-
-    # Phased workload (the training distribution, held-out seed).
-    for name, trace in controller_traces.items():
-        summary = summarize_trace(trace)
-        rows.append({"workload": "phased", "policy": name, **_select(summary)})
-
-    # Fixed synthetic patterns (never seen as standalone workloads in training).
-    policies = {"drl": training_result.to_policy(), **baseline_policies}
-
-    def evaluate_fixed_patterns():
-        pattern_rows = []
-        for workload_name, traffic in PATTERN_EXPERIMENTS.items():
-            experiment = ExperimentConfig.default(traffic=traffic)
-            for policy_name, policy in policies.items():
-                trace = evaluate_controller(
-                    experiment, policy, num_epochs=FIXED_PATTERN_EPOCHS
-                )
-                summary = summarize_trace(trace)
-                pattern_rows.append(
-                    {"workload": workload_name, "policy": policy_name, **_select(summary)}
-                )
-        return pattern_rows
-
-    rows.extend(benchmark.pedantic(evaluate_fixed_patterns, rounds=1, iterations=1))
+    for workload in ("phased", *PATTERN_WORKLOADS):
+        for policy in POLICIES:
+            summary = outcome.summary(f"{workload}/{policy}")
+            rows.append({"workload": workload, "policy": policy, **_select(summary)})
 
     report(
         "Table I — controller comparison (latency, energy/flit, EDP, mean reward)",

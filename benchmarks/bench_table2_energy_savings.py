@@ -1,41 +1,44 @@
 """Table II — energy savings and latency overhead of the adaptive controllers
-relative to the always-max-frequency static configuration."""
+relative to the always-max-frequency static configuration.
+
+Thin wrapper over the registered ``table2`` suite: the relative-improvement
+rows are derived from the suite's per-policy phased-workload summaries.
+"""
 
 from __future__ import annotations
 
 from repro.analysis import format_table, relative_improvement, save_rows_csv
 
+POLICIES = ("drl", "static-min", "heuristic", "random")
 
-def test_table2_energy_savings(benchmark, report, results_dir, controller_traces):
-    baseline = controller_traces["static-max"]
 
-    def compute_rows():
-        rows = []
-        for name, trace in controller_traces.items():
-            if name == "static-max":
-                continue
-            rows.append(
-                {
-                    "policy": name,
-                    "energy_saving_pct": relative_improvement(
-                        baseline.energy_per_flit_pj, trace.energy_per_flit_pj
-                    ),
-                    "total_energy_saving_pct": relative_improvement(
-                        baseline.total_energy_pj, trace.total_energy_pj
-                    ),
-                    "latency_overhead_pct": -relative_improvement(
-                        baseline.average_latency, trace.average_latency
-                    ),
-                    "latency_overhead_cycles": trace.average_latency
-                    - baseline.average_latency,
-                    "edp_change_pct": -relative_improvement(
-                        baseline.energy_delay_product, trace.energy_delay_product
-                    ),
-                }
-            )
-        return rows
+def test_table2_energy_savings(benchmark, report, results_dir, suite_runner):
+    outcome = benchmark.pedantic(lambda: suite_runner("table2"), rounds=1, iterations=1)
+    baseline = outcome.summary("phased/static-max")
 
-    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    rows = []
+    for policy in POLICIES:
+        summary = outcome.summary(f"phased/{policy}")
+        rows.append(
+            {
+                "policy": policy,
+                "energy_saving_pct": relative_improvement(
+                    baseline["energy_per_flit_pj"], summary["energy_per_flit_pj"]
+                ),
+                "total_energy_saving_pct": relative_improvement(
+                    baseline["total_energy_pj"], summary["total_energy_pj"]
+                ),
+                "latency_overhead_pct": -relative_improvement(
+                    baseline["average_latency"], summary["average_latency"]
+                ),
+                "latency_overhead_cycles": summary["average_latency"]
+                - baseline["average_latency"],
+                "edp_change_pct": -relative_improvement(
+                    baseline["energy_delay_product"], summary["energy_delay_product"]
+                ),
+            }
+        )
+
     report(
         "Table II — energy saving and latency overhead vs always-max "
         "(phased workload)",

@@ -1,83 +1,38 @@
 """Table III — agent ablation: DQN vs Double-DQN vs Dueling-DQN vs tabular
 Q-learning vs the threshold heuristic.
 
-Each learned variant is trained with the same (reduced) episode budget and
-evaluated on the held-out phased workload; the heuristic needs no training.
+Thin wrapper over the registered ``table3`` suite.  Each learned variant
+trains with the same (reduced) episode budget inside its own pool worker —
+the ablations are embarrassingly parallel — and is evaluated on the
+held-out phased workload; the heuristic needs no training.
 """
 
 from __future__ import annotations
 
-import os
+from repro.analysis import format_table, save_rows_csv
 
-import pytest
-
-from repro.analysis import format_table, save_rows_csv, summarize_trace
-from repro.core import evaluate_controller, train_dqn_controller, train_tabular_controller
-
-ABLATION_EPISODES = int(os.environ.get("REPRO_BENCH_ABLATION_EPISODES", "12"))
+VARIANTS = ("dqn", "double-dqn", "dueling-dqn", "tabular-q")
 
 
-@pytest.fixture(scope="module")
-def ablation_results(default_experiment):
-    """Train the ablation variants with a reduced, equal episode budget."""
-    decay = ABLATION_EPISODES * 18
-    variants = {
-        "dqn": dict(double=False, dueling=False),
-        "double-dqn": dict(double=True, dueling=False),
-        "dueling-dqn": dict(double=False, dueling=True),
-    }
-    results = {}
-    for name, flags in variants.items():
-        env = default_experiment.build_environment()
-        results[name] = train_dqn_controller(
-            env, episodes=ABLATION_EPISODES, epsilon_decay_steps=decay, seed=3, **flags
-        )
-    env = default_experiment.build_environment()
-    results["tabular-q"] = train_tabular_controller(
-        env, episodes=ABLATION_EPISODES, bins_per_feature=3, seed=3
+def test_table3_agent_ablation(benchmark, report, results_dir, suite_runner):
+    outcome = benchmark.pedantic(lambda: suite_runner("table3"), rounds=1, iterations=1)
+
+    rows = [outcome.rows(variant)[0] for variant in VARIANTS]
+    heuristic_summary = outcome.summary("heuristic")
+    rows.append(
+        {
+            "agent": "heuristic (no training)",
+            "final_training_return": float("nan"),
+            "best_training_return": float("nan"),
+            "eval_mean_reward": heuristic_summary["mean_reward"],
+            "eval_latency": heuristic_summary["average_latency"],
+            "eval_energy_per_flit_pj": heuristic_summary["energy_per_flit_pj"],
+            "eval_edp": heuristic_summary["edp"],
+        }
     )
-    return results
 
-
-def test_table3_agent_ablation(
-    benchmark, report, results_dir, default_experiment, ablation_results, baseline_policies
-):
-    def evaluate_all():
-        rows = []
-        for name, training in ablation_results.items():
-            trace = evaluate_controller(default_experiment, training.to_policy(name))
-            summary = summarize_trace(trace)
-            rows.append(
-                {
-                    "agent": name,
-                    "final_training_return": training.final_return,
-                    "best_training_return": training.best_return,
-                    "eval_mean_reward": summary["mean_reward"],
-                    "eval_latency": summary["average_latency"],
-                    "eval_energy_per_flit_pj": summary["energy_per_flit_pj"],
-                    "eval_edp": summary["edp"],
-                }
-            )
-        heuristic_trace = evaluate_controller(
-            default_experiment, baseline_policies["heuristic"]
-        )
-        heuristic_summary = summarize_trace(heuristic_trace)
-        rows.append(
-            {
-                "agent": "heuristic (no training)",
-                "final_training_return": float("nan"),
-                "best_training_return": float("nan"),
-                "eval_mean_reward": heuristic_summary["mean_reward"],
-                "eval_latency": heuristic_summary["average_latency"],
-                "eval_energy_per_flit_pj": heuristic_summary["energy_per_flit_pj"],
-                "eval_edp": heuristic_summary["edp"],
-            }
-        )
-        return rows
-
-    rows = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
     report(
-        f"Table III — agent ablation ({ABLATION_EPISODES} training episodes per variant)",
+        "Table III — agent ablation (equal training budget per variant)",
         format_table(rows),
     )
     save_rows_csv(rows, results_dir / "table3_ablation.csv")

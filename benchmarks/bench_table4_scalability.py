@@ -1,59 +1,41 @@
 """Table IV — scalability: the controller's relative gains on larger meshes.
 
-The observation features are size-normalised, so the controller trained on
-the 4x4 mesh is deployed unchanged on 6x6 and 8x8 meshes (a transfer
-evaluation); static-max and the heuristic are evaluated alongside it.
+Thin wrapper over the registered ``table4`` suite.  The observation
+features are size-normalised, so the controller trained on the 4x4 mesh is
+deployed unchanged on 6x6 and 8x8 meshes (a transfer evaluation);
+static-max and the heuristic are evaluated alongside it.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.analysis import format_table, relative_improvement, save_rows_csv
-from repro.core import ExperimentConfig, evaluate_controller
 
-MESH_WIDTHS = [4, 6, 8]
-SCALABILITY_EPOCHS = 12
+MESH_WIDTHS = (4, 6, 8)
+POLICIES = ("drl", "static-max", "heuristic")
 
 
-def test_table4_scalability(
-    benchmark, report, results_dir, default_experiment, training_result, baseline_policies
-):
-    policies = {
-        "drl": training_result.to_policy(),
-        "static-max": baseline_policies["static-max"],
-        "heuristic": baseline_policies["heuristic"],
-    }
+def test_table4_scalability(benchmark, report, results_dir, suite_runner):
+    outcome = benchmark.pedantic(lambda: suite_runner("table4"), rounds=1, iterations=1)
 
-    def evaluate_meshes():
-        rows = []
-        for width in MESH_WIDTHS:
-            experiment = ExperimentConfig.default(
-                simulator=replace(default_experiment.simulator, width=width, height=width)
+    rows = []
+    for width in MESH_WIDTHS:
+        mesh = f"{width}x{width}"
+        baseline = outcome.summary(f"{mesh}/static-max")
+        for policy in POLICIES:
+            summary = outcome.summary(f"{mesh}/{policy}")
+            rows.append(
+                {
+                    "mesh": mesh,
+                    "policy": policy,
+                    "average_latency": summary["average_latency"],
+                    "energy_per_flit_pj": summary["energy_per_flit_pj"],
+                    "mean_reward": summary["mean_reward"],
+                    "energy_saving_vs_max_pct": relative_improvement(
+                        baseline["energy_per_flit_pj"], summary["energy_per_flit_pj"]
+                    ),
+                }
             )
-            traces = {
-                name: evaluate_controller(
-                    experiment, policy, num_epochs=SCALABILITY_EPOCHS
-                )
-                for name, policy in policies.items()
-            }
-            baseline = traces["static-max"]
-            for name, trace in traces.items():
-                rows.append(
-                    {
-                        "mesh": f"{width}x{width}",
-                        "policy": name,
-                        "average_latency": trace.average_latency,
-                        "energy_per_flit_pj": trace.energy_per_flit_pj,
-                        "mean_reward": trace.mean_reward,
-                        "energy_saving_vs_max_pct": relative_improvement(
-                            baseline.energy_per_flit_pj, trace.energy_per_flit_pj
-                        ),
-                    }
-                )
-        return rows
 
-    rows = benchmark.pedantic(evaluate_meshes, rounds=1, iterations=1)
     report(
         "Table IV — scalability across mesh sizes (4x4-trained DRL controller "
         "deployed unchanged on larger meshes)",

@@ -1,11 +1,19 @@
 """Shared fixtures for the benchmark harness.
 
-Heavy artefacts (the trained DQN controller and the per-policy evaluation
-traces) are produced once per session and shared by every table/figure
-module.  Each benchmark module prints the rows/series it regenerates and
-also appends them to ``benchmarks/results/report.txt`` plus a CSV per
-experiment, so a full `pytest benchmarks/ --benchmark-only` run leaves the
-complete reconstructed evaluation behind as plain-text artefacts.
+Every paper figure/table is a registered suite (:mod:`repro.exp.suites`);
+the ``bench_fig*`` / ``bench_table*`` modules are thin wrappers that run
+their suite through the declarative engine (``suite_runner``) and assert
+the paper's reproduction checks over the returned rows.  Each suite run
+writes its JSON artefact to ``benchmarks/results/<suite>.json``; the
+modules also print the regenerated rows/series and append them to
+``benchmarks/results/report.txt`` plus a CSV per experiment, so a full
+``pytest benchmarks/`` run leaves the complete reconstructed evaluation
+behind as plain-text artefacts.
+
+The DRL controller training is memoized inside :mod:`repro.exp.suites`
+(keyed on the training spec), so the fig3 curve and every suite that
+deploys the ``drl`` policy share one training per session — exactly as the
+old session-scoped fixture did.
 
 Environment knobs (all optional):
 
@@ -13,8 +21,8 @@ Environment knobs (all optional):
   (default 22);
 * ``REPRO_BENCH_ABLATION_EPISODES`` — training episodes per ablation variant
   (default 12);
-* ``REPRO_BENCH_JOBS`` — worker processes for the embarrassingly-parallel
-  sweep benchmarks (default: the machine's CPU count);
+* ``REPRO_BENCH_JOBS`` — worker processes for the suites' subtrials
+  (default: the machine's CPU count);
 * ``REPRO_BENCH_TRAIN_JOBS`` — actor processes for DQN training (default 1:
   the serial reference path, bit-identical to the pre-sharding trainer).
 """
@@ -22,18 +30,12 @@ Environment knobs (all optional):
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
 
-from repro.baselines import (
-    RandomPolicy,
-    ThresholdDvfsPolicy,
-    static_max_performance,
-    static_min_energy,
-)
-from repro.core import ExperimentConfig, evaluate_controller
-from repro.exp.training import train_dqn_sharded
+from repro.exp import suites
 
 RESULTS_DIR = Path(__file__).parent / "results"
 TRAIN_EPISODES = int(os.environ.get("REPRO_BENCH_EPISODES", "22"))
@@ -41,6 +43,32 @@ EPSILON_DECAY_STEPS = int(os.environ.get("REPRO_BENCH_EPS_DECAY", "400"))
 ABLATION_EPISODES = int(os.environ.get("REPRO_BENCH_ABLATION_EPISODES", "12"))
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
 TRAIN_JOBS = int(os.environ.get("REPRO_BENCH_TRAIN_JOBS", "1"))
+
+#: The registered main training with the env-knob sizes applied (a no-op
+#: unless the knobs are set).
+MAIN_TRAINING = {
+    **suites.MAIN_TRAINING,
+    "episodes": TRAIN_EPISODES,
+    "epsilon_decay_steps": EPSILON_DECAY_STEPS,
+}
+
+
+def bench_suite_spec(name: str) -> suites.SuiteSpec:
+    """The registered suite, resized by the harness's environment knobs."""
+    spec = suites.get_suite(name)
+    if spec.training == suites.MAIN_TRAINING and MAIN_TRAINING != suites.MAIN_TRAINING:
+        spec = replace(spec, training=dict(MAIN_TRAINING))
+    if name == "table3" and ABLATION_EPISODES != 12:
+        spec = replace(
+            spec,
+            units=tuple(
+                replace(unit, params={**unit.params, "episodes": ABLATION_EPISODES})
+                if unit.kind == "train-eval"
+                else unit
+                for unit in spec.units
+            ),
+        )
+    return spec
 
 
 @pytest.fixture(scope="session")
@@ -51,7 +79,7 @@ def results_dir() -> Path:
 
 @pytest.fixture(scope="session")
 def bench_jobs() -> int:
-    """Process-pool width for the sweep-based benchmarks."""
+    """Process-pool width for the suites' subtrials."""
     return BENCH_JOBS
 
 
@@ -70,44 +98,28 @@ def report(results_dir):
 
 
 @pytest.fixture(scope="session")
-def default_experiment() -> ExperimentConfig:
-    """The standard 4x4 phased-workload DVFS-control experiment."""
-    return ExperimentConfig.default()
+def suite_runner(results_dir, bench_jobs):
+    """Run (and cache) one registered suite per session: name -> outcome."""
+    outcomes: dict[str, suites.SuiteOutcome] = {}
+
+    def _run(name: str) -> suites.SuiteOutcome:
+        if name not in outcomes:
+            outcomes[name] = suites.run_suite(
+                bench_suite_spec(name),
+                jobs=bench_jobs,
+                train_jobs=TRAIN_JOBS,
+                out_dir=results_dir,
+                # fig4/fig5/table1/table2 deploy the same phased policies;
+                # pay for each distinct evaluation once per session.
+                reuse_evals=True,
+            )
+        return outcomes[name]
+
+    return _run
 
 
 @pytest.fixture(scope="session")
-def training_result(default_experiment):
-    """The DQN controller trained once and reused by every figure/table.
-
-    Routed through the sharded training engine; with the default
-    ``REPRO_BENCH_TRAIN_JOBS=1`` this is the serial reference path,
-    bit-identical to the pre-sharding ``train_dqn_controller``.
-    """
-    return train_dqn_sharded(
-        default_experiment,
-        episodes=TRAIN_EPISODES,
-        jobs=TRAIN_JOBS,
-        epsilon_decay_steps=EPSILON_DECAY_STEPS,
-        seed=1,
-    )
-
-
-@pytest.fixture(scope="session")
-def baseline_policies(default_experiment):
-    num_levels = len(default_experiment.simulator.dvfs_levels)
-    return {
-        "static-max": static_max_performance(),
-        "static-min": static_min_energy(num_levels),
-        "heuristic": ThresholdDvfsPolicy(num_levels),
-        "random": RandomPolicy(num_levels, seed=7),
-    }
-
-
-@pytest.fixture(scope="session")
-def controller_traces(default_experiment, training_result, baseline_policies):
-    """Evaluation traces (held-out traffic seed) for the DRL controller and
-    every baseline, over one full pass of the phased workload."""
-    traces = {"drl": evaluate_controller(default_experiment, training_result.to_policy())}
-    for name, policy in baseline_policies.items():
-        traces[name] = evaluate_controller(default_experiment, policy)
-    return traces
+def training_result():
+    """The shared DQN controller — the same memoized training the suites'
+    ``drl`` evaluations deploy."""
+    return suites.train_controller(MAIN_TRAINING, jobs=TRAIN_JOBS)

@@ -61,7 +61,7 @@ class SweepTrial:
     pattern_kwargs: dict = field(default_factory=dict)
 
 
-def _measure_point(trial: SweepTrial) -> LoadLatencyPoint:
+def measure_sweep_point(trial: SweepTrial) -> LoadLatencyPoint:
     """Worker for one sweep trial; module-level so it pickles into a pool.
 
     The simulator lives and dies inside this call — only the plain-data
@@ -129,7 +129,7 @@ def load_latency_sweep(
         )
         for rate in injection_rates
     ]
-    return run_trials(_measure_point, trials, jobs=jobs, chunk_size=1)
+    return run_trials(measure_sweep_point, trials, jobs=jobs, chunk_size=1)
 
 
 def routing_throughput_sweep(
@@ -164,7 +164,7 @@ def routing_throughput_sweep(
         for routing in routing_algorithms
         for rate in injection_rates
     ]
-    points = run_trials(_measure_point, trials, jobs=jobs, chunk_size=1)
+    points = run_trials(measure_sweep_point, trials, jobs=jobs, chunk_size=1)
     results: dict[str, list[LoadLatencyPoint]] = {}
     per_algorithm = len(injection_rates)
     for index, routing in enumerate(routing_algorithms):

@@ -1,12 +1,16 @@
 """Command-line interface.
 
 Installed as the ``repro-noc`` console script (or invoked as
-``python -m repro.cli``).  Six subcommands cover the everyday workflows:
+``python -m repro.cli``).  Seven subcommands cover the everyday workflows:
 
 * ``sweep``     — load/latency characterisation of a mesh (no learning);
   ``--jobs N`` fans the sweep points out over a process pool;
 * ``scenarios`` — list the named experiment scenarios or run a selection of
   them (``scenarios list`` / ``scenarios run NAME... --jobs N``);
+* ``suite``     — list, describe or run the registered benchmark suites
+  (one per paper figure/table, plus CI-sized ``-smoke`` variants); with
+  ``--check --baseline FILE`` a run doubles as the perf-regression guard
+  over the suite's records;
 * ``bench``     — hot-path engine microbenchmark: cycles/sec of the
   activity-tracked engine vs the naive scan-everything engine; with
   ``--check --baseline FILE`` it doubles as the perf-regression guard and
@@ -25,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import format_series, format_table, summarize_trace
@@ -39,12 +44,18 @@ from repro.core import ExperimentConfig, checkpoint, evaluate_controller
 from repro.exp import (
     HOTPATH_SCENARIOS,
     all_scenarios,
+    all_suites,
     default_experiment_dqn_config,
+    get_suite,
+    paper_suites,
     run_hotpath_benchmark,
     run_scenarios,
+    run_suite,
     scenario_names,
+    suite_names,
     train_dqn_sharded,
 )
+from repro.exp.bench import RESULTS_SCHEMA
 from repro.exp.perfguard import (
     DEFAULT_TOLERANCE,
     check_against_baseline,
@@ -60,6 +71,15 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
     return number
+
+
+def _write_json(path: str, payload) -> None:
+    """Write a JSON artefact, creating parent directories as needed."""
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,6 +141,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios_run.add_argument(
         "--json", dest="json_path", help="also write full per-epoch results to this file"
+    )
+
+    suite = subparsers.add_parser(
+        "suite", help="list, describe or run the registered benchmark suites"
+    )
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+    suite_sub.add_parser("list", help="show every registered suite")
+    suite_describe = suite_sub.add_parser(
+        "describe", help="print one suite's full spec as JSON"
+    )
+    suite_describe.add_argument("name", help="suite name (see `suite list`)")
+    suite_run = suite_sub.add_parser(
+        "run", help="run one or more suites through the bench engine"
+    )
+    suite_run.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="suite names (default with --all: every paper suite)",
+    )
+    suite_run.add_argument(
+        "--all",
+        action="store_true",
+        dest="run_all",
+        help="run every registered paper suite (fig1–fig5, table1–table4)",
+    )
+    suite_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI-sized -smoke variant of each named suite",
+    )
+    suite_run.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the suite's subtrials (1 = in-process serial)",
+    )
+    suite_run.add_argument(
+        "--train-jobs",
+        type=_positive_int,
+        default=1,
+        help="actor processes for the shared controller training (default 1)",
+    )
+    suite_run.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=1,
+        help="perf samples per subtrial; the best wall time is kept (rows are "
+        "identical across repeats)",
+    )
+    suite_run.add_argument(
+        "--out",
+        dest="out_dir",
+        help="directory for per-suite JSON artefacts plus a combined suites.json",
+    )
+    suite_run.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against --baseline and exit nonzero on a perf regression",
+    )
+    suite_run.add_argument(
+        "--baseline",
+        help="stored suites.json artefact to compare cycles_per_s against",
+    )
+    suite_run.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fraction of baseline throughput that must be retained (default 0.75)",
     )
 
     bench = subparsers.add_parser(
@@ -293,9 +382,84 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     )
     print(format_table([result.summary() for result in results], title="Scenario runs"))
     if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump([result.to_dict() for result in results], handle, indent=2)
+        _write_json(args.json_path, [result.to_dict() for result in results])
         print(f"full results written to {args.json_path}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    if args.suite_command == "list":
+        rows = [
+            {
+                "suite": spec.name,
+                "artifact": spec.artifact or "-",
+                "units": len(spec.units),
+                "trains": "yes" if spec.needs_training() else "no",
+                "description": spec.description,
+            }
+            for spec in all_suites()
+        ]
+        print(format_table(rows, title="Registered suites"))
+        return 0
+
+    if args.suite_command == "describe":
+        if args.name not in suite_names():
+            print(
+                f"unknown suite {args.name!r}; known: {', '.join(suite_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        print(get_suite(args.name).to_json(indent=2))
+        return 0
+
+    if args.run_all:
+        names = [spec.name for spec in paper_suites()]
+    else:
+        names = list(args.names)
+    if not names:
+        print("name at least one suite (or pass --all)", file=sys.stderr)
+        return 2
+    if args.smoke:
+        names = [
+            name if name.endswith("-smoke") else f"{name}-smoke" for name in names
+        ]
+    unknown = [name for name in names if name not in suite_names()]
+    if unknown:
+        print(
+            f"unknown suite(s): {', '.join(unknown)}; "
+            f"known: {', '.join(suite_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.check and not args.baseline:
+        print("--check requires --baseline", file=sys.stderr)
+        return 2
+
+    all_records: list[dict] = []
+    for name in names:
+        outcome = run_suite(
+            name,
+            jobs=args.jobs,
+            train_jobs=args.train_jobs,
+            out_dir=args.out_dir,
+            perf_repeats=args.repeats,
+        )
+        all_records.extend(outcome.records)
+        print(format_table(outcome.records, title=f"Suite {name}"))
+    combined = {
+        "schema": list(RESULTS_SCHEMA),
+        "suites": names,
+        "runs": all_records,
+    }
+    if args.out_dir:
+        combined_path = Path(args.out_dir) / "suites.json"
+        combined_path.write_text(json.dumps(combined, indent=2), encoding="utf-8")
+        print(f"combined records written to {combined_path}")
+    if args.check or args.baseline:
+        regressions = check_against_baseline(combined, args.baseline, args.tolerance)
+        print(format_regressions(regressions))
+        if regressions:
+            return 3
     return 0
 
 
@@ -320,8 +484,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         equivalent = "ok" if payload["telemetry_equivalent"][scenario] else "DIVERGED"
         print(f"  {scenario}: {speedup:.2f}x activity vs naive (telemetry {equivalent})")
     if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+        _write_json(args.json_path, payload)
         print(f"full payload written to {args.json_path}")
     exit_code = 0 if all(payload["telemetry_equivalent"].values()) else 1
     if args.check or args.baseline:
@@ -421,6 +584,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "sweep": cmd_sweep,
     "scenarios": cmd_scenarios,
+    "suite": cmd_suite,
     "bench": cmd_bench,
     "train": cmd_train,
     "evaluate": cmd_evaluate,

@@ -2,6 +2,8 @@
 
 This is the substrate the sweeps, benchmarks and CLI fan out through — see
 :mod:`repro.exp.scenarios` for the scenario registry,
+:mod:`repro.exp.suites` for the suite registry (paper figures/tables as
+pure data) and its declarative bench engine,
 :mod:`repro.exp.runner` for the process-pool runner,
 :mod:`repro.exp.training` for the sharded DQN training engine and
 :mod:`repro.exp.perfguard` for the perf-regression guard.
@@ -13,7 +15,12 @@ from repro.exp.bench import (
     perf_record,
     run_hotpath_benchmark,
 )
-from repro.exp.perfguard import Regression, find_regressions, format_regressions
+from repro.exp.perfguard import (
+    Regression,
+    find_regressions,
+    format_regressions,
+    record_key,
+)
 from repro.exp.runner import TrialPool, run_scenarios, run_trials, trial_seed
 from repro.exp.scenarios import (
     FaultEvent,
@@ -26,6 +33,21 @@ from repro.exp.scenarios import (
     register_scenario,
     run_scenario,
     scenario_names,
+)
+from repro.exp.suites import (
+    MAIN_TRAINING,
+    SuiteOutcome,
+    SuiteSpec,
+    SuiteUnit,
+    all_suites,
+    derive_smoke_suite,
+    get_suite,
+    paper_suites,
+    register_suite,
+    run_suite,
+    suite_for_artifact,
+    suite_names,
+    train_controller,
 )
 from repro.exp.training import (
     ActorRollout,
@@ -40,26 +62,40 @@ __all__ = [
     "ActorTask",
     "FaultEvent",
     "HOTPATH_SCENARIOS",
+    "MAIN_TRAINING",
     "Regression",
     "ScenarioResult",
     "ScenarioSpec",
     "ScenarioWorkload",
+    "SuiteOutcome",
+    "SuiteSpec",
+    "SuiteUnit",
     "TrafficPhase",
     "TrialPool",
     "all_scenarios",
+    "all_suites",
     "default_experiment_dqn_config",
+    "derive_smoke_suite",
     "find_regressions",
     "format_regressions",
     "get_scenario",
+    "get_suite",
     "measure_engine",
+    "paper_suites",
     "perf_record",
+    "record_key",
     "register_scenario",
+    "register_suite",
     "run_actor_episode",
     "run_hotpath_benchmark",
     "run_scenario",
     "run_scenarios",
+    "run_suite",
     "run_trials",
     "scenario_names",
+    "suite_for_artifact",
+    "suite_names",
+    "train_controller",
     "train_dqn_sharded",
     "trial_seed",
 ]

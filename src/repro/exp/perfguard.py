@@ -16,6 +16,13 @@ Records are matched by ``(scenario, engine)``; scenarios present on only
 one side are ignored (new benchmarks must not fail the guard, retired ones
 must not block it).  When a side holds several samples for one key the
 fastest is used, mirroring the best-of-N convention of the benchmarks.
+
+Suite-produced records (see :mod:`repro.exp.suites`) carry a ``suite`` key
+and are namespaced as ``suite/scenario``, so the same unit name in two
+suites tracks two independent baselines.  Legacy flat artefacts
+(``hotpath.json``, ``train_scaling.json``) keep working: flat records match
+flat baselines exactly, and a namespaced current record falls back to the
+flat scenario name when the baseline predates namespacing.
 """
 
 from __future__ import annotations
@@ -68,10 +75,24 @@ def extract_records(payload) -> list[dict]:
     return [dict(record) for record in payload]
 
 
+def record_key(record: Mapping) -> tuple[str, str]:
+    """The ``(scenario, engine)`` match key, suite-namespaced when present.
+
+    Suite records compare as ``suite/scenario`` so one unit name used by two
+    suites tracks two baselines; records without a ``suite`` key keep the
+    flat scenario name (the pre-suite artefact convention).
+    """
+    scenario = str(record["scenario"])
+    suite = str(record.get("suite") or "")
+    if suite:
+        scenario = f"{suite}/{scenario}"
+    return (scenario, str(record.get("engine", "")))
+
+
 def _best_by_key(records: Iterable[dict]) -> dict[tuple[str, str], float]:
     best: dict[tuple[str, str], float] = {}
     for record in records:
-        key = (str(record["scenario"]), str(record.get("engine", "")))
+        key = record_key(record)
         cycles_per_s = float(record["cycles_per_s"])
         if key not in best or cycles_per_s > best[key]:
             best[key] = cycles_per_s
@@ -87,11 +108,28 @@ def find_regressions(current, baseline, tolerance: float = DEFAULT_TOLERANCE) ->
     """
     if not 0.0 < tolerance:
         raise ValueError("tolerance must be positive")
-    current_best = _best_by_key(extract_records(current))
+    current_records = extract_records(current)
+    current_best = _best_by_key(current_records)
     baseline_best = _best_by_key(extract_records(baseline))
+    # Keys whose records actually carried a suite — only those may fall back
+    # to a flat baseline name (a flat scenario legitimately containing "/"
+    # must not have its first component mistaken for a suite prefix).
+    suite_keys = {
+        record_key(record) for record in current_records if record.get("suite")
+    }
+    matched: dict[tuple[str, str], float] = {}
+    for key in current_best:
+        if key in baseline_best:
+            matched[key] = baseline_best[key]
+        elif key in suite_keys:
+            # Namespaced current record vs a baseline that predates suite
+            # namespacing: fall back to the flat scenario name.
+            flat_key = (key[0].split("/", 1)[1], key[1])
+            if flat_key in baseline_best:
+                matched[key] = baseline_best[flat_key]
     regressions = []
-    for key in sorted(current_best.keys() & baseline_best.keys()):
-        baseline_cps = baseline_best[key]
+    for key in sorted(matched):
+        baseline_cps = matched[key]
         current_cps = current_best[key]
         if baseline_cps <= 0:
             continue

@@ -1,0 +1,997 @@
+"""Suite registry: every paper figure/table as pure data, one bench engine.
+
+A :class:`SuiteSpec` names a paper artifact (fig1–fig5, table1–table4, or an
+auxiliary workload set like ``hotpath``) and lists its work as
+:class:`SuiteUnit` entries — load/latency sweeps, registered scenarios,
+controller trainings and controller evaluations — all plain JSON data.  One
+engine, :func:`run_suite`, expands every unit into picklable subtrials, fans
+the whole suite through :func:`repro.exp.runner.run_trials` (one process
+pool across *all* units, not one pool per sweep) and reassembles per-unit
+rows plus perf records in the shared ``benchmarks/results`` schema
+(``scenario``, ``cycles``, ``wall_s``, ``cycles_per_s``), namespaced with a
+``suite`` key so the perf guard can track ``suite/unit`` baselines.
+
+The ``benchmarks/bench_fig*.py`` / ``bench_table*.py`` files are thin
+wrappers: they look up their suite by name, run it, and assert the paper's
+reproduction checks over the returned rows.  The CLI exposes the same
+catalogue as ``repro-noc suite list|describe|run``.
+
+Every registered suite also gets a CI-sized smoke variant
+(:func:`derive_smoke_suite`, registered as ``<name>-smoke``) that shrinks
+cycles/episodes but walks the same code paths — those are what CI measures,
+baselines and gates on its own runner.
+
+Determinism: suite results depend only on the spec (all seeds are part of
+the data) and on ``train_jobs`` (the sharded trainer's documented RNG
+contract), never on ``jobs`` — the pool only reorders wall-clock, not
+outcomes — so ``run_suite`` twice over the same spec yields byte-identical
+deterministic payloads (wall-clock perf records excluded).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.metrics import summarize_trace
+from repro.baselines import (
+    RandomPolicy,
+    StaticPolicy,
+    ThresholdDvfsPolicy,
+    static_max_performance,
+    static_min_energy,
+)
+from repro.core import ExperimentConfig, TrafficSpec, evaluate_controller
+from repro.core.controller import DRLControllerPolicy
+from repro.core.training import (
+    TrainingResult,
+    train_dqn_controller,
+    train_tabular_controller,
+)
+from repro.exp.bench import RESULTS_SCHEMA, perf_record
+from repro.exp.runner import run_trials, trial_seed
+from repro.exp.scenarios import ScenarioSpec, get_scenario, run_scenario
+from repro.exp.training import train_dqn_sharded
+from repro.noc import SimulatorConfig
+from repro.rl.dqn import DQNAgent
+
+UNIT_KINDS = ("sweep", "scenario", "train", "train-eval", "eval")
+
+#: Ablation agent variants a ``train-eval`` unit may name.
+TRAIN_EVAL_AGENTS = ("dqn", "double-dqn", "dueling-dqn", "tabular-q")
+
+#: The one controller training shared by every figure/table that deploys the
+#: DRL policy (fig3 curve, fig4/fig5 traces, table1/table2/table4 rows) —
+#: the same hyperparameters the benchmark harness has always used.
+MAIN_TRAINING = {
+    "preset": "default",
+    "episodes": 22,
+    "seed": 1,
+    "epsilon_decay_steps": 400,
+}
+
+
+@dataclass(frozen=True)
+class SuiteUnit:
+    """One named piece of a suite's work, as plain data.
+
+    ``name`` doubles as the perf-record scenario name (namespaced by the
+    suite), ``kind`` selects the worker, and ``params`` is a JSON-able dict
+    the worker interprets:
+
+    * ``sweep`` — ``rates`` (list), ``pattern``, ``routing``, ``width``,
+      ``warmup_cycles``, ``measure_cycles``, ``seed``, ``dvfs_level``,
+      ``pattern_kwargs``; one subtrial per rate.
+    * ``scenario`` — ``scenario`` (registered name), ``seed``, ``repeats``,
+      ``epochs``/``epoch_cycles`` overrides; one subtrial per repeat.
+    * ``train`` — the suite's shared controller training; runs in the parent
+      (memoized across suites) and reports the episode curve.
+    * ``train-eval`` — ``agent`` (ablation variant), ``episodes``, ``seed``;
+      trains that variant in a worker and evaluates it.
+    * ``eval`` — ``policy`` (``drl``, ``static-max``, ``static-min``,
+      ``heuristic``, ``random`` or ``static-L<n>``), optional ``traffic``
+      (``{"pattern", "rate", "kwargs"}``), ``width``, ``num_epochs``;
+      deploys the policy on a fresh experiment in a worker.
+    """
+
+    name: str
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("suite units need a non-empty name")
+        if self.kind not in UNIT_KINDS:
+            raise ValueError(
+                f"unknown unit kind {self.kind!r}; known: {', '.join(UNIT_KINDS)}"
+            )
+        if self.kind == "sweep" and not self.params.get("rates"):
+            raise ValueError(f"sweep unit {self.name!r} needs a non-empty 'rates' list")
+        if self.kind == "scenario":
+            if not self.params.get("scenario"):
+                raise ValueError(f"scenario unit {self.name!r} needs a 'scenario' name")
+            if int(self.params.get("repeats", 1)) < 1:
+                raise ValueError(
+                    f"scenario unit {self.name!r} needs at least one repeat"
+                )
+        if self.kind == "eval" and not self.params.get("policy"):
+            raise ValueError(f"eval unit {self.name!r} needs a 'policy' name")
+        if self.kind == "train-eval":
+            if self.params.get("agent") not in TRAIN_EVAL_AGENTS:
+                raise ValueError(
+                    f"train-eval unit {self.name!r} needs an agent from "
+                    f"{', '.join(TRAIN_EVAL_AGENTS)}"
+                )
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """A named, self-contained description of one benchmark suite."""
+
+    name: str
+    description: str
+    units: tuple[SuiteUnit, ...]
+    #: Which paper artifact this regenerates ("fig1".."table4"), or "" for
+    #: auxiliary suites (hotpath).
+    artifact: str = ""
+    #: Shared controller-training parameters for ``train`` units and
+    #: ``eval`` units deploying the ``drl`` policy.
+    training: dict | None = None
+    #: Set on derived smoke variants: the full suite they shrink.
+    smoke_of: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("suites need a non-empty name")
+        if not self.units:
+            raise ValueError(f"suite {self.name!r} needs at least one unit")
+        names = [unit.name for unit in self.units]
+        if len(set(names)) != len(names):
+            raise ValueError(f"suite {self.name!r} has duplicate unit names")
+        if self.needs_training() and self.training is None:
+            raise ValueError(
+                f"suite {self.name!r} has train/drl units but no training spec"
+            )
+
+    def needs_training(self) -> bool:
+        return any(
+            unit.kind == "train"
+            or (unit.kind == "eval" and unit.params.get("policy") == "drl")
+            for unit in self.units
+        )
+
+    def is_smoke(self) -> bool:
+        return bool(self.smoke_of)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SuiteSpec":
+        payload = dict(payload)
+        payload["units"] = tuple(SuiteUnit(**unit) for unit in payload.get("units", ()))
+        return cls(**payload)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SuiteSpec":
+        return cls.from_dict(json.loads(payload))
+
+
+# ---------------------------------------------------------------------------
+# experiment / policy construction (shared by parent and pool workers)
+# ---------------------------------------------------------------------------
+
+
+def build_experiment(params: Mapping) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from plain unit/training params."""
+    preset = params.get("preset", "default")
+    if preset == "small":
+        experiment = ExperimentConfig.small()
+    elif preset == "joint":
+        experiment = ExperimentConfig.joint_configuration()
+    elif preset == "default":
+        experiment = ExperimentConfig.default()
+    else:
+        raise ValueError(f"unknown experiment preset {preset!r}")
+    traffic = params.get("traffic")
+    if traffic:
+        experiment = replace(
+            experiment,
+            traffic=TrafficSpec.synthetic(
+                traffic["pattern"], traffic["rate"], **traffic.get("kwargs", {})
+            ),
+        )
+    width = params.get("width")
+    if width:
+        experiment = replace(
+            experiment,
+            simulator=replace(experiment.simulator, width=width, height=width),
+        )
+    overrides = {
+        key: int(params[key])
+        for key in ("epoch_cycles", "episode_epochs")
+        if params.get(key)
+    }
+    if overrides:
+        experiment = replace(experiment, **overrides)
+    return experiment
+
+
+def build_policy(
+    name: str, experiment: ExperimentConfig, agent_payload: Mapping | None = None
+):
+    """Build a controller policy by name (workers rebuild these from data)."""
+    if name == "drl":
+        if agent_payload is None:
+            raise ValueError("the drl policy needs a trained agent payload")
+        agent = DQNAgent(agent_payload["dqn_config"])
+        agent.set_state(agent_payload["state"])
+        return DRLControllerPolicy(agent)
+    num_levels = len(experiment.simulator.dvfs_levels)
+    if name == "static-max":
+        return static_max_performance()
+    if name == "static-min":
+        return static_min_energy(num_levels)
+    if name == "heuristic":
+        return ThresholdDvfsPolicy(num_levels)
+    if name == "random":
+        return RandomPolicy(experiment.build_action_space().size, seed=7)
+    if name.startswith("static-L"):
+        return StaticPolicy(int(name[len("static-L") :]), name=name)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# the shared controller training (memoized per process)
+# ---------------------------------------------------------------------------
+
+_TRAINING_CACHE: dict[tuple[str, int], TrainingResult] = {}
+
+
+def _train_once(training: Mapping, jobs: int) -> TrainingResult:
+    """One uncached controller training run for ``training``."""
+    experiment = build_experiment(training)
+    return train_dqn_sharded(
+        experiment,
+        episodes=int(training.get("episodes", 22)),
+        jobs=jobs,
+        epsilon_decay_steps=int(training.get("epsilon_decay_steps", 400)),
+        seed=int(training.get("seed", 0)),
+    )
+
+
+def train_controller(training: Mapping, *, jobs: int = 1) -> TrainingResult:
+    """Train (or fetch the cached) shared DRL controller for ``training``.
+
+    Memoized on the plain-data spec plus ``jobs`` (the sharded trainer's
+    results depend on the actor count for ``jobs >= 2``), so every suite —
+    and the benchmark harness's own fixtures — share one training per
+    configuration per process.
+    """
+    key = (json.dumps(dict(training), sort_keys=True), jobs)
+    if key not in _TRAINING_CACHE:
+        _TRAINING_CACHE[key] = _train_once(training, jobs)
+    return _TRAINING_CACHE[key]
+
+
+def _agent_payload(result: TrainingResult) -> dict:
+    """The picklable snapshot eval workers rebuild the greedy policy from."""
+    agent = result.agent
+    return {"dqn_config": agent.config, "state": agent.get_state()}
+
+
+#: Parent-side memo for completed eval subtrials, keyed on the eval params
+#: plus a fingerprint of the deployed weights.  fig4/fig5/table1/table2 all
+#: evaluate the same phased policies; with ``reuse_evals`` the session pays
+#: for each distinct evaluation once instead of once per suite.
+_EVAL_CACHE: dict[str, dict] = {}
+
+
+def _agent_fingerprint(agent_payload: Mapping | None) -> str:
+    if agent_payload is None:
+        return ""
+    blob = pickle.dumps((agent_payload["dqn_config"], agent_payload["state"]))
+    return hashlib.sha1(blob).hexdigest()
+
+
+def _eval_cache_key(params: Mapping, agent_fingerprint: str) -> str:
+    payload = {key: value for key, value in params.items() if key != "agent"}
+    return json.dumps(payload, sort_keys=True) + "|" + agent_fingerprint
+
+
+# ---------------------------------------------------------------------------
+# subtrial workers (module-level: picklable into the pool)
+# ---------------------------------------------------------------------------
+
+
+def _run_sweep_point(params: Mapping) -> dict:
+    # Imported here, not at module top: repro.analysis.sweep itself imports
+    # the exp package (for run_trials), so a top-level import would be
+    # circular whenever analysis loads first.
+    from repro.analysis.sweep import SweepTrial, measure_sweep_point
+
+    config = SimulatorConfig(
+        width=int(params.get("width", 4)), routing=params.get("routing", "xy")
+    )
+    warmup = int(params.get("warmup_cycles", 500))
+    measure = int(params.get("measure_cycles", 1_500))
+    point = measure_sweep_point(
+        SweepTrial(
+            simulator_config=config,
+            pattern=params.get("pattern", "uniform"),
+            rate=float(params["rate"]),
+            warmup_cycles=warmup,
+            measure_cycles=measure,
+            seed=int(params.get("seed", 0)),
+            dvfs_level=int(params.get("dvfs_level", 0)),
+            pattern_kwargs=dict(params.get("pattern_kwargs", {})),
+        )
+    )
+    row = {
+        "rate": point.injection_rate,
+        "average_latency": point.average_latency,
+        "average_network_latency": point.average_network_latency,
+        "throughput": point.throughput,
+        "offered_load": point.offered_load,
+        "energy_per_flit_pj": point.energy_per_flit_pj,
+        "delivered_packets": point.delivered_packets,
+    }
+    return {"rows": [row], "cycles": warmup + measure, "wall_s": point.wall_time_s}
+
+
+def _run_scenario_subtrial(params: Mapping) -> dict:
+    result = run_scenario(
+        ScenarioSpec.from_dict(params["scenario_spec"]),
+        seed=int(params.get("seed", 0)),
+        epochs=params.get("epochs"),
+        epoch_cycles=params.get("epoch_cycles"),
+    )
+    return {
+        "rows": [result.summary()],
+        "cycles": result.cycles,
+        "wall_s": result.wall_time_s,
+    }
+
+
+def _run_eval(params: Mapping) -> dict:
+    experiment = build_experiment(params)
+    policy = build_policy(params["policy"], experiment, params.get("agent"))
+    num_epochs = params.get("num_epochs")
+    start = time.perf_counter()
+    trace = evaluate_controller(
+        experiment, policy, num_epochs=int(num_epochs) if num_epochs else None
+    )
+    wall_s = time.perf_counter() - start
+    rows = [
+        {
+            "epoch": record.epoch,
+            "offered_load": record.telemetry.offered_load_flits_per_node_cycle,
+            "dvfs_level": record.telemetry.dvfs_level_index,
+            "latency": record.telemetry.average_total_latency,
+            "energy_per_flit_pj": record.telemetry.energy_per_flit_pj,
+            "reward": record.reward,
+        }
+        for record in trace.records
+    ]
+    return {
+        "rows": rows,
+        "summary": summarize_trace(trace),
+        "cycles": trace.total_cycles,
+        "wall_s": wall_s,
+    }
+
+
+def _run_train_eval(params: Mapping) -> dict:
+    experiment = build_experiment(params)
+    env = experiment.build_environment()
+    agent_kind = params["agent"]
+    episodes = int(params.get("episodes", 12))
+    seed = int(params.get("seed", 0))
+    start = time.perf_counter()
+    if agent_kind == "tabular-q":
+        training = train_tabular_controller(
+            env,
+            episodes=episodes,
+            bins_per_feature=int(params.get("bins_per_feature", 3)),
+            seed=seed,
+        )
+    else:
+        training = train_dqn_controller(
+            env,
+            episodes=episodes,
+            epsilon_decay_steps=int(params.get("epsilon_decay_steps", episodes * 18)),
+            seed=seed,
+            double=agent_kind == "double-dqn",
+            dueling=agent_kind == "dueling-dqn",
+        )
+    trace = evaluate_controller(experiment, training.to_policy(agent_kind))
+    wall_s = time.perf_counter() - start
+    summary = summarize_trace(trace)
+    row = {
+        "agent": agent_kind,
+        "final_training_return": training.final_return,
+        "best_training_return": training.best_return,
+        "eval_mean_reward": summary["mean_reward"],
+        "eval_latency": summary["average_latency"],
+        "eval_energy_per_flit_pj": summary["energy_per_flit_pj"],
+        "eval_edp": summary["edp"],
+    }
+    train_cycles = episodes * experiment.episode_epochs * experiment.epoch_cycles
+    return {
+        "rows": [row],
+        "summary": summary,
+        "cycles": train_cycles + trace.total_cycles,
+        "wall_s": wall_s,
+    }
+
+
+_SUBTRIAL_WORKERS = {
+    "sweep": _run_sweep_point,
+    "scenario": _run_scenario_subtrial,
+    "eval": _run_eval,
+    "train-eval": _run_train_eval,
+}
+
+
+def run_suite_subtrial(subtrial: tuple) -> dict:
+    """Dispatch one expanded subtrial (module-level so it pickles)."""
+    kind, params = subtrial
+    return _SUBTRIAL_WORKERS[kind](params)
+
+
+def expand_unit(unit: SuiteUnit, agent_payload: Mapping | None = None) -> list[tuple]:
+    """Expand a unit into (kind, params) subtrials for the pool."""
+    params = dict(unit.params)
+    if unit.kind == "sweep":
+        rates = params.pop("rates")
+        return [("sweep", {**params, "rate": rate}) for rate in rates]
+    if unit.kind == "scenario":
+        # Ship the full spec so runtime-registered scenarios survive the trip
+        # into spawn-started workers (same rationale as run_scenarios).
+        spec = get_scenario(params["scenario"])
+        repeats = int(params.get("repeats", 1))
+        base_seed = int(params.get("seed", 0))
+        return [
+            (
+                "scenario",
+                {
+                    "scenario_spec": spec.to_dict(),
+                    "seed": base_seed if repeats == 1 else trial_seed(base_seed, repeat),
+                    "epochs": params.get("epochs"),
+                    "epoch_cycles": params.get("epoch_cycles"),
+                },
+            )
+            for repeat in range(repeats)
+        ]
+    if unit.kind == "eval":
+        if params.get("policy") == "drl":
+            params["agent"] = agent_payload
+        return [("eval", params)]
+    if unit.kind == "train-eval":
+        return [("train-eval", params)]
+    raise ValueError(f"unit kind {unit.kind!r} does not expand into subtrials")
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SuiteOutcome:
+    """Everything one suite run produced, as plain data plus helpers."""
+
+    suite: str
+    artifact: str
+    units: list[dict]
+    records: list[dict]
+    wall_s: float
+    training: TrainingResult | None = None
+
+    def unit(self, name: str) -> dict:
+        for payload in self.units:
+            if payload["unit"] == name:
+                return payload
+        known = ", ".join(payload["unit"] for payload in self.units)
+        raise KeyError(f"no unit {name!r} in suite {self.suite!r}; known: {known}")
+
+    def rows(self, name: str) -> list[dict]:
+        return self.unit(name)["rows"]
+
+    def summary(self, name: str) -> dict:
+        summary = self.unit(name).get("summary")
+        if summary is None:
+            raise KeyError(f"unit {name!r} of suite {self.suite!r} has no summary")
+        return summary
+
+    def deterministic_payload(self) -> dict:
+        """The simulated outcomes only — byte-identical across reruns."""
+        return {"suite": self.suite, "artifact": self.artifact, "units": self.units}
+
+    def to_payload(self) -> dict:
+        return {
+            "suite": self.suite,
+            "artifact": self.artifact,
+            "schema": list(RESULTS_SCHEMA),
+            "units": self.units,
+            "runs": self.records,
+            "wall_s_total": self.wall_s,
+        }
+
+
+def _train_unit_payload(
+    unit: SuiteUnit, spec: SuiteSpec, result: TrainingResult
+) -> tuple[dict, float]:
+    smoothed = result.smoothed_returns(window=3)
+    rows = [
+        {
+            "episode": episode,
+            "episode_return": result.episode_returns[episode],
+            "smoothed_return": smoothed[episode],
+            "mean_latency": result.episode_mean_latency[episode],
+            "mean_energy_per_flit": result.episode_mean_energy_per_flit[episode],
+        }
+        for episode in range(result.episodes)
+    ]
+    experiment = build_experiment(spec.training)
+    cycles = result.episodes * experiment.episode_epochs * experiment.epoch_cycles
+    payload = {"unit": unit.name, "kind": unit.kind, "rows": rows, "cycles": cycles}
+    return payload, result.wall_time_s
+
+
+def run_suite(
+    spec: SuiteSpec | str,
+    *,
+    jobs: int = 1,
+    train_jobs: int = 1,
+    out_dir: str | Path | None = None,
+    perf_repeats: int = 1,
+    reuse_evals: bool = False,
+) -> SuiteOutcome:
+    """Run every unit of ``spec``, fanning subtrials over one process pool.
+
+    ``jobs`` parallelises the suite's subtrials (simulated outcomes are
+    identical for any value); ``train_jobs`` is handed to the sharded DQN
+    trainer for the suite's shared controller (1 = the serial reference
+    path).  ``perf_repeats`` runs every subtrial — and any shared-training
+    unit — N times and keeps the best (minimum) wall time per unit for the
+    perf records; rows come from the first repeat and are identical across
+    repeats, so this only steadies the wall-clock samples (the CI gate runs with repeats; the
+    sub-second smoke units are otherwise at the mercy of a shared runner's
+    scheduler).  ``reuse_evals`` memoizes completed ``eval`` subtrials
+    process-wide, keyed on their params plus the deployed weights, so a
+    session running several suites over the same phased policies (the
+    benchmark harness) pays for each distinct evaluation once; cached
+    evals reuse their recorded wall time, so combine it with
+    ``perf_repeats`` only when stale samples are acceptable.  With
+    ``out_dir`` the outcome is also written to ``<out_dir>/<suite>.json``
+    in the shared artefact shape.
+    """
+    if isinstance(spec, str):
+        spec = get_suite(spec)
+    if perf_repeats < 1:
+        raise ValueError("perf_repeats must be at least 1")
+    start = time.perf_counter()
+    training_result = None
+    agent_payload = None
+    if spec.needs_training():
+        training_result = train_controller(spec.training, jobs=train_jobs)
+        agent_payload = _agent_payload(training_result)
+    fingerprint = _agent_fingerprint(agent_payload) if reuse_evals else ""
+
+    parent_payloads: dict[int, tuple[dict, float]] = {}
+    tagged: list[tuple[int, int, tuple]] = []  # (unit index, repeat, subtrial)
+    for index, unit in enumerate(spec.units):
+        if unit.kind == "train":
+            payload, unit_wall_s = _train_unit_payload(unit, spec, training_result)
+            # Resample the (possibly cached) training's wall clock too:
+            # the gate's best-of-N discipline must cover every record it
+            # compares, not just the pool subtrials.
+            for _ in range(perf_repeats - 1):
+                fresh = _train_once(spec.training, train_jobs)
+                unit_wall_s = min(unit_wall_s, fresh.wall_time_s)
+            parent_payloads[index] = (payload, unit_wall_s)
+            continue
+        subtrials = expand_unit(unit, agent_payload)
+        for repeat in range(perf_repeats):
+            tagged.extend((index, repeat, subtrial) for subtrial in subtrials)
+
+    # Satisfy what we can from the eval memo; dispatch the rest as one batch.
+    payloads: list[dict | None] = [None] * len(tagged)
+    dispatch: list[tuple[int, str | None, tuple]] = []
+    for position, (_, _, subtrial) in enumerate(tagged):
+        cache_key = None
+        if reuse_evals and subtrial[0] == "eval":
+            cache_key = _eval_cache_key(subtrial[1], fingerprint)
+        if cache_key is not None and cache_key in _EVAL_CACHE:
+            payloads[position] = _EVAL_CACHE[cache_key]
+        else:
+            dispatch.append((position, cache_key, subtrial))
+    results = run_trials(
+        run_suite_subtrial,
+        [subtrial for _, _, subtrial in dispatch],
+        jobs=jobs,
+        chunk_size=1,
+    )
+    for (position, cache_key, _), payload in zip(dispatch, results):
+        payloads[position] = payload
+        if cache_key is not None:
+            _EVAL_CACHE[cache_key] = payload
+
+    grouped: dict[tuple[int, int], list[dict]] = {}
+    for (index, repeat, _), payload in zip(tagged, payloads):
+        grouped.setdefault((index, repeat), []).append(payload)
+
+    units: list[dict] = []
+    records: list[dict] = []
+    for index, unit in enumerate(spec.units):
+        if index in parent_payloads:
+            payload, unit_wall_s = parent_payloads[index]
+        else:
+            parts = grouped[(index, 0)]
+            payload = {
+                "unit": unit.name,
+                "kind": unit.kind,
+                "rows": [row for part in parts for row in part["rows"]],
+                "cycles": sum(part["cycles"] for part in parts),
+            }
+            if len(parts) == 1 and "summary" in parts[0]:
+                payload["summary"] = parts[0]["summary"]
+            unit_wall_s = min(
+                sum(part["wall_s"] for part in grouped[(index, repeat)])
+                for repeat in range(perf_repeats)
+            )
+        units.append(payload)
+        records.append(
+            perf_record(
+                unit.name,
+                payload["cycles"],
+                unit_wall_s,
+                suite=spec.name,
+                kind=unit.kind,
+            )
+        )
+
+    outcome = SuiteOutcome(
+        suite=spec.name,
+        artifact=spec.artifact,
+        units=units,
+        records=records,
+        wall_s=time.perf_counter() - start,
+        training=training_result,
+    )
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{spec.name}.json").write_text(
+            json.dumps(outcome.to_payload(), indent=2), encoding="utf-8"
+        )
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# smoke variants
+# ---------------------------------------------------------------------------
+
+#: Per-kind parameter caps for CI-sized smoke variants.  Keys not present in
+#: a unit's params are *injected* (e.g. an eval unit that normally runs the
+#: experiment's full episode length gets an explicit small ``num_epochs``),
+#: so smoke runs are bounded regardless of the full suite's defaults.
+SMOKE_UNIT_CAPS: dict[str, dict[str, int]] = {
+    "sweep": {"warmup_cycles": 100, "measure_cycles": 240},
+    "scenario": {"epochs": 2, "epoch_cycles": 150, "repeats": 1},
+    "eval": {"num_epochs": 3, "epoch_cycles": 150},
+    "train-eval": {"episodes": 2, "epoch_cycles": 150, "episode_epochs": 4},
+}
+SMOKE_TRAINING_CAPS: dict[str, int] = {
+    "episodes": 2,
+    "epoch_cycles": 150,
+    "episode_epochs": 4,
+}
+#: Smoke sweeps keep at most this many rates (first, middle, last).
+SMOKE_MAX_RATES = 3
+
+
+def _cap_params(params: dict, caps: Mapping[str, int]) -> dict:
+    capped = dict(params)
+    for key, cap in caps.items():
+        current = capped.get(key)
+        capped[key] = cap if current is None else min(int(current), cap)
+    rates = capped.get("rates")
+    if rates and len(rates) > SMOKE_MAX_RATES:
+        capped["rates"] = [rates[0], rates[len(rates) // 2], rates[-1]]
+    return capped
+
+
+def derive_smoke_suite(spec: SuiteSpec) -> SuiteSpec:
+    """A CI-sized variant of ``spec``: same units and code paths, tiny sizes."""
+    units = tuple(
+        replace(unit, params=_cap_params(unit.params, SMOKE_UNIT_CAPS.get(unit.kind, {})))
+        for unit in spec.units
+    )
+    training = (
+        _cap_params(spec.training, SMOKE_TRAINING_CAPS) if spec.training else None
+    )
+    return SuiteSpec(
+        name=f"{spec.name}-smoke",
+        description=f"CI-sized smoke variant of {spec.name}: {spec.description}",
+        units=units,
+        artifact=spec.artifact,
+        training=training,
+        smoke_of=spec.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, SuiteSpec] = {}
+
+
+def register_suite(
+    spec: SuiteSpec, *, smoke: bool = True, replace_existing: bool = False
+) -> SuiteSpec:
+    """Add ``spec`` (and, by default, its derived smoke variant) to the registry."""
+    if spec.name in _REGISTRY and not replace_existing:
+        raise ValueError(f"suite {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    if smoke and not spec.is_smoke():
+        smoke_spec = derive_smoke_suite(spec)
+        if smoke_spec.name not in _REGISTRY or replace_existing:
+            _REGISTRY[smoke_spec.name] = smoke_spec
+    return spec
+
+
+def get_suite(name: str) -> SuiteSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(suite_names())
+        raise KeyError(f"unknown suite {name!r}; known: {known}") from None
+
+
+def suite_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def all_suites() -> tuple[SuiteSpec, ...]:
+    return tuple(_REGISTRY[name] for name in suite_names())
+
+
+def paper_suites() -> tuple[SuiteSpec, ...]:
+    """The full (non-smoke) suites that regenerate a paper artifact."""
+    return tuple(
+        spec for spec in all_suites() if spec.artifact and not spec.is_smoke()
+    )
+
+
+def suite_for_artifact(artifact: str) -> SuiteSpec:
+    for spec in paper_suites():
+        if spec.artifact == artifact:
+            return spec
+    known = ", ".join(spec.artifact for spec in paper_suites())
+    raise KeyError(f"no suite registered for artifact {artifact!r}; known: {known}")
+
+
+# ---------------------------------------------------------------------------
+# the paper's catalogue
+# ---------------------------------------------------------------------------
+
+
+def _phased_eval_units(policies: tuple[str, ...], **params) -> tuple[SuiteUnit, ...]:
+    return tuple(
+        SuiteUnit(f"phased/{policy}", "eval", {"policy": policy, **params})
+        for policy in policies
+    )
+
+
+def _seed_registry() -> None:
+    fig1_sweep = {
+        "width": 4,
+        "pattern": "uniform",
+        "routing": "xy",
+        "rates": [0.02, 0.08, 0.15, 0.25, 0.40, 0.60],
+        "warmup_cycles": 400,
+        "measure_cycles": 1_200,
+        "seed": 3,
+    }
+    register_suite(
+        SuiteSpec(
+            name="fig1",
+            artifact="fig1",
+            description=(
+                "Load/latency curve: latency & accepted throughput vs offered "
+                "load at the fastest and slowest DVFS level (4x4, uniform, XY)"
+            ),
+            units=(
+                SuiteUnit("turbo", "sweep", {**fig1_sweep, "dvfs_level": 0}),
+                SuiteUnit("powersave", "sweep", {**fig1_sweep, "dvfs_level": 3}),
+            ),
+        )
+    )
+
+    fig2_sweep = {
+        "width": 4,
+        "pattern": "transpose",
+        "rates": [0.05, 0.15, 0.25, 0.35, 0.45],
+        "warmup_cycles": 400,
+        "measure_cycles": 1_200,
+        "seed": 5,
+        "dvfs_level": 0,
+    }
+    register_suite(
+        SuiteSpec(
+            name="fig2",
+            artifact="fig2",
+            description=(
+                "Routing throughput: accepted throughput vs offered load for "
+                "XY and turn-model adaptive routing under transpose traffic"
+            ),
+            units=tuple(
+                SuiteUnit(routing, "sweep", {**fig2_sweep, "routing": routing})
+                for routing in ("xy", "odd_even", "west_first")
+            ),
+        )
+    )
+
+    register_suite(
+        SuiteSpec(
+            name="fig3",
+            artifact="fig3",
+            description="DQN training convergence: episode return vs training episode",
+            units=(SuiteUnit("dqn-train", "train"),),
+            training=dict(MAIN_TRAINING),
+        )
+    )
+
+    register_suite(
+        SuiteSpec(
+            name="fig4",
+            artifact="fig4",
+            description=(
+                "Runtime adaptation: DVFS level and latency over the phased "
+                "workload, DRL vs static-max vs heuristic"
+            ),
+            units=_phased_eval_units(("drl", "static-max", "heuristic")),
+            training=dict(MAIN_TRAINING),
+        )
+    )
+
+    register_suite(
+        SuiteSpec(
+            name="fig5",
+            artifact="fig5",
+            description=(
+                "Latency/energy trade-off: where each controller (plus the "
+                "static DVFS ladder) lands in the latency-energy plane"
+            ),
+            units=_phased_eval_units(
+                (
+                    "drl",
+                    "static-max",
+                    "static-min",
+                    "heuristic",
+                    "random",
+                    "static-L1",
+                    "static-L2",
+                )
+            ),
+            training=dict(MAIN_TRAINING),
+        )
+    )
+
+    table1_patterns = {
+        "uniform-0.15": {"pattern": "uniform", "rate": 0.15},
+        "transpose-0.20": {"pattern": "transpose", "rate": 0.20},
+        "hotspot-0.20": {
+            "pattern": "hotspot",
+            "rate": 0.20,
+            "kwargs": {"hotspot_fraction": 0.15},
+        },
+    }
+    table1_policies = ("drl", "static-max", "static-min", "heuristic", "random")
+    register_suite(
+        SuiteSpec(
+            name="table1",
+            artifact="table1",
+            description=(
+                "Controller comparison: latency, energy/flit, EDP and mean "
+                "reward on the phased workload and three synthetic patterns"
+            ),
+            units=_phased_eval_units(table1_policies)
+            + tuple(
+                SuiteUnit(
+                    f"{workload}/{policy}",
+                    "eval",
+                    {"policy": policy, "traffic": traffic, "num_epochs": 8},
+                )
+                for workload, traffic in table1_patterns.items()
+                for policy in table1_policies
+            ),
+            training=dict(MAIN_TRAINING),
+        )
+    )
+
+    register_suite(
+        SuiteSpec(
+            name="table2",
+            artifact="table2",
+            description=(
+                "Energy savings and latency overhead of the adaptive "
+                "controllers relative to always-max-frequency"
+            ),
+            units=_phased_eval_units(
+                ("drl", "static-max", "static-min", "heuristic", "random")
+            ),
+            training=dict(MAIN_TRAINING),
+        )
+    )
+
+    register_suite(
+        SuiteSpec(
+            name="table3",
+            artifact="table3",
+            description=(
+                "Agent ablation: DQN vs Double-DQN vs Dueling-DQN vs tabular "
+                "Q-learning vs the untrained threshold heuristic"
+            ),
+            units=tuple(
+                SuiteUnit(
+                    agent,
+                    "train-eval",
+                    {"agent": agent, "episodes": 12, "seed": 3},
+                )
+                for agent in TRAIN_EVAL_AGENTS
+            )
+            + (SuiteUnit("heuristic", "eval", {"policy": "heuristic"}),),
+        )
+    )
+
+    register_suite(
+        SuiteSpec(
+            name="table4",
+            artifact="table4",
+            description=(
+                "Scalability: the 4x4-trained controller deployed unchanged "
+                "on 6x6 and 8x8 meshes, vs static-max and the heuristic"
+            ),
+            units=tuple(
+                SuiteUnit(
+                    f"{width}x{width}/{policy}",
+                    "eval",
+                    {"policy": policy, "width": width, "num_epochs": 12},
+                )
+                for width in (4, 6, 8)
+                for policy in ("drl", "static-max", "heuristic")
+            ),
+            training=dict(MAIN_TRAINING),
+        )
+    )
+
+    register_suite(
+        SuiteSpec(
+            name="hotpath",
+            description=(
+                "The hot-path engine's scenario set (idle-heavy, ramp, bursty) "
+                "through the default activity-tracked engine"
+            ),
+            units=tuple(
+                SuiteUnit(name, "scenario", {"scenario": name, "seed": 0})
+                for name in ("powersave-idle", "diurnal-ramp", "bursty")
+            ),
+        )
+    )
+
+
+_seed_registry()

@@ -11,6 +11,7 @@ from repro.exp.perfguard import (
     extract_records,
     find_regressions,
     format_regressions,
+    record_key,
 )
 
 
@@ -84,6 +85,55 @@ class TestFindRegressions:
         assert find_regressions(current, baseline) == []
 
 
+class TestSuiteNamespacing:
+    def test_record_key_namespaces_suite_records(self):
+        flat = perf_record("turbo", 1000, 1.0)
+        namespaced = perf_record("turbo", 1000, 1.0, suite="fig1", engine="naive")
+        assert record_key(flat) == ("turbo", "")
+        assert record_key(namespaced) == ("fig1/turbo", "naive")
+
+    def test_same_unit_name_in_two_suites_tracks_two_baselines(self):
+        baseline = [
+            perf_record("points", 10_000, 10.0, suite="fig1"),  # 1000 c/s
+            perf_record("points", 10_000, 100.0, suite="fig2"),  # 100 c/s
+        ]
+        current = [
+            perf_record("points", 10_000, 10.0, suite="fig1"),  # held
+            perf_record("points", 10_000, 1_000.0, suite="fig2"),  # lost 10x
+        ]
+        regressions = find_regressions(current, baseline, tolerance=0.75)
+        assert [regression.scenario for regression in regressions] == ["fig2/points"]
+
+    def test_namespaced_current_falls_back_to_flat_baseline(self):
+        # A legacy baseline written before suite namespacing still guards a
+        # suite-produced record with the same unit name.
+        baseline = records(**{"dqn-train": 1000.0})
+        current = [perf_record("dqn-train", 10_000, 100.0, suite="fig3")]  # 100 c/s
+        regressions = find_regressions(current, baseline, tolerance=0.75)
+        assert len(regressions) == 1
+        assert regressions[0].scenario == "fig3/dqn-train"
+        # Nested unit names strip only the suite prefix.
+        baseline = [perf_record("phased/drl", 10_000, 10.0)]
+        current = [perf_record("phased/drl", 10_000, 1_000.0, suite="table1")]
+        regressions = find_regressions(current, baseline, tolerance=0.75)
+        assert [regression.scenario for regression in regressions] == [
+            "table1/phased/drl"
+        ]
+
+    def test_flat_current_does_not_match_namespaced_baseline(self):
+        baseline = [perf_record("turbo", 10_000, 10.0, suite="fig1")]
+        current = records(turbo=1.0)
+        assert find_regressions(current, baseline, tolerance=0.75) == []
+
+    def test_flat_scenario_containing_slash_never_falls_back(self):
+        # A flat record whose name merely contains "/" is not namespaced;
+        # its first component must not be stripped as a suite prefix and
+        # matched against an unrelated baseline scenario.
+        baseline = records(drl=1000.0)
+        current = [perf_record("phased/drl", 10_000, 10_000.0)]  # 1 c/s, no suite
+        assert find_regressions(current, baseline, tolerance=0.75) == []
+
+
 class TestCheckAgainstBaseline:
     def test_missing_baseline_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -141,3 +191,11 @@ class TestBenchCheckCli:
         code = cli.main(BENCH_ARGS + ["--check"])
         assert code == 2
         assert "--baseline" in capsys.readouterr().err
+
+    def test_json_path_parent_directories_are_created(self, tmp_path, capsys):
+        # CI writes the calibration artefact into a directory that does not
+        # exist in the checkout (benchmarks/ci-baseline/).
+        json_path = tmp_path / "ci-baseline" / "nested" / "hotpath.json"
+        code = cli.main(BENCH_ARGS + ["--json", str(json_path)])
+        assert code == 0
+        assert json.loads(json_path.read_text())["runs"]

@@ -4,7 +4,7 @@ import pickle
 
 import pytest
 
-from repro.analysis.sweep import SweepTrial, _measure_point, load_latency_sweep
+from repro.analysis.sweep import SweepTrial, load_latency_sweep, measure_sweep_point
 from repro.exp.runner import (
     TrialPool,
     default_chunk_size,
@@ -21,17 +21,17 @@ SWEEP_KWARGS = dict(warmup_cycles=150, measure_cycles=300, seed=1)
 class TestRunTrials:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):
-            run_trials(_measure_point, [], jobs=0)
+            run_trials(measure_sweep_point, [], jobs=0)
 
     def test_empty_trial_list(self):
-        assert run_trials(_measure_point, [], jobs=4) == []
+        assert run_trials(measure_sweep_point, [], jobs=4) == []
 
     def test_serial_path_preserves_order(self):
         trials = [
             SweepTrial(CONFIG, "uniform", rate, 50, 100, seed=1, dvfs_level=0)
             for rate in (0.05, 0.10, 0.15)
         ]
-        points = run_trials(_measure_point, trials, jobs=1)
+        points = run_trials(measure_sweep_point, trials, jobs=1)
         assert [point.injection_rate for point in points] == [0.05, 0.10, 0.15]
 
     def test_trial_seed_is_stable_and_spread(self):
@@ -58,12 +58,12 @@ class TestTrialPool:
                 SweepTrial(CONFIG, "uniform", rate, 50, 100, seed=1, dvfs_level=0)
                 for rate in (0.05, 0.10)
             ]
-            points = pool.run(_measure_point, trials)
+            points = pool.run(measure_sweep_point, trials)
         assert [point.injection_rate for point in points] == [0.05, 0.10]
 
     def test_close_is_idempotent(self):
         pool = TrialPool(1)
-        pool.run(_measure_point, [])
+        pool.run(measure_sweep_point, [])
         pool.close()
         pool.close()
 
@@ -73,10 +73,10 @@ class TestTrialPool:
             SweepTrial(CONFIG, "uniform", rate, 50, 100, seed=1, dvfs_level=0)
             for rate in (0.05, 0.10, 0.15, 0.20)
         ]
-        serial = [_measure_point(trial) for trial in trials]
+        serial = [measure_sweep_point(trial) for trial in trials]
         with TrialPool(2) as pool:
-            first_round = pool.run(_measure_point, trials[:2])
-            second_round = pool.run(_measure_point, trials[2:])
+            first_round = pool.run(measure_sweep_point, trials[:2])
+            second_round = pool.run(measure_sweep_point, trials[2:])
         assert first_round + second_round == serial
 
 
@@ -87,7 +87,7 @@ class TestPicklability:
             pattern_kwargs={"hotspot_fraction": 0.3},
         )
         assert pickle.loads(pickle.dumps(trial)) == trial
-        point = _measure_point(trial)
+        point = measure_sweep_point(trial)
         assert pickle.loads(pickle.dumps(point)) == point
 
     def test_scenario_results_round_trip(self):

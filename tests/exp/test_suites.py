@@ -1,0 +1,327 @@
+"""Tests for the suite registry and the declarative bench engine."""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.exp import suites
+from repro.exp.scenarios import scenario_names
+from repro.exp.suites import (
+    SuiteSpec,
+    SuiteUnit,
+    derive_smoke_suite,
+    get_suite,
+    paper_suites,
+    run_suite,
+    suite_for_artifact,
+)
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+PAPER_ARTIFACTS = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+)
+
+
+def sweep_unit(name="points", **overrides):
+    params = {"rates": [0.05], "warmup_cycles": 10, "measure_cycles": 40, "seed": 0}
+    params.update(overrides)
+    return SuiteUnit(name, "sweep", params)
+
+
+class TestSpecValidation:
+    def test_rejects_empty_units(self):
+        with pytest.raises(ValueError, match="at least one unit"):
+            SuiteSpec(name="x", description="", units=())
+
+    def test_rejects_duplicate_unit_names(self):
+        with pytest.raises(ValueError, match="duplicate unit names"):
+            SuiteSpec(name="x", description="", units=(sweep_unit(), sweep_unit()))
+
+    def test_rejects_unknown_unit_kind(self):
+        with pytest.raises(ValueError, match="unknown unit kind"):
+            SuiteUnit("x", "teleport", {})
+
+    def test_sweep_unit_needs_rates(self):
+        with pytest.raises(ValueError, match="rates"):
+            SuiteUnit("x", "sweep", {})
+
+    def test_eval_unit_needs_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            SuiteUnit("x", "eval", {})
+
+    def test_scenario_unit_needs_scenario(self):
+        with pytest.raises(ValueError, match="scenario"):
+            SuiteUnit("x", "scenario", {})
+
+    def test_scenario_unit_rejects_zero_repeats(self):
+        with pytest.raises(ValueError, match="repeat"):
+            SuiteUnit("x", "scenario", {"scenario": "bursty", "repeats": 0})
+
+    def test_train_eval_unit_needs_known_agent(self):
+        with pytest.raises(ValueError, match="agent"):
+            SuiteUnit("x", "train-eval", {"agent": "sarsa"})
+
+    def test_drl_eval_without_training_spec_rejected(self):
+        with pytest.raises(ValueError, match="training"):
+            SuiteSpec(
+                name="x",
+                description="",
+                units=(SuiteUnit("e", "eval", {"policy": "drl"}),),
+            )
+
+
+class TestSerialization:
+    def test_every_registered_suite_round_trips_through_json(self):
+        for spec in suites.all_suites():
+            assert SuiteSpec.from_json(spec.to_json()) == spec
+
+    def test_unit_dicts_rebuild_as_units(self):
+        spec = get_suite("table1")
+        payload = json.loads(spec.to_json())
+        rebuilt = SuiteSpec.from_dict(payload)
+        assert all(isinstance(unit, SuiteUnit) for unit in rebuilt.units)
+
+
+class TestRegistryCompleteness:
+    def test_all_nine_paper_artifacts_are_registered(self):
+        assert {spec.artifact for spec in paper_suites()} >= set(PAPER_ARTIFACTS)
+
+    def test_every_paper_bench_script_maps_to_a_registered_suite(self):
+        scripts = sorted(BENCH_DIR.glob("bench_*.py"))
+        assert scripts, "benchmarks/ directory not found"
+        artifacts = {spec.artifact for spec in paper_suites()}
+        for path in scripts:
+            match = re.match(r"bench_((?:fig|table)\d+)_", path.name)
+            if match:
+                assert match.group(1) in artifacts, (
+                    f"{path.name} has no registered suite for {match.group(1)}"
+                )
+
+    def test_every_suite_scenario_ref_exists_in_scenario_registry(self):
+        for spec in suites.all_suites():
+            for unit in spec.units:
+                if unit.kind == "scenario":
+                    assert unit.params["scenario"] in scenario_names(), (
+                        f"suite {spec.name} references unknown scenario "
+                        f"{unit.params['scenario']!r}"
+                    )
+
+    def test_every_full_suite_has_a_smoke_variant(self):
+        for spec in suites.all_suites():
+            if spec.is_smoke():
+                continue
+            smoke = get_suite(f"{spec.name}-smoke")
+            assert smoke.smoke_of == spec.name
+            assert [unit.name for unit in smoke.units] == [
+                unit.name for unit in spec.units
+            ]
+
+    def test_suite_for_artifact_returns_the_full_suite(self):
+        spec = suite_for_artifact("fig1")
+        assert spec.name == "fig1"
+        assert not spec.is_smoke()
+
+    def test_suite_for_unknown_artifact_raises(self):
+        with pytest.raises(KeyError, match="no suite registered"):
+            suite_for_artifact("fig99")
+
+    def test_get_unknown_suite_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_suite("no-such-suite")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            suites.register_suite(get_suite("fig1"))
+
+
+class TestSmokeDerivation:
+    def test_sweep_sizes_are_capped_and_rates_truncated(self):
+        full = get_suite("fig1")
+        smoke = get_suite("fig1-smoke")
+        for unit in smoke.units:
+            assert unit.params["warmup_cycles"] <= 100
+            assert unit.params["measure_cycles"] <= 240
+            assert len(unit.params["rates"]) <= suites.SMOKE_MAX_RATES
+        full_rates = full.units[0].params["rates"]
+        smoke_rates = smoke.units[0].params["rates"]
+        # The smoke sweep keeps the endpoints, so it still crosses saturation.
+        assert smoke_rates[0] == full_rates[0]
+        assert smoke_rates[-1] == full_rates[-1]
+
+    def test_training_and_eval_sizes_are_capped(self):
+        smoke = get_suite("table4-smoke")
+        assert smoke.training["episodes"] <= 2
+        assert smoke.training["epoch_cycles"] <= 150
+        for unit in smoke.units:
+            assert unit.params["num_epochs"] <= 3
+
+    def test_train_eval_episodes_are_capped(self):
+        smoke = get_suite("table3-smoke")
+        for unit in smoke.units:
+            if unit.kind == "train-eval":
+                assert unit.params["episodes"] <= 2
+
+    def test_caps_never_grow_small_suites(self):
+        tiny = SuiteSpec(
+            name="tiny",
+            description="",
+            units=(sweep_unit(warmup_cycles=5, measure_cycles=20),),
+        )
+        smoke = derive_smoke_suite(tiny)
+        assert smoke.units[0].params["warmup_cycles"] == 5
+        assert smoke.units[0].params["measure_cycles"] == 20
+        assert smoke.name == "tiny-smoke"
+        assert smoke.smoke_of == "tiny"
+
+
+class TestRunSuite:
+    def test_fig1_smoke_is_deterministic_and_writes_the_artifact(self, tmp_path):
+        first = run_suite("fig1-smoke", jobs=1, out_dir=tmp_path)
+        second = run_suite("fig1-smoke", jobs=1)
+        assert json.dumps(first.deterministic_payload(), sort_keys=True) == json.dumps(
+            second.deterministic_payload(), sort_keys=True
+        )
+        payload = json.loads((tmp_path / "fig1-smoke.json").read_text())
+        assert payload["suite"] == "fig1-smoke"
+        assert payload["schema"] == ["scenario", "cycles", "wall_s", "cycles_per_s"]
+        assert [unit["unit"] for unit in payload["units"]] == ["turbo", "powersave"]
+        assert all(record["suite"] == "fig1-smoke" for record in payload["runs"])
+        assert all(record["cycles_per_s"] > 0 for record in payload["runs"])
+
+    def test_scenario_suite_reports_scenario_summaries(self):
+        outcome = run_suite("hotpath-smoke", jobs=1)
+        rows = outcome.rows("powersave-idle")
+        assert rows[0]["scenario"] == "powersave-idle"
+        assert rows[0]["cycles"] == 2 * 150  # smoke caps: 2 epochs x 150 cycles
+
+    def test_training_suite_shares_the_memoized_controller(self):
+        smoke = get_suite("fig3-smoke")
+        outcome = run_suite(smoke, jobs=1)
+        rows = outcome.rows("dqn-train")
+        assert len(rows) == smoke.training["episodes"]
+        assert outcome.training is suites.train_controller(smoke.training, jobs=1)
+
+    def test_eval_suite_deploys_drl_and_baselines(self):
+        outcome = run_suite("table4-smoke", jobs=1)
+        for unit in ("4x4/drl", "8x8/static-max"):
+            summary = outcome.summary(unit)
+            assert summary["epochs"] == 3  # the smoke num_epochs cap
+            assert summary["energy_per_flit_pj"] > 0
+        assert len(outcome.rows("6x6/heuristic")) == 3
+
+    def test_perf_repeats_resamples_wall_clock_but_not_rows(self):
+        single = run_suite("fig1-smoke", jobs=1)
+        repeated = run_suite("fig1-smoke", jobs=1, perf_repeats=3)
+        assert repeated.units == single.units  # rows/cycles identical
+        assert len(repeated.records) == len(single.records)
+        with pytest.raises(ValueError, match="perf_repeats"):
+            run_suite("fig1-smoke", perf_repeats=0)
+
+    def test_perf_repeats_covers_train_units_too(self):
+        single = run_suite("fig3-smoke", jobs=1)
+        repeated = run_suite("fig3-smoke", jobs=1, perf_repeats=2)
+        assert repeated.units == single.units
+        # The repeated run resampled the training wall clock; best-of-N can
+        # only improve (lower wall = higher cycles/s) on the cached sample.
+        assert repeated.records[0]["cycles_per_s"] >= single.records[0]["cycles_per_s"]
+
+    def test_reuse_evals_memoizes_identical_evaluations(self):
+        suites._EVAL_CACHE.clear()
+        first = run_suite("table2-smoke", jobs=1, reuse_evals=True)
+        cache_size = len(suites._EVAL_CACHE)
+        assert cache_size == len(first.units)
+        # fig5-smoke shares table2-smoke's five phased policies (same smoke
+        # eval params, same weights) and adds the two static mid levels.
+        second = run_suite("fig5-smoke", jobs=1, reuse_evals=True)
+        assert len(suites._EVAL_CACHE) == cache_size + 2
+        for unit in ("phased/drl", "phased/static-min"):
+            assert second.unit(unit)["rows"] == first.unit(unit)["rows"]
+
+    def test_outcome_lookup_errors_name_the_known_units(self):
+        outcome = run_suite("fig1-smoke", jobs=1)
+        with pytest.raises(KeyError, match="turbo"):
+            outcome.unit("no-such-unit")
+        with pytest.raises(KeyError, match="no summary"):
+            outcome.summary("turbo")
+
+    @pytest.mark.slow
+    def test_pool_fanout_matches_serial_outcomes(self):
+        serial = run_suite("fig2-smoke", jobs=1)
+        parallel = run_suite("fig2-smoke", jobs=2)
+        assert json.dumps(serial.deterministic_payload(), sort_keys=True) == json.dumps(
+            parallel.deterministic_payload(), sort_keys=True
+        )
+
+
+class TestTrainController:
+    TINY = {
+        "preset": "small",
+        "episodes": 1,
+        "seed": 5,
+        "epoch_cycles": 120,
+        "episode_epochs": 3,
+    }
+
+    def test_memoized_per_spec_and_jobs(self):
+        first = suites.train_controller(dict(self.TINY), jobs=1)
+        second = suites.train_controller(dict(self.TINY), jobs=1)
+        assert first is second
+        assert first.episodes == 1
+
+    def test_agent_payload_rebuilds_the_greedy_policy(self):
+        result = suites.train_controller(dict(self.TINY), jobs=1)
+        experiment = suites.build_experiment(self.TINY)
+        policy = suites.build_policy(
+            "drl", experiment, suites._agent_payload(result)
+        )
+        import numpy as np
+
+        observation = np.zeros(experiment.build_feature_extractor().dim)
+        action = policy.select_action(observation, None)
+        assert action == result.to_policy().select_action(observation, None)
+
+
+class TestBuildPolicy:
+    def test_static_ladder_and_baselines(self):
+        experiment = suites.build_experiment({})
+        for name in ("static-max", "static-min", "heuristic", "random", "static-L2"):
+            policy = suites.build_policy(name, experiment)
+            assert hasattr(policy, "select_action")
+
+    def test_drl_without_payload_rejected(self):
+        with pytest.raises(ValueError, match="agent payload"):
+            suites.build_policy("drl", suites.build_experiment({}))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            suites.build_policy("oracle", suites.build_experiment({}))
+
+
+class TestBuildExperiment:
+    def test_presets_and_overrides(self):
+        experiment = suites.build_experiment(
+            {"preset": "small", "width": 6, "epoch_cycles": 99}
+        )
+        assert experiment.simulator.width == 6
+        assert experiment.epoch_cycles == 99
+
+    def test_traffic_override(self):
+        experiment = suites.build_experiment(
+            {"traffic": {"pattern": "hotspot", "rate": 0.2,
+                         "kwargs": {"hotspot_fraction": 0.15}}}
+        )
+        assert experiment.traffic.kind == "synthetic"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment preset"):
+            suites.build_experiment({"preset": "enormous"})

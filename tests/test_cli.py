@@ -92,6 +92,91 @@ class TestScenariosCommand:
         assert "unknown scenario" in capsys.readouterr().err
 
 
+class TestSuiteCommand:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["suite"])
+
+    def test_run_arguments(self):
+        args = cli.build_parser().parse_args(
+            ["suite", "run", "fig1", "--smoke", "--jobs", "2", "--out", "/tmp/x"]
+        )
+        assert args.suite_command == "run"
+        assert args.names == ["fig1"]
+        assert args.smoke is True
+        assert args.jobs == 2
+        assert args.out_dir == "/tmp/x"
+
+    def test_list_prints_every_paper_suite(self, capsys):
+        assert cli.main(["suite", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fig1", "fig5-smoke", "table4", "hotpath"):
+            assert name in output
+
+    def test_describe_prints_the_spec_json(self, capsys):
+        import json
+
+        assert cli.main(["suite", "describe", "fig2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "fig2"
+        unit_names = [unit["name"] for unit in payload["units"]]
+        assert unit_names == ["xy", "odd_even", "west_first"]
+
+    def test_describe_unknown_suite_rejected(self, capsys):
+        assert cli.main(["suite", "describe", "fig99"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_run_requires_names_or_all(self, capsys):
+        assert cli.main(["suite", "run"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_run_unknown_suite_rejected(self, capsys):
+        assert cli.main(["suite", "run", "fig99"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_run_check_requires_baseline(self, capsys):
+        assert cli.main(["suite", "run", "fig1-smoke", "--check"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_run_smoke_writes_artifacts_and_passes_self_check(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "results"
+        code = cli.main(["suite", "run", "fig1", "--smoke", "--out", str(out_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fig1-smoke" in output
+        combined = json.loads((out_dir / "suites.json").read_text())
+        assert combined["suites"] == ["fig1-smoke"]
+        assert (out_dir / "fig1-smoke.json").exists()
+        # A back-to-back rerun against the artefact we just wrote must pass
+        # (tiny tolerance: wall clocks on a busy test host are noisy).
+        code = cli.main(
+            ["suite", "run", "fig1-smoke", "--repeats", "2", "--check",
+             "--baseline", str(out_dir / "suites.json"), "--tolerance", "0.01"]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_run_check_flags_regressions(self, capsys, tmp_path):
+        import json
+
+        from repro.exp.bench import perf_record
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "runs": [
+                perf_record("turbo", 1000, 1e-12, suite="fig1-smoke"),
+                perf_record("powersave", 1000, 1e-12, suite="fig1-smoke"),
+            ]
+        }))
+        code = cli.main(
+            ["suite", "run", "fig1-smoke", "--check", "--baseline", str(baseline)]
+        )
+        assert code == 3
+        assert "regression" in capsys.readouterr().out
+
+
 class TestEvaluateAndCompareCommands:
     def test_evaluate_named_baseline(self, capsys, monkeypatch):
         monkeypatch.setattr(
