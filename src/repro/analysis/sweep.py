@@ -105,17 +105,21 @@ def load_latency_sweep(
     seed: int = 0,
     dvfs_level: int = 0,
     jobs: int = 1,
+    engine: str | None = None,
     **pattern_kwargs,
 ) -> list[LoadLatencyPoint]:
     """Average latency and accepted throughput as the offered load sweeps up.
 
     ``jobs > 1`` runs the points on a process pool; the result sequence is
-    identical to the serial one.
+    identical to the serial one.  ``engine`` overrides the config's
+    execution engine (results are engine-agnostic; see :mod:`repro.engines`).
     """
     if not injection_rates:
         raise ValueError("at least one injection rate is required")
     if any(rate < 0 for rate in injection_rates):
         raise ValueError("injection rates must be non-negative")
+    if engine is not None:
+        simulator_config = replace(simulator_config, engine=engine)
     trials = [
         SweepTrial(
             simulator_config=simulator_config,
@@ -141,6 +145,7 @@ def routing_throughput_sweep(
     measure_cycles: int = 1_500,
     seed: int = 0,
     jobs: int = 1,
+    engine: str | None = None,
 ) -> dict[str, list[LoadLatencyPoint]]:
     """Load sweep repeated for several routing algorithms (Figure 2).
 
@@ -151,6 +156,8 @@ def routing_throughput_sweep(
         raise ValueError("at least one injection rate is required")
     if any(rate < 0 for rate in injection_rates):
         raise ValueError("injection rates must be non-negative")
+    if engine is not None:
+        simulator_config = replace(simulator_config, engine=engine)
     trials = [
         SweepTrial(
             simulator_config=replace(simulator_config, routing=routing),

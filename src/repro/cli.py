@@ -7,14 +7,17 @@ Installed as the ``repro-noc`` console script (or invoked as
   ``--jobs N`` fans the sweep points out over a process pool;
 * ``scenarios`` — list the named experiment scenarios or run a selection of
   them (``scenarios list`` / ``scenarios run NAME... --jobs N``);
-* ``suite``     — list, describe or run the registered benchmark suites
-  (one per paper figure/table, plus CI-sized ``-smoke`` variants); with
-  ``--check --baseline FILE`` a run doubles as the perf-regression guard
-  over the suite's records;
-* ``bench``     — hot-path engine microbenchmark: cycles/sec of the
-  activity-tracked engine vs the naive scan-everything engine; with
-  ``--check --baseline FILE`` it doubles as the perf-regression guard and
-  exits nonzero when throughput falls past ``--tolerance``;
+* ``suite``     — list, describe, run or diff the registered benchmark
+  suites (one per paper figure/table, plus CI-sized ``-smoke`` variants);
+  with ``--check --baseline FILE`` a run doubles as the perf-regression
+  guard over the suite's records; ``suite diff A.json B.json`` compares two
+  stored artefacts row by row (all fields, wall clocks excluded) and exits
+  nonzero on any mismatch;
+* ``bench``     — hot-path engine microbenchmark: cycles/sec of an
+  optimised engine (``--engine cycle`` = activity-tracked loop, ``event`` =
+  calendar queue) vs the naive scan-everything loop; with ``--check
+  --baseline FILE`` it doubles as the perf-regression guard and exits
+  nonzero when throughput falls past ``--tolerance``;
 * ``train``     — train the DQN self-configuration controller (``--jobs N``
   shards actor rollouts over a process pool; ``--resume`` continues from a
   checkpoint) and optionally save a checkpoint;
@@ -22,11 +25,16 @@ Installed as the ``repro-noc`` console script (or invoked as
   held-out workload and print its summary;
 * ``compare``   — evaluate the baselines (and optionally a checkpoint) side
   by side, Table-I style.
+
+Every simulation-running subcommand accepts ``--engine cycle|event`` — the
+pluggable execution backends of :mod:`repro.engines`; simulated outcomes
+are byte-identical across engines, so the flag is purely a perf choice.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import sys
 from pathlib import Path
@@ -55,12 +63,14 @@ from repro.exp import (
     suite_names,
     train_dqn_sharded,
 )
-from repro.exp.bench import RESULTS_SCHEMA
+from repro.engines import engine_names
+from repro.exp.bench import BENCH_ENGINE_VARIANTS, RESULTS_SCHEMA
 from repro.exp.perfguard import (
     DEFAULT_TOLERANCE,
     check_against_baseline,
     format_regressions,
 )
+from repro.exp.suites import DIFF_IGNORED_KEYS, diff_payloads
 from repro.noc import SimulatorConfig
 
 BASELINE_NAMES = ("static-max", "static-min", "heuristic", "random")
@@ -71,6 +81,29 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
     return number
+
+
+def _unknown_names_error(kind: str, unknown: Sequence[str], known: Sequence[str]) -> None:
+    """Print an unknown-name diagnostic with a did-you-mean suggestion."""
+    message = f"unknown {kind}{'s' if len(unknown) > 1 else ''}: {', '.join(unknown)}"
+    suggestions = []
+    for name in unknown:
+        close = difflib.get_close_matches(name, known, n=1, cutoff=0.5)
+        if close and close[0] not in suggestions:
+            suggestions.append(close[0])
+    if suggestions:
+        message += f"; did you mean: {', '.join(suggestions)}?"
+    message += f" (known: {', '.join(known)})"
+    print(message, file=sys.stderr)
+
+
+def _check_names(kind: str, names: Sequence[str], known: Sequence[str]) -> bool:
+    """True when every name is known; otherwise print the diagnostic."""
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        _unknown_names_error(kind, unknown, known)
+        return False
+    return True
 
 
 def _write_json(path: str, payload) -> None:
@@ -108,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the sweep points (1 = in-process serial)",
     )
+    sweep.add_argument(
+        "--engine",
+        default="cycle",
+        help="simulation engine (cycle|event; results are engine-agnostic)",
+    )
 
     scenarios = subparsers.add_parser(
         "scenarios", help="list or run the named experiment scenarios"
@@ -141,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios_run.add_argument(
         "--json", dest="json_path", help="also write full per-epoch results to this file"
+    )
+    scenarios_run.add_argument(
+        "--engine",
+        default=None,
+        help="override the specs' simulation engine (cycle|event)",
     )
 
     suite = subparsers.add_parser(
@@ -211,6 +254,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_TOLERANCE,
         help="fraction of baseline throughput that must be retained (default 0.75)",
     )
+    suite_run.add_argument(
+        "--engine",
+        default="cycle",
+        help="simulation engine for every subtrial (cycle|event)",
+    )
+    suite_diff = suite_sub.add_parser(
+        "diff",
+        help="compare two stored suite artefacts row by row (all fields)",
+    )
+    suite_diff.add_argument("artifact_a", metavar="A.json", help="first stored artefact")
+    suite_diff.add_argument("artifact_b", metavar="B.json", help="second stored artefact")
+    suite_diff.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="additionally ignore this field everywhere (repeatable); "
+        "wall-clock fields are always ignored",
+    )
 
     bench = subparsers.add_parser(
         "bench", help="hot-path engine microbenchmark (cycles/sec, both engines)"
@@ -252,6 +314,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=DEFAULT_TOLERANCE,
         help="fraction of baseline throughput that must be retained (default 0.75)",
+    )
+    bench.add_argument(
+        "--engine",
+        default="cycle",
+        help="optimised engine to pit against the naive loop (cycle|event)",
     )
 
     train = subparsers.add_parser("train", help="train the DQN controller")
@@ -321,6 +388,8 @@ def _resolve_policy(controller: str, experiment: ExperimentConfig):
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if not _check_names("engine", [args.engine], engine_names()):
+        return 2
     config = SimulatorConfig(width=args.width, routing=args.routing)
     points = load_latency_sweep(
         config,
@@ -329,6 +398,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         measure_cycles=args.cycles,
         dvfs_level=args.dvfs_level,
         jobs=args.jobs,
+        engine=args.engine,
     )
     print(
         format_series(
@@ -364,13 +434,11 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         return 0
 
     names = list(args.names) or list(scenario_names())
-    unknown = [name for name in names if name not in scenario_names()]
-    if unknown:
-        print(
-            f"unknown scenario(s): {', '.join(unknown)}; "
-            f"known: {', '.join(scenario_names())}",
-            file=sys.stderr,
-        )
+    if not _check_names("scenario", names, scenario_names()):
+        return 2
+    if args.engine is not None and not _check_names(
+        "engine", [args.engine], engine_names()
+    ):
         return 2
     results = run_scenarios(
         names,
@@ -379,12 +447,36 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         epochs=args.epochs,
         epoch_cycles=args.epoch_cycles,
+        engine=args.engine,
     )
     print(format_table([result.summary() for result in results], title="Scenario runs"))
     if args.json_path:
         _write_json(args.json_path, [result.to_dict() for result in results])
         print(f"full results written to {args.json_path}")
     return 0
+
+
+def _suite_diff(args: argparse.Namespace) -> int:
+    """``suite diff A.json B.json``: row-by-row comparison, all fields."""
+    payloads = []
+    for path in (args.artifact_a, args.artifact_b):
+        target = Path(path)
+        if not target.exists():
+            print(f"no such artefact: {target}", file=sys.stderr)
+            return 2
+        payloads.append(json.loads(target.read_text(encoding="utf-8")))
+    ignore = DIFF_IGNORED_KEYS | set(args.ignore)
+    differences = diff_payloads(payloads[0], payloads[1], ignore=ignore)
+    if not differences:
+        print(
+            f"suite diff: {args.artifact_a} and {args.artifact_b} are identical "
+            "(wall-clock fields ignored)"
+        )
+        return 0
+    print(f"suite diff: {len(differences)} difference(s)")
+    for line in differences:
+        print(f"  {line}")
+    return 1
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
@@ -403,14 +495,13 @@ def cmd_suite(args: argparse.Namespace) -> int:
         return 0
 
     if args.suite_command == "describe":
-        if args.name not in suite_names():
-            print(
-                f"unknown suite {args.name!r}; known: {', '.join(suite_names())}",
-                file=sys.stderr,
-            )
+        if not _check_names("suite", [args.name], suite_names()):
             return 2
         print(get_suite(args.name).to_json(indent=2))
         return 0
+
+    if args.suite_command == "diff":
+        return _suite_diff(args)
 
     if args.run_all:
         names = [spec.name for spec in paper_suites()]
@@ -423,13 +514,9 @@ def cmd_suite(args: argparse.Namespace) -> int:
         names = [
             name if name.endswith("-smoke") else f"{name}-smoke" for name in names
         ]
-    unknown = [name for name in names if name not in suite_names()]
-    if unknown:
-        print(
-            f"unknown suite(s): {', '.join(unknown)}; "
-            f"known: {', '.join(suite_names())}",
-            file=sys.stderr,
-        )
+    if not _check_names("suite", names, suite_names()):
+        return 2
+    if not _check_names("engine", [args.engine], engine_names()):
         return 2
     if args.check and not args.baseline:
         print("--check requires --baseline", file=sys.stderr)
@@ -443,6 +530,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
             train_jobs=args.train_jobs,
             out_dir=args.out_dir,
             perf_repeats=args.repeats,
+            engine=args.engine,
         )
         all_records.extend(outcome.records)
         print(format_table(outcome.records, title=f"Suite {name}"))
@@ -464,13 +552,9 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    unknown = [name for name in args.scenarios if name not in scenario_names()]
-    if unknown:
-        print(
-            f"unknown scenario(s): {', '.join(unknown)}; "
-            f"known: {', '.join(scenario_names())}",
-            file=sys.stderr,
-        )
+    if not _check_names("scenario", args.scenarios, scenario_names()):
+        return 2
+    if not _check_names("engine", [args.engine], tuple(sorted(BENCH_ENGINE_VARIANTS))):
         return 2
     payload = run_hotpath_benchmark(
         args.scenarios,
@@ -478,11 +562,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         epoch_cycles=args.epoch_cycles,
         repeats=args.repeats,
+        engine=args.engine,
     )
+    optimised = BENCH_ENGINE_VARIANTS[args.engine]
     print(format_table(payload["runs"], title="Hot-path engine benchmark (best of runs)"))
     for scenario, speedup in payload["speedups"].items():
         equivalent = "ok" if payload["telemetry_equivalent"][scenario] else "DIVERGED"
-        print(f"  {scenario}: {speedup:.2f}x activity vs naive (telemetry {equivalent})")
+        print(
+            f"  {scenario}: {speedup:.2f}x {optimised} vs naive "
+            f"(telemetry {equivalent})"
+        )
     if args.json_path:
         _write_json(args.json_path, payload)
         print(f"full payload written to {args.json_path}")

@@ -1,0 +1,44 @@
+"""Pluggable simulation engines for the NoC model.
+
+An engine decides *when* the passive :class:`~repro.noc.model.NoCModel`
+executes its cycle phases; the model owns every piece of state.  All
+engines are telemetry-equivalent — statistics, energy floats and the
+``idle_cycles`` counter are byte-identical whichever one runs — so the
+``engine`` knob on :class:`~repro.noc.model.SimulatorConfig` (and the
+``--engine`` CLI flag) is purely a performance choice:
+
+* ``cycle`` — :class:`CycleEngine`, the reference cycle-driven loop with
+  activity tracking, DVFS-gated-cycle skip and idle-span batching;
+* ``event`` — :class:`EventEngine`, a calendar queue over injection and
+  pipeline events (rebuilt against the current divider table whenever a
+  DVFS retune can have happened) that additionally leaps gated spans
+  while flits are parked (the large-mesh scaling path).
+
+New engines register through :func:`register_engine` and become available
+everywhere a name is accepted.
+"""
+
+from repro.engines.base import (
+    Engine,
+    build_engine,
+    engine_names,
+    get_engine_factory,
+    register_engine,
+    validate_engine_name,
+)
+from repro.engines.cycle import CycleEngine
+from repro.engines.event import EventEngine
+
+register_engine("cycle", CycleEngine)
+register_engine("event", EventEngine)
+
+__all__ = [
+    "CycleEngine",
+    "Engine",
+    "EventEngine",
+    "build_engine",
+    "engine_names",
+    "get_engine_factory",
+    "register_engine",
+    "validate_engine_name",
+]

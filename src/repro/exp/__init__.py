@@ -10,6 +10,7 @@ pure data) and its declarative bench engine,
 """
 
 from repro.exp.bench import (
+    BENCH_ENGINE_VARIANTS,
     HOTPATH_SCENARIOS,
     measure_engine,
     perf_record,
@@ -35,12 +36,14 @@ from repro.exp.scenarios import (
     scenario_names,
 )
 from repro.exp.suites import (
+    DIFF_IGNORED_KEYS,
     MAIN_TRAINING,
     SuiteOutcome,
     SuiteSpec,
     SuiteUnit,
     all_suites,
     derive_smoke_suite,
+    diff_payloads,
     get_suite,
     paper_suites,
     register_suite,
@@ -60,6 +63,8 @@ from repro.exp.training import (
 __all__ = [
     "ActorRollout",
     "ActorTask",
+    "BENCH_ENGINE_VARIANTS",
+    "DIFF_IGNORED_KEYS",
     "FaultEvent",
     "HOTPATH_SCENARIOS",
     "MAIN_TRAINING",
@@ -76,6 +81,7 @@ __all__ = [
     "all_suites",
     "default_experiment_dqn_config",
     "derive_smoke_suite",
+    "diff_payloads",
     "find_regressions",
     "format_regressions",
     "get_scenario",

@@ -36,7 +36,14 @@ HOTPATH_SCENARIOS = ("powersave-idle", "diurnal-ramp", "bursty")
 #: Field names of the shared perf-record schema.
 RESULTS_SCHEMA = ("scenario", "cycles", "wall_s", "cycles_per_s")
 
-ENGINES = ("naive", "activity")
+#: Engine variants the microbenchmark can measure: the naive scan-everything
+#: cycle loop (every optimisation off — the reference), the default
+#: activity-tracked cycle engine, and the calendar-queue event engine.
+ENGINES = ("naive", "activity", "event")
+
+#: Which optimised variant ``repro-noc bench --engine X`` pits against the
+#: naive reference.
+BENCH_ENGINE_VARIANTS = {"cycle": "activity", "event": "event"}
 
 
 def _median(sorted_values: list[float]) -> float:
@@ -55,6 +62,10 @@ def perf_record(scenario: str, cycles: int, wall_s: float, **extra) -> dict:
         "cycles_per_s": float(cycles) / wall_s if wall_s > 0 else 0.0,
     }
     record.update(extra)
+    # Every record names its engine so perf-guard baselines stay unambiguous
+    # now that workloads can run on more than one ("cycle" unless the caller
+    # says otherwise; the guard still matches engine-less legacy baselines).
+    record.setdefault("engine", "cycle")
     return record
 
 
@@ -69,15 +80,24 @@ def measure_engine(
     """Run ``scenario`` once on ``engine`` and return (perf record, result)."""
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {', '.join(ENGINES)}")
-    optimised = engine == "activity"
-    result = run_scenario(
-        scenario,
-        seed=seed,
-        epochs=epochs,
-        epoch_cycles=epoch_cycles,
-        idle_fast_path=optimised,
-        activity_tracking=optimised,
-    )
+    if engine == "event":
+        result = run_scenario(
+            scenario,
+            seed=seed,
+            epochs=epochs,
+            epoch_cycles=epoch_cycles,
+            engine="event",
+        )
+    else:
+        optimised = engine == "activity"
+        result = run_scenario(
+            scenario,
+            seed=seed,
+            epochs=epochs,
+            epoch_cycles=epoch_cycles,
+            idle_fast_path=optimised,
+            activity_tracking=optimised,
+        )
     record = perf_record(scenario, result.cycles, result.wall_time_s, engine=engine)
     return record, result
 
@@ -89,14 +109,21 @@ def run_hotpath_benchmark(
     epochs: int | None = None,
     epoch_cycles: int | None = None,
     repeats: int = 5,
+    engine: str = "cycle",
 ) -> dict:
-    """Measure cycles/sec for both engines over ``scenarios``.
+    """Measure cycles/sec of an optimised engine vs the naive loop.
 
-    Each repeat runs both engines back to back (interleaved), so the two
+    ``engine`` selects which optimised variant is measured: ``"cycle"`` (the
+    default) pits the activity-tracked cycle engine against the naive
+    scan-everything loop, ``"event"`` pits the calendar-queue event engine
+    against the same naive reference — so cross-engine perf comparison is
+    one more row of the existing bench schema, not a new tool.
+
+    Each repeat runs both variants back to back (interleaved), so the two
     samples of a pair see the same ambient host conditions; the reported
     speedup is the **median of the per-repeat paired ratios**, which cancels
     shared noise within a pair and rejects outlier pairs.  The ``runs``
-    records keep the best (minimum-wall) sample per engine, the standard
+    records keep the best (minimum-wall) sample per variant, the standard
     throughput headline.  Every simulated outcome is also checked for
     cross-engine equivalence.
 
@@ -106,50 +133,59 @@ def run_hotpath_benchmark(
           "schema": [...],           # the shared record field names
           "seed": int,
           "repeats": int,
-          "runs": [record, ...],     # best run per (scenario, engine)
-          "speedups": {scenario: median paired activity/naive ratio},
+          "engine": str,             # the optimised variant measured
+          "runs": [record, ...],     # best run per (scenario, variant)
+          "speedups": {scenario: median paired optimised/naive ratio},
           "telemetry_equivalent": {scenario: bool},
         }
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
+    if engine not in BENCH_ENGINE_VARIANTS:
+        known = ", ".join(sorted(BENCH_ENGINE_VARIANTS))
+        raise ValueError(f"unknown engine {engine!r}; known: {known}")
+    optimised_variant = BENCH_ENGINE_VARIANTS[engine]
+    variants = ("naive", optimised_variant)
     runs: list[dict] = []
     speedups: dict[str, float] = {}
     equivalent: dict[str, bool] = {}
     for scenario in scenarios:
-        # Interleave the engines across repeats so a transient load spike on
-        # the host penalises both fairly rather than skewing one engine's
+        # Interleave the variants across repeats so a transient load spike on
+        # the host penalises both fairly rather than skewing one variant's
         # whole block; best-of then discards the noisy samples.
         samples: dict[str, list[tuple[dict, ScenarioResult]]] = {
-            engine: [] for engine in ENGINES
+            variant: [] for variant in variants
         }
         for _ in range(repeats):
-            for engine in ENGINES:
-                samples[engine].append(
+            for variant in variants:
+                samples[variant].append(
                     measure_engine(
                         scenario,
-                        engine,
+                        variant,
                         seed=seed,
                         epochs=epochs,
                         epoch_cycles=epoch_cycles,
                     )
                 )
         best = {
-            engine: min(pairs, key=lambda sample: sample[0]["wall_s"])
-            for engine, pairs in samples.items()
+            variant: min(pairs, key=lambda sample: sample[0]["wall_s"])
+            for variant, pairs in samples.items()
         }
-        for engine in ENGINES:
-            runs.append(best[engine][0])
+        for variant in variants:
+            runs.append(best[variant][0])
         naive_result = best["naive"][1]
-        activity_result = best["activity"][1]
-        equivalent[scenario] = activity_result.epochs == naive_result.epochs
+        optimised_result = best[optimised_variant][1]
+        equivalent[scenario] = optimised_result.epochs == naive_result.epochs
         paired_ratios = sorted(
-            naive_record["wall_s"] / activity_record["wall_s"]
-            for naive_record, activity_record in (
-                (samples["naive"][repeat][0], samples["activity"][repeat][0])
+            naive_record["wall_s"] / optimised_record["wall_s"]
+            for naive_record, optimised_record in (
+                (
+                    samples["naive"][repeat][0],
+                    samples[optimised_variant][repeat][0],
+                )
                 for repeat in range(repeats)
             )
-            if activity_record["wall_s"] > 0
+            if optimised_record["wall_s"] > 0
         )
         speedups[scenario] = (
             _median(paired_ratios) if paired_ratios else 0.0
@@ -158,6 +194,7 @@ def run_hotpath_benchmark(
         "schema": list(RESULTS_SCHEMA),
         "seed": seed,
         "repeats": repeats,
+        "engine": engine,
         "runs": runs,
         "speedups": speedups,
         "telemetry_equivalent": equivalent,

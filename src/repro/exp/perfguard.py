@@ -22,7 +22,12 @@ and are namespaced as ``suite/scenario``, so the same unit name in two
 suites tracks two independent baselines.  Legacy flat artefacts
 (``hotpath.json``, ``train_scaling.json``) keep working: flat records match
 flat baselines exactly, and a namespaced current record falls back to the
-flat scenario name when the baseline predates namespacing.
+flat scenario name when the baseline predates namespacing.  Every fresh
+record also names its execution ``engine``; a default-engine ("cycle")
+record additionally matches an engine-less baseline record, so baselines
+written before the engine tag keep gating, while records from other
+engines ("event", bench's "naive"/"activity" variants) only ever compare
+against their own baselines.
 """
 
 from __future__ import annotations
@@ -119,14 +124,26 @@ def find_regressions(current, baseline, tolerance: float = DEFAULT_TOLERANCE) ->
     }
     matched: dict[tuple[str, str], float] = {}
     for key in current_best:
-        if key in baseline_best:
-            matched[key] = baseline_best[key]
-        elif key in suite_keys:
-            # Namespaced current record vs a baseline that predates suite
-            # namespacing: fall back to the flat scenario name.
-            flat_key = (key[0].split("/", 1)[1], key[1])
-            if flat_key in baseline_best:
-                matched[key] = baseline_best[flat_key]
+        scenario, engine = key
+        # Fallback ladder for baselines that predate newer record fields:
+        # exact match first; a default-engine ("cycle") record may match an
+        # engine-less baseline; suite-namespaced records may additionally
+        # fall back to the flat scenario name (pre-suite baselines), again
+        # with the engine-less variant for "cycle".  Records on a
+        # non-default engine never silently inherit another engine's
+        # baseline — that is the ambiguity the engine tag exists to remove.
+        candidates = [key]
+        if engine == "cycle":
+            candidates.append((scenario, ""))
+        if key in suite_keys:
+            flat = scenario.split("/", 1)[1]
+            candidates.append((flat, engine))
+            if engine == "cycle":
+                candidates.append((flat, ""))
+        for candidate in candidates:
+            if candidate in baseline_best:
+                matched[key] = baseline_best[candidate]
+                break
     regressions = []
     for key in sorted(matched):
         baseline_cps = matched[key]

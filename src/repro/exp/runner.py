@@ -111,8 +111,10 @@ def run_trials(
 
 
 def _scenario_trial(args: tuple) -> ScenarioResult:
-    spec, seed, epochs, epoch_cycles = args
-    return run_scenario(spec, seed=seed, epochs=epochs, epoch_cycles=epoch_cycles)
+    spec, seed, epochs, epoch_cycles, engine = args
+    return run_scenario(
+        spec, seed=seed, epochs=epochs, epoch_cycles=epoch_cycles, engine=engine
+    )
 
 
 def run_scenarios(
@@ -123,12 +125,15 @@ def run_scenarios(
     repeats: int = 1,
     epochs: int | None = None,
     epoch_cycles: int | None = None,
+    engine: str | None = None,
 ) -> list[ScenarioResult]:
     """Run the named scenarios (``repeats`` seeds each), possibly in parallel.
 
     With ``repeats == 1`` every scenario runs at ``seed`` exactly; with more,
     trial ``r`` of a scenario uses ``trial_seed(seed, r)`` so replications are
-    independent yet reproducible.  Results are ordered by (name, repeat).
+    independent yet reproducible.  ``engine`` overrides every spec's
+    execution engine (telemetry is engine-agnostic, so results are the same
+    for any value).  Results are ordered by (name, repeat).
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -141,6 +146,7 @@ def run_scenarios(
             seed if repeats == 1 else trial_seed(seed, repeat),
             epochs,
             epoch_cycles,
+            engine,
         )
         for name in names
         for repeat in range(repeats)

@@ -99,6 +99,10 @@ class ScenarioSpec:
     epochs: int = 8
     epoch_cycles: int = 500
     repeat_phases: bool = True
+    #: Execution engine (a :mod:`repro.engines` registry name).  Every
+    #: engine yields byte-identical telemetry, so this is a perf knob; it
+    #: serializes with the spec so remote workers honour it.
+    engine: str = "cycle"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -129,6 +133,7 @@ class ScenarioSpec:
             routing=self.routing,
             initial_dvfs_level=self.dvfs_level,
             seed=seed,
+            engine=self.engine,
         )
 
     def build_workload(self, topology: Mesh, seed: int = 0) -> "ScenarioWorkload":
@@ -311,23 +316,27 @@ def run_scenario(
     epoch_cycles: int | None = None,
     idle_fast_path: bool = True,
     activity_tracking: bool = True,
+    engine: str | None = None,
 ) -> ScenarioResult:
     """Build and run one scenario trial; returns plain-data telemetry only.
 
     ``seed`` perturbs both the simulator's and the workload's RNG streams, so
     repeated trials of the same scenario are independent yet reproducible.
     ``epochs``/``epoch_cycles`` override the spec's defaults (the tests use
-    short overrides).  ``idle_fast_path`` / ``activity_tracking`` toggle the
-    simulator's engine optimisations (the hot-path benchmark and the
-    equivalence tests run both engines over the same spec).
+    short overrides).  ``engine`` overrides the spec's execution engine (a
+    :mod:`repro.engines` name; telemetry is engine-agnostic).
+    ``idle_fast_path`` / ``activity_tracking`` toggle the cycle engine's
+    optimisations (the hot-path benchmark and the equivalence tests run the
+    optimised and naive variants over the same spec).
     """
     if isinstance(spec, str):
         spec = get_scenario(spec)
-    if epochs is not None or epoch_cycles is not None:
+    if epochs is not None or epoch_cycles is not None or engine is not None:
         spec = replace(
             spec,
             epochs=epochs if epochs is not None else spec.epochs,
             epoch_cycles=epoch_cycles if epoch_cycles is not None else spec.epoch_cycles,
+            engine=engine if engine is not None else spec.engine,
         )
 
     simulator = NoCSimulator(spec.build_simulator_config(seed=seed))

@@ -224,6 +224,11 @@ def build_experiment(params: Mapping) -> ExperimentConfig:
     }
     if overrides:
         experiment = replace(experiment, **overrides)
+    engine = params.get("engine")
+    if engine:
+        experiment = replace(
+            experiment, simulator=replace(experiment.simulator, engine=engine)
+        )
     return experiment
 
 
@@ -321,7 +326,9 @@ def _run_sweep_point(params: Mapping) -> dict:
     from repro.analysis.sweep import SweepTrial, measure_sweep_point
 
     config = SimulatorConfig(
-        width=int(params.get("width", 4)), routing=params.get("routing", "xy")
+        width=int(params.get("width", 4)),
+        routing=params.get("routing", "xy"),
+        engine=params.get("engine", "cycle"),
     )
     warmup = int(params.get("warmup_cycles", 500))
     measure = int(params.get("measure_cycles", 1_500))
@@ -355,6 +362,7 @@ def _run_scenario_subtrial(params: Mapping) -> dict:
         seed=int(params.get("seed", 0)),
         epochs=params.get("epochs"),
         epoch_cycles=params.get("epoch_cycles"),
+        engine=params.get("engine"),
     )
     return {
         "rows": [result.summary()],
@@ -449,9 +457,17 @@ def run_suite_subtrial(subtrial: tuple) -> dict:
     return _SUBTRIAL_WORKERS[kind](params)
 
 
-def expand_unit(unit: SuiteUnit, agent_payload: Mapping | None = None) -> list[tuple]:
-    """Expand a unit into (kind, params) subtrials for the pool."""
+def expand_unit(
+    unit: SuiteUnit, agent_payload: Mapping | None = None, engine: str = "cycle"
+) -> list[tuple]:
+    """Expand a unit into (kind, params) subtrials for the pool.
+
+    ``engine`` is stamped into every subtrial's params (unit params naming
+    their own ``engine`` win) so whole suites can run on any registered
+    execution engine; simulated outcomes are engine-agnostic.
+    """
     params = dict(unit.params)
+    params.setdefault("engine", engine)
     if unit.kind == "sweep":
         rates = params.pop("rates")
         return [("sweep", {**params, "rate": rate}) for rate in rates]
@@ -469,6 +485,7 @@ def expand_unit(unit: SuiteUnit, agent_payload: Mapping | None = None) -> list[t
                     "seed": base_seed if repeats == 1 else trial_seed(base_seed, repeat),
                     "epochs": params.get("epochs"),
                     "epoch_cycles": params.get("epoch_cycles"),
+                    "engine": params.get("engine"),
                 },
             )
             for repeat in range(repeats)
@@ -557,13 +574,17 @@ def run_suite(
     out_dir: str | Path | None = None,
     perf_repeats: int = 1,
     reuse_evals: bool = False,
+    engine: str = "cycle",
 ) -> SuiteOutcome:
     """Run every unit of ``spec``, fanning subtrials over one process pool.
 
     ``jobs`` parallelises the suite's subtrials (simulated outcomes are
     identical for any value); ``train_jobs`` is handed to the sharded DQN
     trainer for the suite's shared controller (1 = the serial reference
-    path).  ``perf_repeats`` runs every subtrial — and any shared-training
+    path).  ``engine`` runs the whole suite — subtrials and the shared
+    training — on the named execution engine (simulated outcomes are
+    engine-agnostic; every perf record is tagged with the engine so
+    baselines track each backend separately).  ``perf_repeats`` runs every subtrial — and any shared-training
     unit — N times and keeps the best (minimum) wall time per unit for the
     perf records; rows come from the first repeat and are identical across
     repeats, so this only steadies the wall-clock samples (the CI gate runs with repeats; the
@@ -581,6 +602,10 @@ def run_suite(
         spec = get_suite(spec)
     if perf_repeats < 1:
         raise ValueError("perf_repeats must be at least 1")
+    if engine != "cycle" and spec.training is not None:
+        # The engine becomes part of the training spec (and thus the memo
+        # key): a suite run on another backend trains on that backend too.
+        spec = replace(spec, training={**spec.training, "engine": engine})
     start = time.perf_counter()
     training_result = None
     agent_payload = None
@@ -602,7 +627,7 @@ def run_suite(
                 unit_wall_s = min(unit_wall_s, fresh.wall_time_s)
             parent_payloads[index] = (payload, unit_wall_s)
             continue
-        subtrials = expand_unit(unit, agent_payload)
+        subtrials = expand_unit(unit, agent_payload, engine=engine)
         for repeat in range(perf_repeats):
             tagged.extend((index, repeat, subtrial) for subtrial in subtrials)
 
@@ -659,6 +684,10 @@ def run_suite(
                 unit_wall_s,
                 suite=spec.name,
                 kind=unit.kind,
+                # A unit naming its own engine wins over the suite-level
+                # argument (mirroring expand_unit), so the record always
+                # names the engine that actually ran.
+                engine=unit.params.get("engine") or engine,
             )
         )
 
@@ -677,6 +706,60 @@ def run_suite(
             json.dumps(outcome.to_payload(), indent=2), encoding="utf-8"
         )
     return outcome
+
+
+# ---------------------------------------------------------------------------
+# artefact diffing
+# ---------------------------------------------------------------------------
+
+#: Keys :func:`diff_payloads` skips by default: wall-clock measurements are
+#: not deterministic, so two runs of the same suite legitimately differ in
+#: them while every simulated field must match exactly.
+DIFF_IGNORED_KEYS = frozenset(
+    {"wall_s", "wall_s_total", "wall_time_s", "cycles_per_s", "cycles_per_second"}
+)
+
+
+def diff_payloads(
+    a, b, *, ignore: frozenset[str] | set[str] = DIFF_IGNORED_KEYS, path: str = ""
+) -> list[str]:
+    """Row-by-row, field-by-field differences between two stored artefacts.
+
+    Compares every field of two suite payloads (or any JSON-shaped values)
+    except the keys in ``ignore``, returning one human-readable line per
+    difference (empty list = identical).  Dict entries compare by key, lists
+    element-by-element, scalars exactly — suite outcomes are deterministic,
+    so float fields must match to the last bit.  ``repro-noc suite diff``
+    wraps this; CI's engine-parity check runs it over a suite executed on
+    the cycle and event engines with ``engine`` added to ``ignore``.
+    """
+    differences: list[str] = []
+    label = path or "$"
+    if isinstance(a, Mapping) and isinstance(b, Mapping):
+        for key in sorted(set(a) | set(b), key=str):
+            if key in ignore:
+                continue
+            entry = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                differences.append(f"{entry}: only in B ({b[key]!r})")
+            elif key not in b:
+                differences.append(f"{entry}: only in A ({a[key]!r})")
+            else:
+                differences.extend(
+                    diff_payloads(a[key], b[key], ignore=ignore, path=entry)
+                )
+        return differences
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            differences.append(f"{label}: {len(a)} row(s) in A vs {len(b)} in B")
+        for index, (item_a, item_b) in enumerate(zip(a, b)):
+            differences.extend(
+                diff_payloads(item_a, item_b, ignore=ignore, path=f"{label}[{index}]")
+            )
+        return differences
+    if a != b:
+        differences.append(f"{label}: A={a!r} vs B={b!r}")
+    return differences
 
 
 # ---------------------------------------------------------------------------

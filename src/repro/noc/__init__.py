@@ -10,8 +10,11 @@ reinforcement learning controller reconfigures at runtime:
 * :mod:`repro.noc.flow_control` — credit-based flow control bookkeeping;
 * :mod:`repro.noc.dvfs` — voltage/frequency operating points;
 * :mod:`repro.noc.power` — event-based energy accounting;
+* :mod:`repro.noc.model` — the passive :class:`~repro.noc.model.NoCModel`
+  (all state, cycle phases, reconfiguration surface) that the pluggable
+  execution engines of :mod:`repro.engines` advance;
 * :mod:`repro.noc.network` — the :class:`~repro.noc.network.NoCSimulator`
-  cycle loop that wires everything together;
+  facade wiring one model to one engine;
 * :mod:`repro.noc.stats` — latency/throughput/occupancy statistics.
 
 The simulator is flit-accurate: packets are segmented into flits, flits
@@ -21,7 +24,7 @@ latency/throughput/energy trends the RL controller learns from.
 """
 
 from repro.noc.dvfs import DVFS_LEVELS_DEFAULT, DvfsSchedule, OperatingPoint
-from repro.noc.network import NoCSimulator, SimulatorConfig
+from repro.noc.network import NoCModel, NoCSimulator, SimulatorConfig
 from repro.noc.packet import Flit, FlitType, Packet
 from repro.noc.power import EnergyBreakdown, PowerModel, PowerParameters
 from repro.noc.routing import (
@@ -43,6 +46,7 @@ __all__ = [
     "FlitType",
     "Mesh",
     "NetworkStats",
+    "NoCModel",
     "NoCSimulator",
     "OperatingPoint",
     "Packet",

@@ -1,327 +1,82 @@
-"""The cycle loop: :class:`NoCSimulator` wires routers, links and NIs together.
+"""The user-facing simulator facade: one model, one engine.
 
-The simulator advances in discrete cycles.  Each cycle it
+:class:`NoCSimulator` couples a passive :class:`~repro.noc.model.NoCModel`
+(topology, routers, links, power, statistics, reconfiguration surface) with
+an execution engine from the :mod:`repro.engines` registry (selected by
+``SimulatorConfig.engine``: the reference ``cycle`` loop by default, or the
+calendar-queue ``event`` engine).  Every engine produces byte-identical
+telemetry, so which one runs is purely a performance choice.
 
-1. asks the traffic source for newly created packets and queues their flits
-   at the source network interfaces (NIs);
-2. injects at most one flit per node from the NI queue into the local router
-   (respecting virtual-channel assignment and buffer space);
-3. steps the routers (route computation, VC allocation, switch allocation);
-4. applies the resulting flit movements: delivers flits to downstream input
-   buffers or ejects them at their destination NI, returning credits
-   upstream; and
-5. accrues leakage energy and occupancy statistics.
+The facade preserves the historical ``NoCSimulator`` API: construction,
+``step``/``run``/``run_epoch``/``drain``, packet ingress, the DVFS /
+routing / VC / fault reconfiguration surface, and the engine toggles
+(``activity_tracking``, ``idle_fast_path``) and observability counters
+(``idle_cycles``, ``skipped_router_steps``).  Code that needs the layers
+directly should use ``simulator.model`` and ``simulator.engine``; reaching
+for a private attribute through the facade still works but raises a
+``DeprecationWarning``.
 
-The reconfiguration surface used by the DRL controller is exposed as
-``set_global_dvfs_level``, ``set_routing_algorithm`` and
-``set_enabled_vcs``; ``fail_link`` provides a fault-injection hook used by
-the robustness tests.
-
-Activity-tracked engine
------------------------
-
-The cycle loop is *activity tracked*: instead of touching every router and
-every NI queue every cycle, the simulator incrementally maintains
-
-* an **active-router set** — the routers currently holding buffered flits,
-  updated at flit ingress (NI injection, downstream delivery) and egress
-  (ejection, forwarding);
-* a **nonempty-source set** — the NIs with queued flits, updated when
-  packets are queued and when flits are injected; and
-* running totals of buffered and queued flits, so the per-cycle occupancy
-  statistics and the ``buffered_flits`` / ``source_queue_backlog``
-  properties are O(1) instead of O(N) scans.
-
-With the sets in place, injection and router stepping iterate only over
-active members (in ascending node order, so floating-point energy
-accumulation matches the naive scan bit for bit), routers whose DVFS clock
-divider gates the current cycle (``cycle % divider != 0``) are skipped
-without so much as a method call, and the per-cycle leakage loop reuses the
-cached per-router increment schedule instead of recomputing voltage scaling
-for every router every cycle.
-
-When the network is completely empty — no flits buffered in any router and
-no flits queued at any NI — a cycle degenerates to leakage accounting.  The
-simulator detects this (an O(1) check under activity tracking) and takes an
-*idle fast path* that skips the router pipeline entirely while accruing the
-exact same leakage energy and occupancy statistics.  If the traffic source
-implements the optional :meth:`TrafficSource.next_injection_cycle` hint,
-consecutive idle cycles are batched into one *idle span*: the simulator
-leaps ahead to the next possible injection in a single step, accruing K
-cycles of leakage and statistics bit-identically to K single idle cycles.
-
-Two per-instance toggles bound the behaviour for equivalence testing:
-
-* ``activity_tracking = False`` restores the naive engine — full scans over
-  all routers and queues every cycle, no gated-router skip, no idle-span
-  batching (the reference the property tests compare against);
-* ``idle_fast_path = False`` additionally forces empty cycles through the
-  full pipeline, as in the original cycle loop.
-
-Two observability counters (kept out of :class:`NetworkStats` so telemetry
-is identical whichever engine runs) expose what the optimisations saved:
-``idle_cycles`` counts cycles served by the idle fast path, and
-``skipped_router_steps`` counts :meth:`Router.step` invocations avoided
-relative to the naive engine (inactive routers, DVFS-gated routers and
-idle-span cycles).
+``SimulatorConfig`` and the ``TrafficSource`` protocol now live in
+:mod:`repro.noc.model` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import random
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Protocol
+import warnings
+from typing import Callable
 
-from repro.noc.dvfs import DVFS_LEVELS_DEFAULT, OperatingPoint
-from repro.noc.link import Link
-from repro.noc.packet import Flit, Packet
-from repro.noc.power import PowerModel, PowerParameters
-from repro.noc.router import Movement, Router
-from repro.noc.routing import SelectionPolicy, get_routing_algorithm
-from repro.noc.stats import EpochTelemetry, NetworkStats
-from repro.noc.topology import Direction, Mesh, Torus
+from repro.noc.model import NoCModel, SimulatorConfig, TrafficSource
+from repro.noc.packet import Packet
+from repro.noc.stats import EpochTelemetry
 
+__all__ = ["NoCModel", "NoCSimulator", "SimulatorConfig", "TrafficSource"]
 
-class TrafficSource(Protocol):
-    """Anything that can hand the simulator new packets each cycle.
-
-    ``generate`` is required; ``next_injection_cycle`` is an optional hint
-    (the simulator probes for it with ``getattr``) that enables idle-span
-    batching.  A source that implements it promises that
-
-    * no packet is created before the returned cycle (``None`` meaning
-      "never again"), and
-    * skipping the ``generate`` calls for every cycle in
-      ``[cycle, returned)`` is unobservable — later ``generate`` calls
-      behave exactly as if the skipped ones had been made.
-    """
-
-    def generate(self, cycle: int) -> list[Packet]:
-        """Packets created at ``cycle`` (creation_cycle must equal ``cycle``)."""
-        ...  # pragma: no cover - protocol definition
-
-    # Optional member (not part of the structural protocol, so sources that
-    # only implement ``generate`` still type-check):
-    #
-    #   def next_injection_cycle(self, cycle: int) -> int | None
-    #
-    # Earliest cycle ``>= cycle`` at which a packet may be created.
-
-
-@dataclass(frozen=True)
-class SimulatorConfig:
-    """Static configuration of the simulated NoC."""
-
-    width: int = 4
-    height: int | None = None
-    torus: bool = False
-    num_vcs: int = 2
-    buffer_depth: int = 4
-    packet_size: int = 4
-    routing: str = "xy"
-    selection: SelectionPolicy = SelectionPolicy.MOST_CREDITS
-    dvfs_levels: tuple[OperatingPoint, ...] = DVFS_LEVELS_DEFAULT
-    initial_dvfs_level: int = 0
-    power: PowerParameters = field(default_factory=PowerParameters)
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        if self.packet_size < 1:
-            raise ValueError("packet size must be at least one flit")
-        if not 0 <= self.initial_dvfs_level < len(self.dvfs_levels):
-            raise ValueError("initial DVFS level index out of range")
-        get_routing_algorithm(self.routing)  # validate eagerly
-
-    def build_topology(self) -> Mesh:
-        cls = Torus if self.torus else Mesh
-        return cls(self.width, self.height)
+#: Mutable state the facade transparently forwards to the model, so the
+#: historical ``simulator.attr = value`` spellings keep working.
+_MODEL_FIELDS = frozenset(
+    {
+        "traffic",
+        "cycle",
+        "activity_tracking",
+        "idle_fast_path",
+        "idle_cycles",
+        "skipped_router_steps",
+    }
+)
 
 
 class NoCSimulator:
-    """Flit-accurate simulator of a mesh/torus NoC."""
+    """Flit-accurate simulator of a mesh/torus NoC (model + engine facade)."""
 
     def __init__(self, config: SimulatorConfig, traffic: TrafficSource | None = None) -> None:
-        self.config = config
-        self.topology = config.build_topology()
-        self.traffic = traffic
-        self.power = PowerModel(parameters=config.power)
-        self.stats = NetworkStats()
-        self.cycle = 0
+        # Imported lazily: repro.engines imports the model module, so a
+        # module-level import here would be circular.
+        from repro.engines import build_engine
 
-        self._routing_name = config.routing
-        self._dvfs_level_index = config.initial_dvfs_level
-        self._enabled_vcs = config.num_vcs
-        routing = get_routing_algorithm(config.routing)
-        initial_point = config.dvfs_levels[config.initial_dvfs_level]
-
-        self.routers: dict[int, Router] = {}
-        for node in self.topology.nodes():
-            self.routers[node] = Router(
-                node,
-                self.topology,
-                num_vcs=config.num_vcs,
-                buffer_depth=config.buffer_depth,
-                routing=routing,
-                selection=config.selection,
-                operating_point=initial_point,
-                rng=random.Random(config.seed * 100_003 + node),
-            )
-
-        self.links: dict[tuple[int, int], Link] = {}
-        self._neighbor_of: dict[tuple[int, Direction], int] = {}
-        for src, direction, dst in self.topology.links():
-            self.links[(src, dst)] = Link(src=src, direction=direction, dst=dst)
-            self._neighbor_of[(src, direction)] = dst
-
-        self._source_queues: dict[int, deque[Flit]] = {
-            node: deque() for node in self.topology.nodes()
-        }
-        self._ni_active_vc: dict[int, int | None] = {
-            node: None for node in self.topology.nodes()
-        }
-        self._epoch_counter = 0
-        self._failed_links: set[tuple[int, int]] = set()
-
-        # Activity tracking state: maintained unconditionally at every flit
-        # ingress/egress point so the toggles below can flip mid-run.
-        self._active_routers: set[int] = set()
-        self._nonempty_sources: set[int] = set()
-        self._buffered_total = 0
-        self._queued_total = 0
-
-        #: When True (the default), the cycle loop iterates only the active
-        #: router / nonempty source sets, skips DVFS-gated routers and
-        #: batches idle spans.  False restores the naive full-scan engine
-        #: (the reference for the equivalence tests).
-        self.activity_tracking = True
-        #: When True (the default), cycles with no in-flight flits and no
-        #: pending injections skip the router pipeline (see module docstring).
-        self.idle_fast_path = True
-        #: Number of cycles served by the idle fast path (observability only;
-        #: deliberately kept out of NetworkStats so telemetry is identical
-        #: with the fast path on or off).
-        self.idle_cycles = 0
-        #: Router.step invocations avoided relative to the naive engine
-        #: (observability only, like ``idle_cycles``).
-        self.skipped_router_steps = 0
-        # Cached per-cycle leakage increment schedule and distinct-divider
-        # set, invalidated through the router observer hook whenever any
-        # operating point changes (so the hot loop never re-scans the
-        # routers to validate them).
-        self._leakage_increments: list[float] | None = None
-        self._distinct_dividers: tuple[int, ...] | None = None
-        for router in self.routers.values():
-            router.on_operating_point_change = self._invalidate_operating_point_caches
+        self.model = NoCModel(config, traffic)
+        self.engine = build_engine(config.engine, self.model)
 
     # ------------------------------------------------------------------
-    # reconfiguration surface (what the DRL agent actuates)
+    # engine selection
     # ------------------------------------------------------------------
 
-    @property
-    def dvfs_level_index(self) -> int:
-        return self._dvfs_level_index
+    def set_engine(self, name: str) -> None:
+        """Swap the execution engine mid-run (telemetry is engine-agnostic)."""
+        from repro.engines import build_engine
+
+        self.engine = build_engine(name, self.model)
 
     @property
-    def dvfs_levels(self) -> tuple[OperatingPoint, ...]:
-        return self.config.dvfs_levels
-
-    @property
-    def routing_name(self) -> str:
-        return self._routing_name
-
-    @property
-    def enabled_vcs(self) -> int:
-        return self._enabled_vcs
-
-    def set_global_dvfs_level(self, level_index: int) -> None:
-        if not 0 <= level_index < len(self.config.dvfs_levels):
-            raise ValueError(f"DVFS level index {level_index} out of range")
-        point = self.config.dvfs_levels[level_index]
-        for router in self.routers.values():
-            router.set_operating_point(point)
-        self._dvfs_level_index = level_index
-
-    def set_dvfs_level(self, node: int, level_index: int) -> None:
-        if not 0 <= level_index < len(self.config.dvfs_levels):
-            raise ValueError(f"DVFS level index {level_index} out of range")
-        self.routers[node].set_operating_point(self.config.dvfs_levels[level_index])
-
-    def set_routing_algorithm(self, name: str) -> None:
-        routing = get_routing_algorithm(name)
-        for router in self.routers.values():
-            router.set_routing(routing)
-        self._routing_name = name
-
-    def set_enabled_vcs(self, count: int) -> None:
-        # Validate once up front so an out-of-range count can never leave a
-        # subset of the routers reconfigured when the exception propagates.
-        Router.validate_enabled_vcs(count, self.config.num_vcs)
-        for router in self.routers.values():
-            router.set_enabled_vcs(count)
-        self._enabled_vcs = count
-
-    @property
-    def failed_links(self) -> frozenset[tuple[int, int]]:
-        """The directed links currently failed via :meth:`fail_link`."""
-        return frozenset(self._failed_links)
-
-    def _require_link(self, src: int, dst: int) -> None:
-        if (src, dst) not in self.links:
-            raise ValueError(
-                f"no directed link {src} -> {dst} in {self.topology!r}; "
-                "fault injection requires an existing router-to-router link"
-            )
-
-    def fail_link(self, src: int, dst: int) -> None:
-        """Block the directed link ``src -> dst`` (fault injection).
-
-        Raises ``ValueError`` if the topology has no such link.
-        """
-        self._require_link(src, dst)
-        direction = self.topology.direction_towards(src, dst)
-        self.routers[src].block_port(direction)
-        self._failed_links.add((src, dst))
-
-    def repair_link(self, src: int, dst: int) -> None:
-        """Undo :meth:`fail_link`; repairing a healthy link is a no-op.
-
-        Raises ``ValueError`` if the topology has no such link.
-        """
-        self._require_link(src, dst)
-        direction = self.topology.direction_towards(src, dst)
-        self.routers[src].unblock_port(direction)
-        self._failed_links.discard((src, dst))
+    def engine_name(self) -> str:
+        return self.engine.name
 
     # ------------------------------------------------------------------
-    # packet ingress
-    # ------------------------------------------------------------------
-
-    def inject_packet(self, packet: Packet) -> None:
-        """Queue a packet at its source NI (creation statistics recorded here)."""
-        self.stats.record_packet_created(packet.size)
-        if packet.src == packet.dst:
-            # Local delivery never enters the network.
-            packet.injection_cycle = packet.creation_cycle
-            packet.arrival_cycle = packet.creation_cycle
-            self.stats.record_packet_injected(packet.size)
-            for _ in range(packet.size):
-                self.stats.record_flit_delivered()
-            self.stats.record_packet_delivered(
-                packet.total_latency, packet.network_latency, hops=0
-            )
-            return
-        self._source_queues[packet.src].extend(packet.flits())
-        self._nonempty_sources.add(packet.src)
-        self._queued_total += packet.size
-
-    # ------------------------------------------------------------------
-    # cycle loop
+    # simulation loop (delegated to the engine)
     # ------------------------------------------------------------------
 
     def step(self) -> None:
         """Advance the simulation by exactly one cycle."""
-        self._advance(self.cycle + 1)
+        self.engine.step()
 
     def run(self, cycles: int, *, on_cycle: Callable[[int], None] | None = None) -> None:
         """Advance ``cycles`` cycles; ``on_cycle`` runs before each one.
@@ -329,96 +84,10 @@ class NoCSimulator:
         The hook receives the cycle number about to be simulated and may
         reconfigure the simulator (DVFS, routing, fault injection) — this is
         how scripted scenarios apply mid-epoch events.  With a hook attached
-        the engine steps strictly cycle by cycle (idle-span batching would
-        skip hook invocations).
+        every engine steps strictly cycle by cycle (span batching would skip
+        hook invocations).
         """
-        end = self.cycle + cycles
-        if on_cycle is None:
-            self._advance(end)
-            return
-        while self.cycle < end:
-            on_cycle(self.cycle)
-            self._advance(self.cycle + 1)
-
-    def _advance(self, end: int) -> None:
-        """Advance to cycle ``end``, batching idle spans where possible.
-
-        This is the engine's innermost loop, so state that cannot change
-        while it runs — the traffic source and its idle-span hint, the
-        engine toggles, the activity sets and the divider table (hooked
-        runs and reconfiguration re-enter per cycle) — is hoisted into
-        locals, and the idle/gated fast paths are inlined.
-        """
-        traffic = self.traffic
-        hint = getattr(traffic, "next_injection_cycle", None)
-        tracking = self.activity_tracking
-        idle_fast = self.idle_fast_path
-        nonempty_sources = self._nonempty_sources
-        active_routers = self._active_routers
-        num_routers = len(self.routers)
-        power = self.power
-        dividers = self._distinct_dividers
-        if tracking and dividers is None:
-            dividers = self._rebuild_divider_table()
-        cycle = self.cycle
-        while cycle < end:
-            if traffic is not None:
-                for packet in traffic.generate(cycle):
-                    self.inject_packet(packet)
-            if idle_fast and (
-                not nonempty_sources and not active_routers
-                if tracking
-                else self._network_empty()
-            ):
-                # Idle fast path: nothing can move, so only the per-cycle
-                # overheads (leakage energy, occupancy statistics) are
-                # accrued — bit-identically to the full path.  With a
-                # next-injection hint the whole idle span collapses into
-                # one pass; the leakage loop still adds the per-cycle
-                # increments one by one to stay bit-identical.
-                span = 1
-                if tracking and end - cycle > 1:
-                    if traffic is None:
-                        span = end - cycle
-                    elif hint is not None:
-                        next_injection = hint(cycle + 1)
-                        if next_injection is None:
-                            span = end - cycle
-                        elif next_injection > cycle + 1:
-                            span = min(next_injection, end) - cycle
-                increments = self._leakage_increments
-                if increments is None:
-                    increments = self._cycle_leakage_increments()
-                power.accrue_leakage_increments(increments, span)
-                self.stats.record_idle_cycles(span)
-                self.idle_cycles += span
-                self.skipped_router_steps += span * num_routers
-                cycle += span
-                self.cycle = cycle
-                continue
-            if tracking:
-                gated = True
-                for divider in dividers:
-                    if cycle % divider == 0:
-                        gated = False
-                        break
-                if gated:
-                    # DVFS-gated cycle: every router's clock divider misses
-                    # this cycle, so injection and the whole pipeline are
-                    # no-ops and only the per-cycle overheads remain
-                    # (exactly what the naive loop would compute the long
-                    # way around).
-                    self._record_cycle_overheads()
-                    self.skipped_router_steps += num_routers
-                    cycle += 1
-                    self.cycle = cycle
-                    continue
-            self._inject_from_sources(cycle)
-            movements = self._step_routers(cycle)
-            self._apply_movements(movements)
-            self._record_cycle_overheads()
-            cycle += 1
-            self.cycle = cycle
+        self.engine.run(cycles, on_cycle=on_cycle)
 
     def run_epoch(
         self, cycles: int, *, on_cycle: Callable[[int], None] | None = None
@@ -426,12 +95,11 @@ class NoCSimulator:
         """Run ``cycles`` cycles and return the telemetry observed over them."""
         if cycles <= 0:
             raise ValueError("an epoch must span at least one cycle")
-        stats_before = self.stats.snapshot()
-        energy_before = self.power.snapshot()
-        self.run(cycles, on_cycle=on_cycle)
-        telemetry = self._build_epoch_telemetry(cycles, stats_before, energy_before)
-        self._epoch_counter += 1
-        return telemetry
+        model = self.model
+        stats_before = model.stats.snapshot()
+        energy_before = model.power.snapshot()
+        self.engine.run(cycles, on_cycle=on_cycle)
+        return model.finish_epoch(cycles, stats_before, energy_before)
 
     def drain(self, max_cycles: int = 10_000) -> int:
         """Run without new traffic until all queued/in-flight flits deliver.
@@ -442,269 +110,126 @@ class NoCSimulator:
         debuggability — if the network fails to drain within ``max_cycles``
         (e.g. a failed link has trapped packets).
         """
-        saved_traffic = self.traffic
-        self.traffic = None
+        model = self.model
+        saved_traffic = model.traffic
+        model.traffic = None
         try:
             for elapsed in range(max_cycles + 1):
                 if self._fully_drained():
                     return elapsed
-                self.step()
+                self.engine.step()
         finally:
-            self.traffic = saved_traffic
+            model.traffic = saved_traffic
         raise RuntimeError(
             f"network failed to drain within {max_cycles} cycles "
-            f"(source_queue_backlog={self.source_queue_backlog}, "
-            f"buffered_flits={self.buffered_flits})"
+            f"(source_queue_backlog={model.source_queue_backlog}, "
+            f"buffered_flits={model.buffered_flits})"
         )
 
     def _fully_drained(self) -> bool:
-        return self._network_empty()
+        return self.model.network_empty()
 
     def _network_empty(self) -> bool:
-        """No flits queued at any NI and none buffered in any router."""
-        if self.activity_tracking:
-            return not self._nonempty_sources and not self._active_routers
-        if any(self._source_queues.values()):
-            return False
-        return all(router.buffered_flits == 0 for router in self.routers.values())
+        return self.model.network_empty()
 
     # ------------------------------------------------------------------
-    # cycle-loop phases
+    # model surface (delegated)
     # ------------------------------------------------------------------
 
-    def _inject_from_sources(self, cycle: int) -> None:
-        if self.activity_tracking:
-            # Ascending node order matches the naive scan (dicts preserve the
-            # topology's node insertion order), keeping energy accumulation
-            # bit-identical.
-            nodes = sorted(self._nonempty_sources)
-        else:
-            nodes = self._source_queues
-        source_queues = self._source_queues
-        routers = self.routers
-        ni_active_vc = self._ni_active_vc
-        local = Direction.LOCAL
-        for node in nodes:
-            queue = source_queues[node]
-            if not queue:
-                continue
-            router = routers[node]
-            if cycle % router.operating_point.divider:
-                continue
-            flit = queue[0]
-            vc = ni_active_vc[node]
-            if flit.is_head and vc is None:
-                vc = router.free_input_vc(local)
-                if vc is None:
-                    continue
-                ni_active_vc[node] = vc
-                flit.packet.injection_cycle = cycle
-                self.stats.record_packet_injected(flit.packet.size)
-            if vc is None:
-                raise RuntimeError(f"NI at node {node} lost its VC assignment")
-            ivc = router.inputs[local][vc]
-            if len(ivc.buffer) >= ivc.depth:
-                continue
-            queue.popleft()
-            self._queued_total -= 1
-            if not queue:
-                self._nonempty_sources.discard(node)
-            router.receive_flit(local, vc, flit)
-            self._buffered_total += 1
-            self._active_routers.add(node)
-            self.power.record_buffer_write(router.operating_point)
-            if flit.is_tail:
-                ni_active_vc[node] = None
+    def inject_packet(self, packet: Packet) -> None:
+        self.model.inject_packet(packet)
 
-    def _step_routers(self, cycle: int) -> list[Movement]:
-        movements: list[Movement] = []
-        if not self.activity_tracking:
-            for router in self.routers.values():
-                movements.extend(router.step(cycle, self.power))
-            return movements
-        routers = self.routers
-        power = self.power
-        stepped = 0
-        for node in sorted(self._active_routers):
-            router = routers[node]
-            if cycle % router.operating_point.divider:
-                continue  # DVFS clock divider gates this cycle entirely.
-            # Active set membership guarantees buffered flits, and the
-            # divider was just checked, so enter the pipeline directly.
-            router.step_into(cycle, power, movements)
-            stepped += 1
-        self.skipped_router_steps += len(routers) - stepped
-        return movements
+    def set_global_dvfs_level(self, level_index: int) -> None:
+        self.model.set_global_dvfs_level(level_index)
 
-    def _apply_movements(self, movements: list[Movement]) -> None:
-        """Deliver this cycle's flit movements: return credits upstream, then
-        eject at the local NI or forward into the downstream input buffer.
+    def set_dvfs_level(self, node: int, level_index: int) -> None:
+        self.model.set_dvfs_level(node, level_index)
 
-        One fused per-movement loop (this is the per-flit hot path); the
-        activity sets and flit totals are maintained inline.
-        """
-        if not movements:
-            return
-        active = self._active_routers
-        routers = self.routers
-        neighbor_of = self._neighbor_of
-        links = self.links
-        stats = self.stats
-        power = self.power
-        local = Direction.LOCAL
-        cycle = self.cycle
-        sources = set()
-        for movement in movements:
-            src_node = movement.src_node
-            in_port = movement.in_port
-            sources.add(src_node)
-            if in_port is not local:
-                # Credit return: the movement freed one slot in the input
-                # buffer it left, so the upstream router on that port gets
-                # its credit back.
-                upstream = neighbor_of[(src_node, in_port)]
-                routers[upstream].release_credit(in_port.opposite, movement.in_vc)
-            flit = movement.flit
-            if movement.out_port is local:
-                # Ejection at the destination NI.
-                stats.flits_delivered += 1
-                if flit.is_tail:
-                    packet = flit.packet
-                    packet.arrival_cycle = cycle
-                    stats.record_packet_delivered(
-                        packet.total_latency, packet.network_latency, packet.hops
-                    )
-                self._buffered_total -= 1
-            else:
-                # Link traversal into the downstream router's input buffer.
-                dst_node = movement.dst_node
-                destination = routers[dst_node]
-                destination.receive_flit(movement.out_port.opposite, movement.out_vc, flit)
-                power.record_buffer_write(destination.operating_point)
-                links[(src_node, dst_node)].record_traversal()
-                stats.link_flit_traversals += 1
-                if flit.is_head:
-                    flit.packet.hops += 1
-                active.add(dst_node)
-        # Every movement removed one flit from its source router; prune the
-        # routers that ended the cycle empty (a node that also received
-        # flits above keeps a nonzero count and stays active).
-        for node in sources:
-            if routers[node].buffered_flits == 0:
-                active.discard(node)
+    def set_routing_algorithm(self, name: str) -> None:
+        self.model.set_routing_algorithm(name)
 
-    def _record_cycle_overheads(self) -> None:
-        if self.activity_tracking:
-            # The cached increment schedule replays the naive per-router
-            # leakage loop value-for-value and in order (bit-identical), and
-            # the occupancy sums come from the incremental counters.
-            increments = self._leakage_increments
-            if increments is None:
-                increments = self._cycle_leakage_increments()
-            self.power.accrue_leakage_increments(increments)
-            self.stats.record_cycle(self._buffered_total, self._queued_total)
-            return
-        buffered = 0
-        for router in self.routers.values():
-            buffered += router.buffered_flits
-            self.power.record_router_leakage(router.operating_point)
-            outgoing_links = len(router.output_ports) - 1
-            if outgoing_links:
-                self.power.record_link_leakage(router.operating_point, links=outgoing_links)
-        queued = sum(len(queue) for queue in self._source_queues.values())
-        self.stats.record_cycle(buffered, queued)
+    def set_enabled_vcs(self, count: int) -> None:
+        self.model.set_enabled_vcs(count)
 
-    def _invalidate_operating_point_caches(self) -> None:
-        self._leakage_increments = None
-        self._distinct_dividers = None
+    def fail_link(self, src: int, dst: int) -> None:
+        self.model.fail_link(src, dst)
 
-    def _rebuild_divider_table(self) -> tuple[int, ...]:
-        """The distinct clock dividers present across the routers: a cycle on
-        which none of them fires is fully DVFS-gated (no injection, no
-        pipeline work)."""
-        dividers = tuple(
-            {router.operating_point.divider for router in self.routers.values()}
-        )
-        self._distinct_dividers = dividers
-        return dividers
+    def repair_link(self, src: int, dst: int) -> None:
+        self.model.repair_link(src, dst)
 
-    def _cycle_leakage_increments(self) -> list[float]:
-        """Per-cycle leakage increments, in the exact order and with the exact
-        values the naive :meth:`_record_cycle_overheads` loop would add them.
+    @property
+    def config(self) -> SimulatorConfig:
+        return self.model.config
 
-        Rebuilt lazily after any DVFS change (every router reports operating
-        point changes through ``on_operating_point_change``), so validating
-        the cache costs O(1) per cycle instead of an O(N) guard scan.
-        """
-        increments = self._leakage_increments
-        if increments is not None:
-            return increments
-        increments = []
-        for router in self.routers.values():
-            point = router.operating_point
-            increments.append(self.power.router_leakage_increment(point))
-            outgoing_links = len(router.output_ports) - 1
-            if outgoing_links:
-                increments.append(
-                    self.power.link_leakage_increment(point, links=outgoing_links)
-                )
-        self._leakage_increments = increments
-        return increments
+    @property
+    def topology(self):
+        return self.model.topology
 
-    # ------------------------------------------------------------------
-    # telemetry
-    # ------------------------------------------------------------------
+    @property
+    def routers(self):
+        return self.model.routers
+
+    @property
+    def links(self):
+        return self.model.links
+
+    @property
+    def stats(self):
+        return self.model.stats
+
+    @property
+    def power(self):
+        return self.model.power
+
+    @property
+    def dvfs_level_index(self) -> int:
+        return self.model.dvfs_level_index
+
+    @property
+    def dvfs_levels(self):
+        return self.model.dvfs_levels
+
+    @property
+    def routing_name(self) -> str:
+        return self.model.routing_name
+
+    @property
+    def enabled_vcs(self) -> int:
+        return self.model.enabled_vcs
+
+    @property
+    def failed_links(self) -> frozenset[tuple[int, int]]:
+        return self.model.failed_links
 
     @property
     def source_queue_backlog(self) -> int:
-        return self._queued_total
+        return self.model.source_queue_backlog
 
     @property
     def buffered_flits(self) -> int:
-        return self._buffered_total
+        return self.model.buffered_flits
 
-    def _build_epoch_telemetry(
-        self,
-        cycles: int,
-        stats_before: dict[str, float],
-        energy_before,
-    ) -> EpochTelemetry:
-        after = self.stats.snapshot()
-        delta = {key: after[key] - stats_before[key] for key in after}
-        delivered = int(delta["packets_delivered"])
-        num_nodes = self.topology.num_nodes
-        num_links = len(self.links)
+    # ------------------------------------------------------------------
+    # transparent forwarding (mutable toggles + deprecated internals)
+    # ------------------------------------------------------------------
 
-        def per_delivered(total: float) -> float:
-            return total / delivered if delivered else 0.0
+    def __getattr__(self, name: str):
+        # Only reached when normal lookup fails: forward to the model so the
+        # pre-split surface (toggles, counters, private state) keeps working.
+        if name in ("model", "engine"):  # guard partially-initialised instances
+            raise AttributeError(name)
+        if name.startswith("_") and not name.startswith("__"):
+            warnings.warn(
+                f"accessing NoCSimulator.{name} through the facade is deprecated; "
+                "use NoCSimulator.model (state/phases) or NoCSimulator.engine "
+                "(execution loop) directly",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return getattr(self.model, name)
 
-        link_utilization = 0.0
-        if num_links and cycles:
-            link_utilization = delta["link_flit_traversals"] / (num_links * cycles)
-
-        return EpochTelemetry(
-            epoch_index=self._epoch_counter,
-            cycles=cycles,
-            num_nodes=num_nodes,
-            num_links=num_links,
-            packets_created=int(delta["packets_created"]),
-            packets_injected=int(delta["packets_injected"]),
-            packets_delivered=delivered,
-            flits_created=int(delta["flits_created"]),
-            flits_delivered=int(delta["flits_delivered"]),
-            average_total_latency=per_delivered(delta["total_latency_sum"]),
-            average_network_latency=per_delivered(delta["network_latency_sum"]),
-            average_hops=per_delivered(delta["hop_sum"]),
-            average_buffer_occupancy=(
-                delta["occupancy_flit_cycles"] / (cycles * num_nodes) if cycles else 0.0
-            ),
-            average_source_queue_flits=(
-                delta["source_queue_flit_cycles"] / (cycles * num_nodes) if cycles else 0.0
-            ),
-            link_utilization=link_utilization,
-            in_flight_packets=self.stats.in_flight_packets,
-            energy=self.power.snapshot() - energy_before,
-            dvfs_level_index=self._dvfs_level_index,
-            routing_name=self._routing_name,
-            enabled_vcs=self._enabled_vcs,
-        )
+    def __setattr__(self, name: str, value) -> None:
+        if name in _MODEL_FIELDS:
+            setattr(self.model, name, value)
+            return
+        object.__setattr__(self, name, value)

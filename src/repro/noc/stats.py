@@ -64,9 +64,23 @@ class NetworkStats:
         """Record ``count`` cycles with nothing buffered or queued.
 
         Integer-exact equivalent of ``count`` calls to ``record_cycle(0, 0)``;
-        used by the simulator's idle-span batching.
+        used by the engines' idle-span batching.
         """
         self.cycles += count
+
+    def record_cycles(
+        self, count: int, buffered_flits: int, source_queue_flits: int
+    ) -> None:
+        """Record ``count`` cycles with frozen occupancy totals.
+
+        Integer-exact equivalent of ``count`` calls to
+        ``record_cycle(buffered_flits, source_queue_flits)``; used by the
+        event engine when it leaps a DVFS-gated span during which no flit
+        can move (the totals cannot change, so the sums batch exactly).
+        """
+        self.cycles += count
+        self.occupancy_flit_cycles += count * buffered_flits
+        self.source_queue_flit_cycles += count * source_queue_flits
 
     def record_link_traversal(self, flits: int = 1) -> None:
         self.link_flit_traversals += flits

@@ -63,6 +63,12 @@ class TestLoadLatencySweep:
         assert slow[0].average_latency > fast[0].average_latency
         assert slow[0].energy_per_flit_pj < fast[0].energy_per_flit_pj
 
+    def test_event_engine_sweeps_identically(self, uniform_sweep):
+        event_points = load_latency_sweep(
+            CONFIG, [0.05, 0.20, 0.60], pattern="uniform", engine="event", **SWEEP_KWARGS
+        )
+        assert event_points == uniform_sweep  # wall fields excluded (compare=False)
+
 
 class TestRoutingThroughputSweep:
     def test_validation(self):
@@ -77,6 +83,16 @@ class TestRoutingThroughputSweep:
         )
         assert set(results) == {"xy", "odd_even"}
         assert all(len(points) == 2 for points in results.values())
+
+    def test_event_engine_sweeps_identically(self):
+        kwargs = dict(warmup_cycles=100, measure_cycles=300, seed=1)
+        cycle_results = routing_throughput_sweep(
+            CONFIG, [0.1], ["xy", "odd_even"], pattern="transpose", **kwargs
+        )
+        event_results = routing_throughput_sweep(
+            CONFIG, [0.1], ["xy", "odd_even"], pattern="transpose", engine="event", **kwargs
+        )
+        assert event_results == cycle_results
 
     def test_adaptive_routing_not_worse_at_low_load(self):
         results = routing_throughput_sweep(

@@ -89,7 +89,10 @@ class TestSuiteNamespacing:
     def test_record_key_namespaces_suite_records(self):
         flat = perf_record("turbo", 1000, 1.0)
         namespaced = perf_record("turbo", 1000, 1.0, suite="fig1", engine="naive")
-        assert record_key(flat) == ("turbo", "")
+        # perf_record stamps the default engine on every fresh record; a
+        # hand-built legacy record without the key still keys as "".
+        assert record_key(flat) == ("turbo", "cycle")
+        assert record_key({"scenario": "turbo", "cycles_per_s": 1.0}) == ("turbo", "")
         assert record_key(namespaced) == ("fig1/turbo", "naive")
 
     def test_same_unit_name_in_two_suites_tracks_two_baselines(self):
@@ -119,6 +122,29 @@ class TestSuiteNamespacing:
         assert [regression.scenario for regression in regressions] == [
             "table1/phased/drl"
         ]
+
+    def test_default_engine_record_matches_engineless_baseline(self):
+        # Baselines written before records carried the engine tag still
+        # guard fresh default-engine ("cycle") records — both flat and
+        # suite-namespaced — but never records from another engine.
+        baseline = [
+            {"scenario": "turbo", "cycles_per_s": 1000.0},
+            {"scenario": "points", "suite": "fig1", "cycles_per_s": 1000.0},
+        ]
+        current = [
+            perf_record("turbo", 10_000, 100.0),  # 100 c/s, engine "cycle"
+            perf_record("points", 10_000, 100.0, suite="fig1"),
+        ]
+        regressions = find_regressions(current, baseline, tolerance=0.75)
+        assert sorted(r.scenario for r in regressions) == ["fig1/points", "turbo"]
+        # The same slow numbers on the event engine have no baseline to
+        # compare against, so the guard stays silent rather than borrowing
+        # another engine's bar.
+        event_current = [
+            perf_record("turbo", 10_000, 100.0, engine="event"),
+            perf_record("points", 10_000, 100.0, suite="fig1", engine="event"),
+        ]
+        assert find_regressions(event_current, baseline, tolerance=0.75) == []
 
     def test_flat_current_does_not_match_namespaced_baseline(self):
         baseline = [perf_record("turbo", 10_000, 10.0, suite="fig1")]

@@ -254,6 +254,25 @@ class TestRunSuite:
         with pytest.raises(KeyError, match="no summary"):
             outcome.summary("turbo")
 
+    def test_unit_level_engine_override_wins_and_tags_its_record(self):
+        spec = SuiteSpec(
+            name="adhoc-engines",
+            description="one unit pinned to the event engine",
+            units=(sweep_unit("pinned", engine="event"), sweep_unit("default")),
+        )
+        outcome = run_suite(spec, jobs=1)
+        by_name = {record["scenario"]: record["engine"] for record in outcome.records}
+        assert by_name == {"pinned": "event", "default": "cycle"}
+
+    def test_event_engine_yields_identical_outcomes_with_tagged_records(self):
+        cycle_outcome = run_suite("hotpath-smoke", jobs=1)
+        event_outcome = run_suite("hotpath-smoke", jobs=1, engine="event")
+        assert json.dumps(
+            cycle_outcome.deterministic_payload(), sort_keys=True
+        ) == json.dumps(event_outcome.deterministic_payload(), sort_keys=True)
+        assert all(record["engine"] == "cycle" for record in cycle_outcome.records)
+        assert all(record["engine"] == "event" for record in event_outcome.records)
+
     @pytest.mark.slow
     def test_pool_fanout_matches_serial_outcomes(self):
         serial = run_suite("fig2-smoke", jobs=1)
@@ -261,6 +280,34 @@ class TestRunSuite:
         assert json.dumps(serial.deterministic_payload(), sort_keys=True) == json.dumps(
             parallel.deterministic_payload(), sort_keys=True
         )
+
+
+class TestDiffPayloads:
+    def test_identical_payloads_have_no_differences(self):
+        payload = {"units": [{"rows": [{"rate": 0.1, "latency": 3.5}]}], "wall_s": 1.0}
+        other = json.loads(json.dumps(payload))
+        other["wall_s"] = 9.0  # wall clocks are ignored by default
+        assert suites.diff_payloads(payload, other) == []
+
+    def test_every_field_is_compared_not_just_throughput(self):
+        a = {"runs": [{"scenario": "turbo", "cycles": 100, "cycles_per_s": 1.0}]}
+        b = {"runs": [{"scenario": "turbo", "cycles": 120, "cycles_per_s": 2.0}]}
+        differences = suites.diff_payloads(a, b)
+        assert differences == ["runs[0].cycles: A=100 vs B=120"]
+
+    def test_missing_keys_and_length_mismatches_are_reported(self):
+        differences = suites.diff_payloads(
+            {"units": [1, 2], "only_a": True}, {"units": [1]}
+        )
+        assert any("only in A" in line for line in differences)
+        assert any("row(s)" in line for line in differences)
+
+    def test_extra_ignores_drop_fields_everywhere(self):
+        a = {"runs": [{"engine": "cycle", "cycles": 5}]}
+        b = {"runs": [{"engine": "event", "cycles": 5}]}
+        assert suites.diff_payloads(a, b) != []
+        ignore = suites.DIFF_IGNORED_KEYS | {"engine"}
+        assert suites.diff_payloads(a, b, ignore=ignore) == []
 
 
 class TestTrainController:

@@ -234,19 +234,19 @@ class TestActivityTracking:
         simulator = make_simulator(rate=0.25, seed=4)
         for _ in range(10):
             simulator.run(25)
-            assert simulator._active_routers == {
+            assert simulator.model.active_routers == {
                 node
                 for node, router in simulator.routers.items()
                 if router.buffered_flits
             }
-            assert simulator._nonempty_sources == {
-                node for node, queue in simulator._source_queues.items() if queue
+            assert simulator.model.nonempty_sources == {
+                node for node, queue in simulator.model._source_queues.items() if queue
             }
             assert simulator.buffered_flits == sum(
                 router.buffered_flits for router in simulator.routers.values()
             )
             assert simulator.source_queue_backlog == sum(
-                len(queue) for queue in simulator._source_queues.values()
+                len(queue) for queue in simulator.model._source_queues.values()
             )
 
     def test_skipped_router_steps_counts_avoided_work(self):
@@ -283,9 +283,9 @@ class TestActivityTracking:
     def test_dvfs_change_invalidates_leakage_cache(self):
         simulator = make_simulator(rate=0.0)
         simulator.run(10)
-        before = list(simulator._cycle_leakage_increments())
+        before = list(simulator.model._cycle_leakage_increments())
         simulator.set_dvfs_level(5, 3)
-        after = simulator._cycle_leakage_increments()
+        after = simulator.model._cycle_leakage_increments()
         assert after != before
 
     def test_set_enabled_vcs_validates_before_reconfiguring(self):

@@ -214,16 +214,93 @@ def test_activity_engine_is_bit_identical_to_naive_engine(
         router.buffered_flits for router in fast.routers.values()
     )
     assert fast.source_queue_backlog == sum(
-        len(queue) for queue in fast._source_queues.values()
+        len(queue) for queue in fast.model._source_queues.values()
     )
-    assert fast._active_routers == {
+    assert fast.model.active_routers == {
         node for node, router in fast.routers.items() if router.buffered_flits
     }
-    assert fast._nonempty_sources == {
-        node for node, queue in fast._source_queues.items() if queue
+    assert fast.model.nonempty_sources == {
+        node for node, queue in fast.model._source_queues.items() if queue
     }
     assert naive.idle_cycles == 0
     assert naive.skipped_router_steps == 0
+
+
+@SIM_SETTINGS
+@given(
+    rate=st.floats(min_value=0.0, max_value=0.25),
+    pattern=st.sampled_from(["uniform", "transpose", "hotspot"]),
+    routing=st.sampled_from(["xy", "odd_even", "west_first"]),
+    packet_size=st.integers(min_value=1, max_value=5),
+    cycles=st.integers(min_value=80, max_value=400),
+    seed=st.integers(min_value=0, max_value=10_000),
+    events=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=399),
+            st.sampled_from(_EVENT_KINDS),
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=8,
+    ),
+)
+def test_event_engine_is_bit_identical_to_cycle_engines_under_events(
+    rate, pattern, routing, packet_size, cycles, seed, events
+):
+    """The calendar-queue event engine must produce byte-identical telemetry
+    to both cycle-engine variants — the naive scan-everything loop and the
+    default activity-tracked loop — including under mid-run per-node DVFS
+    retunes, link failures/repairs and enabled-VC reconfiguration, and it
+    must agree with the tracked loop on the ``idle_cycles`` counter."""
+    by_cycle: dict[int, list[tuple[str, int, int]]] = {}
+    for event_cycle, kind, a, b in events:
+        by_cycle.setdefault(event_cycle, []).append((kind, a, b))
+
+    simulators = []
+    for engine, optimised in (("event", True), ("cycle", True), ("cycle", False)):
+        config = SimulatorConfig(
+            width=4, routing=routing, packet_size=packet_size, seed=seed, engine=engine
+        )
+        simulator = NoCSimulator(config)
+        simulator.activity_tracking = optimised
+        simulator.idle_fast_path = optimised
+        simulator.traffic = TrafficGenerator.from_names(
+            simulator.topology, pattern, rate, packet_size=packet_size, seed=seed
+        )
+
+        def on_cycle(cycle, simulator=simulator):
+            for kind, a, b in by_cycle.get(cycle, ()):
+                _apply_event(simulator, kind, a, b)
+
+        telemetry = simulator.run_epoch(cycles, on_cycle=on_cycle)
+        simulators.append((simulator, telemetry))
+
+    (event, event_telemetry), (tracked, tracked_telemetry), (naive, naive_telemetry) = (
+        simulators
+    )
+    for reference, reference_telemetry in ((tracked, tracked_telemetry), (naive, naive_telemetry)):
+        assert event_telemetry.as_dict() == reference_telemetry.as_dict()
+        assert event_telemetry.energy.as_dict() == reference_telemetry.energy.as_dict()
+        assert event.stats.snapshot() == reference.stats.snapshot()
+        assert event.power.energy.leakage_pj == reference.power.energy.leakage_pj
+        assert event.buffered_flits == reference.buffered_flits
+        assert event.source_queue_backlog == reference.source_queue_backlog
+        for node in event.routers:
+            assert (
+                event.routers[node].buffered_flits
+                == reference.routers[node].buffered_flits
+            )
+    # The idle-cycle accounting (part of ScenarioResult) must match the
+    # tracked cycle engine's exactly, so whole scenario payloads compare
+    # equal across engines.
+    assert event.idle_cycles == tracked.idle_cycles
+    # The event engine's own activity state must agree with a full scan.
+    assert event.model.active_routers == {
+        node for node, router in event.routers.items() if router.buffered_flits
+    }
+    assert event.model.nonempty_sources == {
+        node for node, queue in event.model._source_queues.items() if queue
+    }
 
 
 @SIM_SETTINGS

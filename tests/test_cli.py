@@ -47,6 +47,21 @@ class TestParser:
         assert args.jobs == 2
         assert args.seed == 9
 
+    def test_engine_flags_parse_everywhere(self):
+        parser = cli.build_parser()
+        assert parser.parse_args(["sweep", "--engine", "event"]).engine == "event"
+        assert parser.parse_args(["sweep"]).engine == "cycle"
+        assert (
+            parser.parse_args(["scenarios", "run", "--engine", "event"]).engine
+            == "event"
+        )
+        assert parser.parse_args(["scenarios", "run"]).engine is None
+        assert (
+            parser.parse_args(["suite", "run", "fig1", "--engine", "event"]).engine
+            == "event"
+        )
+        assert parser.parse_args(["bench", "--engine", "event"]).engine == "event"
+
 
 class TestSweepCommand:
     def test_prints_series(self, capsys):
@@ -91,6 +106,35 @@ class TestScenariosCommand:
         assert exit_code == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_run_suggests_the_closest_scenario_name(self, capsys):
+        exit_code = cli.main(["scenarios", "run", "unifrm"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "did you mean: uniform?" in err
+
+    def test_run_rejects_unknown_engine_with_suggestion(self, capsys):
+        exit_code = cli.main(["scenarios", "run", "uniform", "--engine", "evnt"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "unknown engine" in err and "did you mean: event?" in err
+
+    def test_run_on_the_event_engine_matches_the_cycle_engine(self, capsys, tmp_path):
+        import json
+
+        payloads = []
+        for engine in ("cycle", "event"):
+            json_path = tmp_path / f"{engine}.json"
+            exit_code = cli.main(
+                [
+                    "scenarios", "run", "uniform",
+                    "--epochs", "1", "--epoch-cycles", "120",
+                    "--engine", engine, "--json", str(json_path),
+                ]
+            )
+            assert exit_code == 0
+            payloads.append(json.loads(json_path.read_text()))
+        assert payloads[0] == payloads[1]
+
 
 class TestSuiteCommand:
     def test_requires_a_subcommand(self):
@@ -133,6 +177,57 @@ class TestSuiteCommand:
     def test_run_unknown_suite_rejected(self, capsys):
         assert cli.main(["suite", "run", "fig99"]) == 2
         assert "unknown suite" in capsys.readouterr().err
+
+    def test_run_suggests_the_closest_suite_name(self, capsys):
+        assert cli.main(["suite", "run", "fig1-smok"]) == 2
+        assert "did you mean: fig1-smoke?" in capsys.readouterr().err
+
+    def test_diff_identical_artifacts_exits_zero(self, capsys, tmp_path):
+        import json
+
+        payload = {
+            "suite": "fig1-smoke",
+            "units": [{"unit": "turbo", "rows": [{"rate": 0.1, "latency": 9.25}]}],
+            "runs": [{"scenario": "turbo", "cycles": 100, "wall_s": 0.5}],
+        }
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(payload))
+        # Wall-clock fields may differ without failing the diff.
+        payload["runs"][0]["wall_s"] = 0.9
+        b.write_text(json.dumps(payload))
+        assert cli.main(["suite", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_reports_every_field_mismatch_and_exits_nonzero(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        base = {
+            "suite": "fig1-smoke",
+            "units": [{"unit": "turbo", "rows": [{"rate": 0.1, "latency": 9.25}]}],
+            "runs": [{"scenario": "turbo", "cycles": 100, "engine": "cycle"}],
+        }
+        changed = json.loads(json.dumps(base))
+        changed["units"][0]["rows"][0]["latency"] = 9.5  # not just cycles_per_s
+        changed["runs"][0]["engine"] = "event"
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(base))
+        b.write_text(json.dumps(changed))
+        assert cli.main(["suite", "diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "latency" in out and "engine" in out
+        # --ignore drops the engine tag (CI's cross-engine parity check).
+        assert cli.main(["suite", "diff", str(a), str(b), "--ignore", "engine"]) == 1
+        assert "engine" not in capsys.readouterr().out
+
+    def test_diff_missing_artifact_exits_two(self, capsys, tmp_path):
+        import json
+
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps({"runs": []}))
+        assert cli.main(["suite", "diff", str(a), str(tmp_path / "nope.json")]) == 2
+        assert "no such artefact" in capsys.readouterr().err
 
     def test_run_check_requires_baseline(self, capsys):
         assert cli.main(["suite", "run", "fig1-smoke", "--check"]) == 2
@@ -310,6 +405,25 @@ class TestBenchCommand:
         exit_code = cli.main(["bench", "--scenarios", "no-such-scenario"])
         assert exit_code == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_engine_rejected_with_suggestion(self, capsys):
+        exit_code = cli.main(["bench", "--engine", "cylce"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "unknown engine" in err and "did you mean: cycle?" in err
+
+    def test_bench_event_engine_variant(self, capsys):
+        exit_code = cli.main(
+            [
+                "bench", "--scenarios", "powersave-idle",
+                "--epochs", "1", "--epoch-cycles", "120",
+                "--repeats", "1", "--engine", "event",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "event" in output
+        assert "telemetry ok" in output
 
     def test_bench_prints_table_and_writes_json(self, capsys, tmp_path):
         json_path = tmp_path / "hotpath.json"
