@@ -29,8 +29,12 @@ def test_fig3_training_convergence(
         format_series("episode", episodes, series)
         + (
             f"\ntraining wall time: {training_result.wall_time_s:.1f}s "
-            f"({training_result.episodes_per_second:.2f} episodes/s, "
-            "sharded engine — REPRO_BENCH_TRAIN_JOBS actors)"
+            + (
+                f"({training_result.episodes_per_second:.2f} episodes/s, "
+                if training_result.episodes_per_second is not None
+                else "(rate unmeasurable, "
+            )
+            + "sharded engine — REPRO_BENCH_TRAIN_JOBS actors)"
         ),
     )
     save_rows_csv(

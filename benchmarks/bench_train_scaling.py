@@ -55,7 +55,7 @@ def test_train_scaling(report, results_dir):
     simulated_cycles = EPISODES * experiment.episode_epochs * experiment.epoch_cycles
     speedup = (
         sharded.episodes_per_second / serial.episodes_per_second
-        if serial.episodes_per_second
+        if serial.episodes_per_second and sharded.episodes_per_second
         else 0.0
     )
     serial_smoothed = serial.smoothed_returns(SMOOTH_WINDOW)

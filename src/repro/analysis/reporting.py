@@ -8,6 +8,10 @@ from typing import Iterable, Mapping, Sequence
 
 
 def _format_value(value) -> str:
+    if value is None:
+        # Null means "not measured" (e.g. a throughput under timer
+        # resolution), which must read as absent rather than as zero.
+        return "-"
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):

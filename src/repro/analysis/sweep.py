@@ -35,9 +35,10 @@ class LoadLatencyPoint:
     delivered_packets: int
     #: Wall-clock perf sample for this trial (warmup + measurement).
     #: ``compare=False`` keeps serial-vs-parallel equivalence checks about
-    #: the simulated outcome only — wall time is not deterministic.
+    #: the simulated outcome only — wall time is not deterministic.  A trial
+    #: under timer resolution records ``None`` (unmeasurable), never 0.0.
     wall_time_s: float = field(default=0.0, compare=False)
-    cycles_per_second: float = field(default=0.0, compare=False)
+    cycles_per_second: float | None = field(default=None, compare=False)
 
     @property
     def saturated(self) -> bool:
@@ -92,7 +93,7 @@ def measure_sweep_point(trial: SweepTrial) -> LoadLatencyPoint:
         energy_per_flit_pj=telemetry.energy_per_flit_pj,
         delivered_packets=telemetry.packets_delivered,
         wall_time_s=wall_time_s,
-        cycles_per_second=simulated_cycles / wall_time_s if wall_time_s > 0 else 0.0,
+        cycles_per_second=simulated_cycles / wall_time_s if wall_time_s > 0 else None,
     )
 
 

@@ -1,7 +1,7 @@
 """Command-line interface.
 
 Installed as the ``repro-noc`` console script (or invoked as
-``python -m repro.cli``).  Seven subcommands cover the everyday workflows:
+``python -m repro.cli``).  Eight subcommands cover the everyday workflows:
 
 * ``sweep``     — load/latency characterisation of a mesh (no learning);
   ``--jobs N`` fans the sweep points out over a process pool;
@@ -24,11 +24,20 @@ Installed as the ``repro-noc`` console script (or invoked as
 * ``evaluate``  — deploy a trained checkpoint or a named baseline on a
   held-out workload and print its summary;
 * ``compare``   — evaluate the baselines (and optionally a checkpoint) side
-  by side, Table-I style.
+  by side, Table-I style;
+* ``perf``      — consume the stored perf telemetry: ``perf report`` turns
+  every artefact under ``benchmarks/results/`` (plus ``--baseline`` files,
+  e.g. restored CI caches) into a per-(scenario, engine) trend table,
+  engine win/loss matrix and advisory regression check.
 
 Every simulation-running subcommand accepts ``--engine cycle|event`` — the
 pluggable execution backends of :mod:`repro.engines`; simulated outcomes
 are byte-identical across engines, so the flag is purely a perf choice.
+``--engine auto`` defers that choice to the measured telemetry (the
+:class:`repro.exp.telemetry.EnginePolicy` over the stored artefacts),
+logging which measurement decided.  ``sweep``, ``scenarios run`` and
+``suite run`` additionally accept ``--telemetry PATH`` to stream live rows
+(CSV when the path ends in ``.csv``, JSONL otherwise) while they run.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ from repro.exp import (
     all_scenarios,
     all_suites,
     default_experiment_dqn_config,
+    get_scenario,
     get_suite,
     paper_suites,
     run_hotpath_benchmark,
@@ -63,7 +73,7 @@ from repro.exp import (
     suite_names,
     train_dqn_sharded,
 )
-from repro.engines import engine_names
+from repro.engines import AUTO_ENGINE, resolve_engine_name, selectable_engine_names
 from repro.exp.bench import BENCH_ENGINE_VARIANTS, RESULTS_SCHEMA
 from repro.exp.perfguard import (
     DEFAULT_TOLERANCE,
@@ -71,6 +81,12 @@ from repro.exp.perfguard import (
     format_regressions,
 )
 from repro.exp.suites import DIFF_IGNORED_KEYS, diff_payloads
+from repro.exp.telemetry import (
+    DEFAULT_RESULTS_DIR,
+    EnginePolicy,
+    TelemetrySink,
+    build_trend_report,
+)
 from repro.noc import SimulatorConfig
 
 BASELINE_NAMES = ("static-max", "static-min", "heuristic", "random")
@@ -144,7 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--engine",
         default="cycle",
-        help="simulation engine (cycle|event; results are engine-agnostic)",
+        help="simulation engine (cycle|event, or auto to pick the measured best; "
+        "results are engine-agnostic)",
+    )
+    sweep.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="stream perf telemetry rows to this file (.csv = CSV, else JSONL)",
     )
 
     scenarios = subparsers.add_parser(
@@ -183,7 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios_run.add_argument(
         "--engine",
         default=None,
-        help="override the specs' simulation engine (cycle|event)",
+        help="override the specs' simulation engine (cycle|event, or auto to "
+        "pick the measured best per scenario)",
+    )
+    scenarios_run.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="stream per-epoch and perf telemetry rows to this file "
+        "(.csv = CSV, else JSONL)",
     )
 
     suite = subparsers.add_parser(
@@ -257,7 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
     suite_run.add_argument(
         "--engine",
         default="cycle",
-        help="simulation engine for every subtrial (cycle|event)",
+        help="simulation engine for every subtrial (cycle|event, or auto to "
+        "pick the measured best per suite)",
+    )
+    suite_run.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="stream per-subtrial and perf telemetry rows to this file "
+        "(.csv = CSV, else JSONL)",
     )
     suite_diff = suite_sub.add_parser(
         "diff",
@@ -358,6 +394,47 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--preset", choices=("default", "small", "joint"), default="default")
     compare.add_argument("--epochs", type=int, default=None)
 
+    perf = subparsers.add_parser(
+        "perf", help="consume the stored perf telemetry (trend report, engine wins)"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_report = perf_sub.add_parser(
+        "report",
+        help="trend table, engine win/loss matrix and advisory regression "
+        "check over stored perf artefacts",
+    )
+    perf_report.add_argument(
+        "--results",
+        default=str(DEFAULT_RESULTS_DIR),
+        help="artefact directory to ingest (default: benchmarks/results)",
+    )
+    perf_report.add_argument(
+        "--baseline",
+        action="append",
+        dest="baselines",
+        default=[],
+        metavar="PATH",
+        help="extra artefact file or directory ingested as the oldest samples "
+        "(repeatable; e.g. a restored CI baseline cache)",
+    )
+    perf_report.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    perf_report.add_argument(
+        "--json", dest="json_path", help="also write the JSON report to this file"
+    )
+    perf_report.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fraction of the best prior throughput the newest sample must "
+        "retain (default 0.75); the check is advisory — the report never "
+        "fails the run",
+    )
+
     return parser
 
 
@@ -388,8 +465,14 @@ def _resolve_policy(controller: str, experiment: ExperimentConfig):
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    if not _check_names("engine", [args.engine], engine_names()):
+    if not _check_names("engine", [args.engine], selectable_engine_names()):
         return 2
+    engine = args.engine
+    if engine == AUTO_ENGINE:
+        engine, reason = resolve_engine_name(
+            engine, chooser=EnginePolicy.from_results().overall
+        )
+        print(f"engine auto: sweep -> {engine} ({reason})")
     config = SimulatorConfig(width=args.width, routing=args.routing)
     points = load_latency_sweep(
         config,
@@ -398,8 +481,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         measure_cycles=args.cycles,
         dvfs_level=args.dvfs_level,
         jobs=args.jobs,
-        engine=args.engine,
+        engine=engine,
     )
+    if args.telemetry:
+        with TelemetrySink(args.telemetry) as sink:
+            for point in points:
+                sink.emit(
+                    {
+                        "source": "perf",
+                        "scenario": f"sweep/{args.pattern}",
+                        "engine": engine,
+                        "rate": point.injection_rate,
+                        "average_latency": point.average_latency,
+                        "packets_delivered": point.delivered_packets,
+                        "wall_s": point.wall_time_s,
+                        "cycles_per_s": point.cycles_per_second,
+                    }
+                )
+            print(f"telemetry: {sink.rows_written} row(s) -> {sink.path}")
     print(
         format_series(
             "offered_load",
@@ -437,19 +536,62 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     if not _check_names("scenario", names, scenario_names()):
         return 2
     if args.engine is not None and not _check_names(
-        "engine", [args.engine], engine_names()
+        "engine", [args.engine], selectable_engine_names()
     ):
         return 2
-    results = run_scenarios(
-        names,
-        jobs=args.jobs,
-        seed=args.seed,
-        repeats=args.repeats,
-        epochs=args.epochs,
-        epoch_cycles=args.epoch_cycles,
-        engine=args.engine,
-    )
+    engine: str | dict | None = args.engine
+    if engine == AUTO_ENGINE:
+        policy = EnginePolicy.from_results()
+        engine = {}
+        for name in names:
+            resolved, reason = resolve_engine_name(
+                AUTO_ENGINE, chooser=lambda name=name: policy.choose(name)
+            )
+            engine[name] = resolved
+            print(f"engine auto: scenario {name} -> {resolved} ({reason})")
+    sink = TelemetrySink(args.telemetry) if args.telemetry else None
+    if sink is not None and args.jobs > 1:
+        # The live tap holds an open file handle, which cannot pickle into
+        # pool workers; per-epoch rows therefore need the in-process path.
+        print("telemetry: per-epoch rows need --jobs 1; streaming perf rows only")
+    try:
+        results = run_scenarios(
+            names,
+            jobs=args.jobs,
+            seed=args.seed,
+            repeats=args.repeats,
+            epochs=args.epochs,
+            epoch_cycles=args.epoch_cycles,
+            engine=engine,
+            telemetry=sink if args.jobs == 1 else None,
+        )
+        if sink is not None:
+            for result in results:
+                override = (
+                    engine.get(result.scenario) if isinstance(engine, dict) else engine
+                )
+                sink.emit(
+                    {
+                        "source": "perf",
+                        "scenario": result.scenario,
+                        "engine": override
+                        or get_scenario(result.scenario).engine
+                        or "cycle",
+                        "seed": result.seed,
+                        "cycles": result.cycles,
+                        "packets_delivered": result.packets_delivered,
+                        "average_latency": result.average_latency,
+                        "energy_total_pj": result.energy_total_pj,
+                        "wall_s": result.wall_time_s,
+                        "cycles_per_s": result.cycles_per_second,
+                    }
+                )
+    finally:
+        if sink is not None:
+            sink.close()
     print(format_table([result.summary() for result in results], title="Scenario runs"))
+    if sink is not None:
+        print(f"telemetry: {sink.rows_written} row(s) -> {sink.path}")
     if args.json_path:
         _write_json(args.json_path, [result.to_dict() for result in results])
         print(f"full results written to {args.json_path}")
@@ -516,24 +658,49 @@ def cmd_suite(args: argparse.Namespace) -> int:
         ]
     if not _check_names("suite", names, suite_names()):
         return 2
-    if not _check_names("engine", [args.engine], engine_names()):
+    if not _check_names("engine", [args.engine], selectable_engine_names()):
         return 2
     if args.check and not args.baseline:
         print("--check requires --baseline", file=sys.stderr)
         return 2
 
+    engine_by_suite: dict[str, str] = {}
+    if args.engine == AUTO_ENGINE:
+        policy = EnginePolicy.from_results()
+        for name in names:
+            # A smoke variant with no telemetry of its own inherits its full
+            # suite's measurements before falling back to the default engine.
+            smoke_of = get_suite(name).smoke_of
+            fallback = (smoke_of,) if smoke_of else ()
+            resolved, reason = resolve_engine_name(
+                AUTO_ENGINE,
+                chooser=lambda name=name, fallback=fallback: policy.choose_for_suite(
+                    name, fallback=fallback
+                ),
+            )
+            engine_by_suite[name] = resolved
+            print(f"engine auto: suite {name} -> {resolved} ({reason})")
+
+    sink = TelemetrySink(args.telemetry) if args.telemetry else None
     all_records: list[dict] = []
-    for name in names:
-        outcome = run_suite(
-            name,
-            jobs=args.jobs,
-            train_jobs=args.train_jobs,
-            out_dir=args.out_dir,
-            perf_repeats=args.repeats,
-            engine=args.engine,
-        )
-        all_records.extend(outcome.records)
-        print(format_table(outcome.records, title=f"Suite {name}"))
+    try:
+        for name in names:
+            outcome = run_suite(
+                name,
+                jobs=args.jobs,
+                train_jobs=args.train_jobs,
+                out_dir=args.out_dir,
+                perf_repeats=args.repeats,
+                engine=engine_by_suite.get(name, args.engine),
+                telemetry=sink,
+            )
+            all_records.extend(outcome.records)
+            print(format_table(outcome.records, title=f"Suite {name}"))
+    finally:
+        if sink is not None:
+            sink.close()
+    if sink is not None:
+        print(f"telemetry: {sink.rows_written} row(s) -> {sink.path}")
     combined = {
         "schema": list(RESULTS_SCHEMA),
         "suites": names,
@@ -636,10 +803,12 @@ def cmd_train(args: argparse.Namespace) -> int:
         )
     print(f"  first episode return: {result.episode_returns[0]:.1f}")
     print(f"  final episode return: {result.final_return:.1f}")
-    print(
-        f"  wall time: {result.wall_time_s:.1f}s "
-        f"({result.episodes_per_second:.2f} episodes/s)"
+    episodes_per_s = (
+        f"{result.episodes_per_second:.2f}"
+        if result.episodes_per_second is not None
+        else "unmeasurable"
     )
+    print(f"  wall time: {result.wall_time_s:.1f}s ({episodes_per_s} episodes/s)")
     if args.checkpoint:
         path = checkpoint.save_dqn_checkpoint(result, args.checkpoint)
         print(f"  checkpoint saved to {path}")
@@ -670,6 +839,26 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """``perf report``: the trend table over every stored perf artefact.
+
+    Always exits 0 — the report is advisory observability; the enforcing
+    gate stays with ``bench --check`` / ``suite run --check``.
+    """
+    report = build_trend_report(args.results, args.baselines)
+    payload = report.to_payload(tolerance=args.tolerance)
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.format_text(tolerance=args.tolerance))
+    if args.json_path:
+        _write_json(args.json_path, payload)
+        # Keep stdout machine-readable under --format json.
+        note_stream = sys.stderr if args.format == "json" else sys.stdout
+        print(f"full report written to {args.json_path}", file=note_stream)
+    return 0
+
+
 _COMMANDS = {
     "sweep": cmd_sweep,
     "scenarios": cmd_scenarios,
@@ -678,6 +867,7 @@ _COMMANDS = {
     "train": cmd_train,
     "evaluate": cmd_evaluate,
     "compare": cmd_compare,
+    "perf": cmd_perf,
 }
 
 

@@ -33,8 +33,9 @@ class TrainingResult:
     #: are deterministic; wall time is not) — same convention as
     #: :class:`repro.exp.scenarios.ScenarioResult`.
     wall_time_s: float = field(default=0.0, compare=False)
-    #: Training throughput in episodes per wall-clock second.
-    episodes_per_second: float = field(default=0.0, compare=False)
+    #: Training throughput in episodes per wall-clock second, or ``None``
+    #: when the loop finished under timer resolution (unmeasurable ≠ zero).
+    episodes_per_second: float | None = field(default=None, compare=False)
 
     @property
     def episodes(self) -> int:
@@ -98,7 +99,7 @@ def run_training_episode(env: NoCConfigEnv, agent) -> tuple[float, float, float]
 def record_training_timing(result: TrainingResult, episodes: int, wall_time_s: float) -> None:
     """Fill in the compare-excluded perf fields of ``result``."""
     result.wall_time_s = wall_time_s
-    result.episodes_per_second = episodes / wall_time_s if wall_time_s > 0 else 0.0
+    result.episodes_per_second = episodes / wall_time_s if wall_time_s > 0 else None
 
 
 def default_dqn_config(env: NoCConfigEnv, **overrides) -> DQNConfig:

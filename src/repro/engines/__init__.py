@@ -19,11 +19,15 @@ everywhere a name is accepted.
 """
 
 from repro.engines.base import (
+    AUTO_ENGINE,
+    DEFAULT_ENGINE,
     Engine,
     build_engine,
     engine_names,
     get_engine_factory,
     register_engine,
+    resolve_engine_name,
+    selectable_engine_names,
     validate_engine_name,
 )
 from repro.engines.cycle import CycleEngine
@@ -33,12 +37,16 @@ register_engine("cycle", CycleEngine)
 register_engine("event", EventEngine)
 
 __all__ = [
+    "AUTO_ENGINE",
     "CycleEngine",
+    "DEFAULT_ENGINE",
     "Engine",
     "EventEngine",
     "build_engine",
     "engine_names",
     "get_engine_factory",
     "register_engine",
+    "resolve_engine_name",
+    "selectable_engine_names",
     "validate_engine_name",
 ]

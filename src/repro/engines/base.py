@@ -89,3 +89,42 @@ def get_engine_factory(name: str) -> Callable[["NoCModel"], Engine]:
 def build_engine(name: str, model: "NoCModel") -> Engine:
     """Instantiate the engine registered under ``name`` for ``model``."""
     return get_engine_factory(name)(model)
+
+
+#: The ``--engine`` pseudo-name that defers the choice to measured telemetry
+#: (see :class:`repro.exp.telemetry.EnginePolicy`).  Never registered: it
+#: must be resolved to a real engine before anything is built.
+AUTO_ENGINE = "auto"
+
+DEFAULT_ENGINE = "cycle"
+
+
+def selectable_engine_names() -> tuple[str, ...]:
+    """Engine names an ``--engine`` flag accepts: the registry plus ``auto``."""
+    return engine_names() + (AUTO_ENGINE,)
+
+
+def resolve_engine_name(
+    name: str,
+    chooser: Callable[[], tuple[str, str] | None] | None = None,
+    default: str = DEFAULT_ENGINE,
+) -> tuple[str, str]:
+    """Resolve an engine selection to a registered ``(engine, reason)`` pair.
+
+    An explicit name resolves to itself.  :data:`AUTO_ENGINE` defers to
+    ``chooser`` — a callable returning ``(engine, reason)``, e.g. a bound
+    :class:`repro.exp.telemetry.EnginePolicy` method — and falls back to
+    ``default`` when no chooser is wired or it has nothing to say.  The
+    returned reason always says which measurement (or fallback) decided,
+    so callers can log the decision.
+    """
+    if name != AUTO_ENGINE:
+        return validate_engine_name(name), "requested explicitly"
+    choice = chooser() if chooser is not None else None
+    if choice is None:
+        return (
+            validate_engine_name(default),
+            f"no engine telemetry consulted; falling back to {default!r}",
+        )
+    engine, reason = choice
+    return validate_engine_name(engine), reason

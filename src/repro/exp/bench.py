@@ -54,12 +54,18 @@ def _median(sorted_values: list[float]) -> float:
 
 
 def perf_record(scenario: str, cycles: int, wall_s: float, **extra) -> dict:
-    """A perf sample in the shared benchmarks/results schema."""
+    """A perf sample in the shared benchmarks/results schema.
+
+    A run faster than the timer's resolution has no measurable throughput:
+    its rate is recorded as ``None`` (JSON null), never ``0.0`` — a zero
+    would read as "infinitely slow" and trip the perf guard as a spurious
+    catastrophic regression.  Consumers skip null-rate samples.
+    """
     record = {
         "scenario": scenario,
         "cycles": int(cycles),
         "wall_s": float(wall_s),
-        "cycles_per_s": float(cycles) / wall_s if wall_s > 0 else 0.0,
+        "cycles_per_s": float(cycles) / wall_s if wall_s > 0 else None,
     }
     record.update(extra)
     # Every record names its engine so perf-guard baselines stay unambiguous

@@ -95,10 +95,28 @@ def record_key(record: Mapping) -> tuple[str, str]:
 
 
 def _best_by_key(records: Iterable[dict]) -> dict[tuple[str, str], float]:
+    """Fastest measurable sample per (scenario, engine).
+
+    A record *missing* the ``cycles_per_s`` key is malformed (hand-edited
+    or foreign artefact) and raises :class:`ValueError` naming it.  A
+    record carrying a null or non-positive rate is merely unmeasurable —
+    the run landed under timer resolution (see
+    :func:`repro.exp.bench.perf_record`) or predates the null convention —
+    and is skipped rather than read as an infinitely slow run.
+    """
     best: dict[tuple[str, str], float] = {}
     for record in records:
         key = record_key(record)
+        if "cycles_per_s" not in record:
+            raise ValueError(
+                f"perf record for scenario {key[0]!r} lacks 'cycles_per_s': "
+                f"{dict(record)!r}"
+            )
+        if record["cycles_per_s"] is None:
+            continue
         cycles_per_s = float(record["cycles_per_s"])
+        if cycles_per_s <= 0:
+            continue
         if key not in best or cycles_per_s > best[key]:
             best[key] = cycles_per_s
     return best

@@ -18,7 +18,7 @@ produce identical result sequences.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Mapping, Sequence, TypeVar
 
 from repro.exp.scenarios import ScenarioResult, get_scenario, run_scenario
 
@@ -125,18 +125,35 @@ def run_scenarios(
     repeats: int = 1,
     epochs: int | None = None,
     epoch_cycles: int | None = None,
-    engine: str | None = None,
+    engine: str | Mapping[str, str | None] | None = None,
+    telemetry=None,
 ) -> list[ScenarioResult]:
     """Run the named scenarios (``repeats`` seeds each), possibly in parallel.
 
     With ``repeats == 1`` every scenario runs at ``seed`` exactly; with more,
     trial ``r`` of a scenario uses ``trial_seed(seed, r)`` so replications are
     independent yet reproducible.  ``engine`` overrides every spec's
-    execution engine (telemetry is engine-agnostic, so results are the same
-    for any value).  Results are ordered by (name, repeat).
+    execution engine — either one name for all scenarios or a mapping of
+    scenario name to engine (how ``--engine auto`` applies its per-scenario
+    decisions; unmapped names keep their spec's engine).  Telemetry is
+    engine-agnostic, so results are the same for any value.  Results are
+    ordered by (name, repeat).
+
+    ``telemetry`` streams :func:`run_scenario`'s live per-epoch rows to a
+    sink (anything with ``emit(row)``) — in-process only: a sink holds an
+    open file handle, which cannot pickle into pool workers, so with
+    ``jobs > 1`` the tap is rejected rather than silently dropped.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
+    if telemetry is not None and jobs > 1:
+        raise ValueError(
+            "a telemetry sink cannot cross process boundaries; use jobs=1 "
+            "with telemetry (or tap the per-unit records instead)"
+        )
+    engine_overrides = (
+        engine if isinstance(engine, Mapping) else {name: engine for name in names}
+    )
     # Ship the full spec (not just the name) so runtime-registered scenarios
     # survive the trip into spawn-started workers, whose re-imported registry
     # only contains the built-ins.
@@ -146,9 +163,21 @@ def run_scenarios(
             seed if repeats == 1 else trial_seed(seed, repeat),
             epochs,
             epoch_cycles,
-            engine,
+            engine_overrides.get(name),
         )
         for name in names
         for repeat in range(repeats)
     ]
+    if telemetry is not None:
+        return [
+            run_scenario(
+                spec,
+                seed=trial_seed_value,
+                epochs=trial_epochs,
+                epoch_cycles=trial_epoch_cycles,
+                engine=trial_engine,
+                telemetry=telemetry,
+            )
+            for spec, trial_seed_value, trial_epochs, trial_epoch_cycles, trial_engine in trials
+        ]
     return run_trials(_scenario_trial, trials, jobs=jobs)

@@ -234,8 +234,10 @@ class ScenarioResult:
     #: and the to_json golden tests are about *simulated* outcomes, which
     #: are deterministic; wall time is not).
     wall_time_s: float = field(default=0.0, compare=False)
-    #: Simulated cycles per wall-clock second (plain float, picklable).
-    cycles_per_second: float = field(default=0.0, compare=False)
+    #: Simulated cycles per wall-clock second (plain float, picklable), or
+    #: ``None`` when the run landed under timer resolution — an unmeasurable
+    #: rate is not a rate of zero (see :func:`repro.exp.bench.perf_record`).
+    cycles_per_second: float | None = field(default=None, compare=False)
 
     @property
     def cycles(self) -> int:
@@ -317,6 +319,7 @@ def run_scenario(
     idle_fast_path: bool = True,
     activity_tracking: bool = True,
     engine: str | None = None,
+    telemetry=None,
 ) -> ScenarioResult:
     """Build and run one scenario trial; returns plain-data telemetry only.
 
@@ -328,6 +331,17 @@ def run_scenario(
     ``idle_fast_path`` / ``activity_tracking`` toggle the cycle engine's
     optimisations (the hot-path benchmark and the equivalence tests run the
     optimised and naive variants over the same spec).
+
+    ``telemetry`` is an optional live tap — anything with an
+    ``emit(row: dict)`` method, typically a
+    :class:`repro.exp.telemetry.TelemetrySink` — that receives one
+    ``source="epoch"`` row per completed epoch as the run progresses.  The
+    rows mix deterministic simulated fields with wall-clock timings; the
+    latter are exactly the :data:`repro.exp.telemetry.WALL_CLOCK_FIELDS`,
+    so downstream diffing can drop them and compare the rest bit for bit.
+    The tap is duck-typed (this module never imports the sink) and is not
+    available across process-pool workers — sinks hold open file handles,
+    which do not pickle.
     """
     if isinstance(spec, str):
         spec = get_scenario(spec)
@@ -363,11 +377,32 @@ def run_scenario(
     on_cycle = apply_due_faults if fault_queue else None
     epoch_payloads: list[dict] = []
     start = time.perf_counter()
-    for _ in range(spec.epochs):
-        telemetry = simulator.run_epoch(spec.epoch_cycles, on_cycle=on_cycle)
-        epoch_payloads.append(telemetry.as_dict())
+    for epoch_index in range(spec.epochs):
+        epoch_start = time.perf_counter()
+        epoch_telemetry = simulator.run_epoch(spec.epoch_cycles, on_cycle=on_cycle)
+        epoch_wall_s = time.perf_counter() - epoch_start
+        payload = epoch_telemetry.as_dict()
+        epoch_payloads.append(payload)
+        if telemetry is not None:
+            telemetry.emit(
+                {
+                    "source": "epoch",
+                    "scenario": spec.name,
+                    "engine": spec.engine or "cycle",
+                    "seed": seed,
+                    "epoch": epoch_index,
+                    "cycles": payload["cycles"],
+                    "packets_delivered": payload["packets_delivered"],
+                    "average_latency": payload["average_total_latency"],
+                    "energy_total_pj": payload["energy_total_pj"],
+                    "wall_s": epoch_wall_s,
+                    "cycles_per_s": (
+                        payload["cycles"] / epoch_wall_s if epoch_wall_s > 0 else None
+                    ),
+                }
+            )
         if policy is not None:
-            level = policy.select_action(None, telemetry)
+            level = policy.select_action(None, epoch_telemetry)
             simulator.set_global_dvfs_level(level)
     wall_time_s = time.perf_counter() - start
     total_cycles = spec.epochs * spec.epoch_cycles
@@ -380,7 +415,7 @@ def run_scenario(
         failed_links=tuple(sorted(simulator.failed_links)),
         faults_skipped=len(fault_queue),
         wall_time_s=wall_time_s,
-        cycles_per_second=total_cycles / wall_time_s if wall_time_s > 0 else 0.0,
+        cycles_per_second=total_cycles / wall_time_s if wall_time_s > 0 else None,
     )
 
 

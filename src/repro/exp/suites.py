@@ -55,6 +55,7 @@ from repro.core.training import (
 )
 from repro.exp.bench import RESULTS_SCHEMA, perf_record
 from repro.exp.runner import run_trials, trial_seed
+from repro.exp.telemetry import WALL_CLOCK_FIELDS
 from repro.exp.scenarios import ScenarioSpec, get_scenario, run_scenario
 from repro.exp.training import train_dqn_sharded
 from repro.noc import SimulatorConfig
@@ -575,6 +576,7 @@ def run_suite(
     perf_repeats: int = 1,
     reuse_evals: bool = False,
     engine: str = "cycle",
+    telemetry=None,
 ) -> SuiteOutcome:
     """Run every unit of ``spec``, fanning subtrials over one process pool.
 
@@ -597,6 +599,14 @@ def run_suite(
     ``perf_repeats`` only when stale samples are acceptable.  With
     ``out_dir`` the outcome is also written to ``<out_dir>/<suite>.json``
     in the shared artefact shape.
+
+    ``telemetry`` is an optional live tap (anything with ``emit(row)``,
+    typically a :class:`repro.exp.telemetry.TelemetrySink`): one
+    ``source="subtrial"`` row per first-repeat subtrial as its payload
+    lands, then one ``source="perf"`` row per unit perf record.  Rows are
+    emitted parent-side in unit order — never from pool workers, where an
+    open sink would not pickle — so the stream is deterministic for any
+    ``jobs`` (wall-clock fields aside), same as the payloads themselves.
     """
     if isinstance(spec, str):
         spec = get_suite(spec)
@@ -656,6 +666,28 @@ def run_suite(
     grouped: dict[tuple[int, int], list[dict]] = {}
     for (index, repeat, _), payload in zip(tagged, payloads):
         grouped.setdefault((index, repeat), []).append(payload)
+        if telemetry is not None and repeat == 0:
+            unit = spec.units[index]
+            wall_s = payload.get("wall_s", 0.0)
+            telemetry.emit(
+                {
+                    "source": "subtrial",
+                    "suite": spec.name,
+                    "scenario": unit.name,
+                    "unit": unit.name,
+                    "kind": unit.kind,
+                    "engine": unit.params.get("engine") or engine,
+                    "repeat": repeat,
+                    "rows": len(payload.get("rows", ())),
+                    "cycles": payload.get("cycles"),
+                    "wall_s": wall_s,
+                    "cycles_per_s": (
+                        payload["cycles"] / wall_s
+                        if wall_s > 0 and payload.get("cycles")
+                        else None
+                    ),
+                }
+            )
 
     units: list[dict] = []
     records: list[dict] = []
@@ -691,6 +723,10 @@ def run_suite(
             )
         )
 
+    if telemetry is not None:
+        for record in records:
+            telemetry.emit({"source": "perf", **record})
+
     outcome = SuiteOutcome(
         suite=spec.name,
         artifact=spec.artifact,
@@ -714,10 +750,12 @@ def run_suite(
 
 #: Keys :func:`diff_payloads` skips by default: wall-clock measurements are
 #: not deterministic, so two runs of the same suite legitimately differ in
-#: them while every simulated field must match exactly.
-DIFF_IGNORED_KEYS = frozenset(
-    {"wall_s", "wall_s_total", "wall_time_s", "cycles_per_s", "cycles_per_second"}
-)
+#: them while every simulated field must match exactly.  The set is the
+#: telemetry module's canonical wall-clock-field registry — one list, so a
+#: new timing field added there is automatically excluded from parity
+#: checks here (``episodes_per_second`` once leaked through a second copy
+#: of this set and flagged training suites as nondeterministic).
+DIFF_IGNORED_KEYS = WALL_CLOCK_FIELDS
 
 
 def diff_payloads(

@@ -80,9 +80,35 @@ class TestFindRegressions:
             find_regressions([], [], tolerance=0.0)
 
     def test_zero_baseline_throughput_is_skipped(self):
-        baseline = [perf_record("uniform", 1000, 0.0)]  # cycles_per_s == 0
+        baseline = [perf_record("uniform", 1000, 0.0)]  # cycles_per_s is null
         current = records(uniform=1.0)
         assert find_regressions(current, baseline) == []
+
+    def test_zero_wall_time_current_record_is_safe(self):
+        # The timer-resolution bug: a sub-resolution current sample records a
+        # null rate, and the guard must skip it — never read it as zero
+        # throughput and report a spurious catastrophic regression.
+        baseline = records(uniform=1000.0)
+        current = [perf_record("uniform", 1000, 0.0)]
+        assert current[0]["cycles_per_s"] is None
+        assert find_regressions(current, baseline, tolerance=0.75) == []
+
+    def test_null_rate_samples_are_skipped_but_measured_duplicates_count(self):
+        baseline = records(uniform=1000.0)
+        # Best-of-N across a null sample and a regressed one: the null is
+        # skipped, the measured 100 c/s sample still trips the guard.
+        current = [perf_record("uniform", 1000, 0.0)] + records(uniform=100.0)
+        regressions = find_regressions(current, baseline, tolerance=0.75)
+        assert [regression.scenario for regression in regressions] == ["uniform"]
+
+    def test_record_missing_cycles_per_s_raises_naming_the_record(self):
+        # None marks "unmeasurable" and is skipped; a *missing* key marks a
+        # malformed record and must fail loudly, naming the culprit.
+        malformed = {"scenario": "uniform", "cycles": 1000}
+        with pytest.raises(ValueError, match="'uniform'.*lacks 'cycles_per_s'"):
+            find_regressions([malformed], records(uniform=1000.0))
+        with pytest.raises(ValueError, match="lacks 'cycles_per_s'"):
+            find_regressions(records(uniform=1000.0), [malformed])
 
 
 class TestSuiteNamespacing:

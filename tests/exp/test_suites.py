@@ -309,6 +309,46 @@ class TestDiffPayloads:
         ignore = suites.DIFF_IGNORED_KEYS | {"engine"}
         assert suites.diff_payloads(a, b, ignore=ignore) == []
 
+    def test_training_payloads_differing_only_in_timing_fields_match(self):
+        # Regression test for the episodes_per_second leak: the ignore set
+        # once missed training's rate field, so two byte-identical training
+        # runs diffed as nondeterministic purely on wall-clock jitter.
+        payload = {
+            "suite": "fig3",
+            "units": [
+                {
+                    "unit": "dqn-train",
+                    "kind": "train",
+                    "rows": [{"episode": 0, "mean_reward": 1.25}],
+                    "cycles": 4_000,
+                    "wall_s": 1.0,
+                    "wall_time_s": 1.0,
+                    "episodes_per_second": 4.0,
+                }
+            ],
+            "records": [
+                {"scenario": "dqn-train", "cycles_per_s": 4_000.0, "wall_s": 1.0}
+            ],
+            "wall_s_total": 1.0,
+        }
+        other = json.loads(json.dumps(payload))
+        for unit in other["units"]:
+            unit["wall_s"] = 2.0
+            unit["wall_time_s"] = 2.0
+            unit["episodes_per_second"] = 0.5
+        other["records"][0].update({"cycles_per_s": 2_000.0, "wall_s": 2.0})
+        other["wall_s_total"] = 2.0
+        assert suites.diff_payloads(payload, other) == []
+        # Simulated fields still diff as before.
+        other["units"][0]["rows"][0]["mean_reward"] = 9.0
+        assert suites.diff_payloads(payload, other) != []
+
+    def test_ignored_keys_come_from_the_telemetry_registry(self):
+        from repro.exp.telemetry import WALL_CLOCK_FIELDS
+
+        assert suites.DIFF_IGNORED_KEYS == WALL_CLOCK_FIELDS
+        assert "episodes_per_second" in suites.DIFF_IGNORED_KEYS
+
 
 class TestTrainController:
     TINY = {

@@ -62,6 +62,61 @@ class TestParser:
         )
         assert parser.parse_args(["bench", "--engine", "event"]).engine == "event"
 
+    def test_engine_auto_parses_on_every_runner(self):
+        parser = cli.build_parser()
+        assert parser.parse_args(["sweep", "--engine", "auto"]).engine == "auto"
+        assert (
+            parser.parse_args(["scenarios", "run", "u", "--engine", "auto"]).engine
+            == "auto"
+        )
+        assert (
+            parser.parse_args(["suite", "run", "fig1", "--engine", "auto"]).engine
+            == "auto"
+        )
+
+    def test_telemetry_flags_parse_everywhere(self):
+        parser = cli.build_parser()
+        assert parser.parse_args(["sweep"]).telemetry is None
+        assert (
+            parser.parse_args(["sweep", "--telemetry", "tap.csv"]).telemetry
+            == "tap.csv"
+        )
+        assert (
+            parser.parse_args(
+                ["scenarios", "run", "uniform", "--telemetry", "tap.jsonl"]
+            ).telemetry
+            == "tap.jsonl"
+        )
+        assert (
+            parser.parse_args(
+                ["suite", "run", "fig1", "--telemetry", "tap.csv"]
+            ).telemetry
+            == "tap.csv"
+        )
+
+    def test_perf_report_arguments(self):
+        parser = cli.build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["perf"])  # subcommand required
+        args = parser.parse_args(["perf", "report"])
+        assert args.command == "perf"
+        assert args.perf_command == "report"
+        assert args.results.endswith("results")
+        assert args.baselines == []
+        assert args.format == "text"
+        args = parser.parse_args(
+            [
+                "perf", "report", "--results", "/tmp/r",
+                "--baseline", "a.json", "--baseline", "b/",
+                "--format", "json", "--json", "out.json", "--tolerance", "0.5",
+            ]
+        )
+        assert args.results == "/tmp/r"
+        assert args.baselines == ["a.json", "b/"]
+        assert args.format == "json"
+        assert args.json_path == "out.json"
+        assert args.tolerance == 0.5
+
 
 class TestSweepCommand:
     def test_prints_series(self, capsys):
@@ -391,6 +446,205 @@ class TestTrainCommand:
         )
         assert exit_code == 2
         assert "does not fit preset" in capsys.readouterr().err
+
+
+class TestPerfReportCommand:
+    def _seed_results(self, root, *, fast_engine="event"):
+        import json
+
+        from repro.exp.bench import perf_record
+
+        results = root / "benchmarks" / "results"
+        results.mkdir(parents=True)
+        slow = 1.0 if fast_engine == "event" else 0.25
+        (results / "hotpath.json").write_text(
+            json.dumps(
+                {
+                    "runs": [
+                        perf_record("uniform", 1_000, slow, engine="cycle"),
+                        perf_record("uniform", 1_000, 1.25 - slow, engine="event"),
+                    ]
+                }
+            )
+        )
+        return results
+
+    def test_report_over_committed_artifacts_is_crash_free(self, capsys):
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+        assert cli.main(["perf", "report", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "Throughput trend" in out
+        assert "win/loss matrix" in out
+        assert "perf trend:" in out
+
+    def test_report_json_format_and_file(self, capsys, tmp_path):
+        import json
+
+        results = self._seed_results(tmp_path)
+        report_path = tmp_path / "report.json"
+        code = cli.main(
+            [
+                "perf", "report", "--results", str(results),
+                "--format", "json", "--json", str(report_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout stays machine-readable
+        assert payload["winners"] == {"uniform": "event"}
+        assert "full report written" in captured.err
+        assert json.loads(report_path.read_text()) == payload
+
+    def test_report_with_baseline_orders_it_oldest(self, capsys, tmp_path):
+        import json
+
+        from repro.exp.bench import perf_record
+
+        results = self._seed_results(tmp_path)
+        baseline = tmp_path / "ci-baseline.json"
+        baseline.write_text(
+            json.dumps({"runs": [perf_record("uniform", 1_000, 0.5, engine="cycle")]})
+        )
+        code = cli.main(
+            [
+                "perf", "report", "--results", str(results),
+                "--baseline", str(baseline), "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sources"][0] == str(baseline)
+        (cycle_row,) = [
+            row for row in payload["trend"] if row["engine"] == "cycle"
+        ]
+        assert cycle_row["samples"] == 2
+
+    def test_empty_results_directory_reports_nothing_without_failing(
+        self, capsys, tmp_path
+    ):
+        assert cli.main(["perf", "report", "--results", str(tmp_path)]) == 0
+        assert "nothing to report" in capsys.readouterr().out
+
+
+class TestTelemetryFlag:
+    def test_scenarios_run_streams_epoch_and_perf_rows(self, capsys, tmp_path):
+        from repro.exp.telemetry import read_telemetry
+
+        tap = tmp_path / "tap.csv"
+        code = cli.main(
+            [
+                "scenarios", "run", "uniform",
+                "--epochs", "2", "--epoch-cycles", "120",
+                "--telemetry", str(tap),
+            ]
+        )
+        assert code == 0
+        assert "telemetry: 3 row(s)" in capsys.readouterr().out
+        rows = read_telemetry(tap)
+        assert [row["source"] for row in rows] == ["epoch", "epoch", "perf"]
+        assert all(row["scenario"] == "uniform" for row in rows)
+
+    def test_suite_run_tap_reingests_into_perf_report(self, capsys, tmp_path):
+        from repro.exp.telemetry import read_telemetry
+
+        tap = tmp_path / "tap.jsonl"
+        assert cli.main(["suite", "run", "fig1-smoke", "--telemetry", str(tap)]) == 0
+        assert "telemetry:" in capsys.readouterr().out
+        rows = read_telemetry(tap)
+        assert {row["source"] for row in rows} == {"subtrial", "perf"}
+        assert cli.main(["perf", "report", "--results", str(tap)]) == 0
+        out = capsys.readouterr().out
+        assert "fig1-smoke/" in out and "Throughput trend" in out
+
+    def test_sweep_streams_perf_rows(self, capsys, tmp_path):
+        from repro.exp.telemetry import read_telemetry
+
+        tap = tmp_path / "sweep.jsonl"
+        code = cli.main(
+            [
+                "sweep", "--rates", "0.05", "0.2", "--cycles", "300",
+                "--width", "4", "--telemetry", str(tap),
+            ]
+        )
+        assert code == 0
+        rows = read_telemetry(tap)
+        assert len(rows) == 2
+        assert all(row["source"] == "perf" for row in rows)
+        assert {row["rate"] for row in rows} == {0.05, 0.2}
+
+
+class TestEngineAuto:
+    def test_suite_auto_without_telemetry_logs_the_cycle_fallback(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)  # no benchmarks/results here
+        code = cli.main(["suite", "run", "fig1-smoke", "--engine", "auto"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine auto: suite fig1-smoke -> cycle" in out
+        assert "falling back to 'cycle'" in out
+
+    def test_sweep_auto_follows_the_measured_winner(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.exp.bench import perf_record
+
+        monkeypatch.chdir(tmp_path)
+        results = tmp_path / "benchmarks" / "results"
+        results.mkdir(parents=True)
+        (results / "hotpath.json").write_text(
+            json.dumps(
+                {
+                    "runs": [
+                        perf_record("uniform", 1_000, 1.0, engine="cycle"),
+                        perf_record("uniform", 1_000, 0.25, engine="event"),
+                    ]
+                }
+            )
+        )
+        code = cli.main(
+            ["sweep", "--rates", "0.05", "--cycles", "300", "--engine", "auto"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine auto: sweep -> event" in out
+        assert "beat {cycle}" in out
+
+    def test_scenarios_auto_decides_per_scenario(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.exp.bench import perf_record
+
+        monkeypatch.chdir(tmp_path)
+        results = tmp_path / "benchmarks" / "results"
+        results.mkdir(parents=True)
+        (results / "hotpath.json").write_text(
+            json.dumps(
+                {
+                    "runs": [
+                        perf_record("uniform", 1_000, 1.0, engine="cycle"),
+                        perf_record("uniform", 1_000, 0.25, engine="event"),
+                    ]
+                }
+            )
+        )
+        code = cli.main(
+            [
+                "scenarios", "run", "uniform", "hotspot",
+                "--epochs", "1", "--epoch-cycles", "120",
+                "--engine", "auto",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # uniform has telemetry and follows it; hotspot has none and says so.
+        assert "engine auto: scenario uniform -> event" in out
+        assert "engine auto: scenario hotspot -> cycle" in out
+        assert "falling back to 'cycle'" in out
 
 
 class TestBenchCommand:
