@@ -46,6 +46,7 @@ import argparse
 import difflib
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -123,10 +124,19 @@ def _check_names(kind: str, names: Sequence[str], known: Sequence[str]) -> bool:
 
 
 def _write_json(path: str, payload) -> None:
-    """Write a JSON artefact, creating parent directories as needed."""
+    """Write a JSON artefact, creating parent directories as needed.
+
+    Dict payloads gain a top-level ``generated_at`` stamp (unix seconds) so
+    ``perf report`` can order artefacts by production time even on a fresh
+    checkout, where every committed file shares one mtime.  The stamp is a
+    wall-clock field (see :data:`repro.exp.telemetry.WALL_CLOCK_FIELDS`),
+    so parity diffing ignores it.
+    """
     target = Path(path)
     if target.parent != Path("."):
         target.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(payload, dict) and "generated_at" not in payload:
+        payload = {**payload, "generated_at": time.time()}
     with target.open("w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
 
@@ -705,6 +715,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         "schema": list(RESULTS_SCHEMA),
         "suites": names,
         "runs": all_records,
+        "generated_at": time.time(),
     }
     if args.out_dir:
         combined_path = Path(args.out_dir) / "suites.json"
@@ -847,6 +858,9 @@ def cmd_perf(args: argparse.Namespace) -> int:
     """
     report = build_trend_report(args.results, args.baselines)
     payload = report.to_payload(tolerance=args.tolerance)
+    # Stamp here, not only in _write_json, so the printed JSON and the
+    # --json file stay byte-identical payloads.
+    payload["generated_at"] = time.time()
     if args.format == "json":
         print(json.dumps(payload, indent=2))
     else:

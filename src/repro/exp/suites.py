@@ -544,6 +544,9 @@ class SuiteOutcome:
             "units": self.units,
             "runs": self.records,
             "wall_s_total": self.wall_s,
+            # Production timestamp for perf-report ordering; wall-clock, so
+            # diff_payloads ignores it like every other timing field.
+            "generated_at": time.time(),
         }
 
 

@@ -63,6 +63,7 @@ WALL_CLOCK_FIELDS = frozenset(
         "cycles_per_s",
         "cycles_per_second",
         "episodes_per_second",
+        "generated_at",
     }
 )
 
@@ -130,24 +131,28 @@ class TelemetrySink:
     ) -> None:
         self.fields = tuple(fields)
         self.rows_written = 0
-        if hasattr(target, "write"):
-            self._handle = target
-            self._owns_handle = False
-            self.path = getattr(target, "name", "<stream>")
+        path = None if hasattr(target, "write") else Path(target)
+        if path is None:
             self.format = format or "jsonl"
         else:
-            path = Path(target)
-            if path.parent != Path("."):
-                path.parent.mkdir(parents=True, exist_ok=True)
             self.format = format or ("csv" if path.suffix == ".csv" else "jsonl")
-            self._handle = path.open("w", encoding="utf-8", newline="")
-            self._owns_handle = True
-            self.path = str(path)
+        # Validate before touching the filesystem: a bad format must not
+        # leak an open handle or leave a created-but-empty file behind.
         if self.format not in self.FORMATS:
             raise ValueError(
                 f"unknown telemetry format {self.format!r}; "
                 f"known: {', '.join(self.FORMATS)}"
             )
+        if path is None:
+            self._handle = target
+            self._owns_handle = False
+            self.path = getattr(target, "name", "<stream>")
+        else:
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = path.open("w", encoding="utf-8", newline="")
+            self._owns_handle = True
+            self.path = str(path)
         self._writer = None
         if self.format == "csv":
             self._writer = csv.DictWriter(self._handle, fieldnames=self.fields)
@@ -244,8 +249,31 @@ def records_from_telemetry(rows: Iterable[Mapping]) -> list[dict]:
 _ARTIFACT_SUFFIXES = (".json", ".jsonl", ".csv")
 
 
+def _artifact_timestamp(path: Path) -> float:
+    """When the artefact was produced: its ``generated_at`` stamp, else mtime.
+
+    The CLI writers stamp every JSON artefact with a top-level
+    ``generated_at`` (unix seconds) precisely because mtime is unreliable
+    for ordering: a fresh git checkout (e.g. CI) gives all committed files
+    identical mtimes, collapsing "oldest to newest" into filename order.
+    Unstamped legacy artefacts and CSV/JSONL taps still fall back to mtime
+    and keep that limitation.
+    """
+    if path.suffix == ".json":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            pass
+        else:
+            if isinstance(payload, Mapping):
+                stamp = payload.get("generated_at")
+                if isinstance(stamp, (int, float)) and not isinstance(stamp, bool):
+                    return float(stamp)
+    return path.stat().st_mtime
+
+
 def _artifact_paths(root: Path) -> list[Path]:
-    """Perf-artefact candidates under ``root``, oldest first (mtime, name)."""
+    """Perf-artefact candidates under ``root``, oldest first (stamp, name)."""
     if root.is_file():
         return [root]
     if not root.is_dir():
@@ -255,7 +283,7 @@ def _artifact_paths(root: Path) -> list[Path]:
         for path in root.rglob("*")
         if path.is_file() and path.suffix in _ARTIFACT_SUFFIXES
     ]
-    return sorted(paths, key=lambda path: (path.stat().st_mtime, str(path)))
+    return sorted(paths, key=lambda path: (_artifact_timestamp(path), str(path)))
 
 
 def _load_artifact_records(path: Path) -> list[dict]:

@@ -330,6 +330,7 @@ class TestDiffPayloads:
                 {"scenario": "dqn-train", "cycles_per_s": 4_000.0, "wall_s": 1.0}
             ],
             "wall_s_total": 1.0,
+            "generated_at": 1_000.0,
         }
         other = json.loads(json.dumps(payload))
         for unit in other["units"]:
@@ -338,6 +339,7 @@ class TestDiffPayloads:
             unit["episodes_per_second"] = 0.5
         other["records"][0].update({"cycles_per_s": 2_000.0, "wall_s": 2.0})
         other["wall_s_total"] = 2.0
+        other["generated_at"] = 2_000.0
         assert suites.diff_payloads(payload, other) == []
         # Simulated fields still diff as before.
         other["units"][0]["rows"][0]["mean_reward"] = 9.0

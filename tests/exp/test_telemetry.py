@@ -53,8 +53,11 @@ ROWS = [
 ]
 
 
-def write_artifact(path, records, mtime):
-    path.write_text(json.dumps({"runs": records}), encoding="utf-8")
+def write_artifact(path, records, mtime, generated_at=None):
+    payload = {"runs": records}
+    if generated_at is not None:
+        payload["generated_at"] = generated_at
+    path.write_text(json.dumps(payload), encoding="utf-8")
     os.utime(path, (mtime, mtime))
 
 
@@ -92,6 +95,12 @@ class TestTelemetrySink:
     def test_rejects_unknown_format(self, tmp_path):
         with pytest.raises(ValueError, match="unknown telemetry format"):
             TelemetrySink(tmp_path / "x.jsonl", format="xml")
+        # Validation happens before the target is opened: a bad format must
+        # not leave a created-but-empty file (or its directories) behind.
+        assert not (tmp_path / "x.jsonl").exists()
+        with pytest.raises(ValueError, match="unknown telemetry format"):
+            TelemetrySink(tmp_path / "deep" / "x.jsonl", format="xml")
+        assert not (tmp_path / "deep").exists()
 
     def test_creates_parent_directories(self, tmp_path):
         sink = TelemetrySink(tmp_path / "deep" / "nested" / "tap.csv")
@@ -136,6 +145,36 @@ class TestIngestArtifacts:
             str(results / "new.json"),
         ]
         assert skipped == []
+
+    def test_generated_at_stamp_beats_mtime_ordering(self, tmp_path):
+        # A fresh checkout gives every committed artefact one mtime, so the
+        # writers stamp payloads with generated_at; ordering must prefer the
+        # stamp (here deliberately reversed from both mtime and name order).
+        write_artifact(
+            tmp_path / "a.json",
+            [perf_record("a", 100, 0.2)],
+            mtime=1_000,
+            generated_at=2_000,
+        )
+        write_artifact(
+            tmp_path / "b.json",
+            [perf_record("a", 100, 0.1)],
+            mtime=1_000,
+            generated_at=1_500,
+        )
+        artifacts, _ = ingest_artifacts(tmp_path)
+        assert [label for label, _ in artifacts] == [
+            str(tmp_path / "b.json"),
+            str(tmp_path / "a.json"),
+        ]
+        # Unstamped legacy artefacts keep the mtime fallback alongside.
+        write_artifact(tmp_path / "c.json", [perf_record("a", 100, 0.4)], mtime=3_000)
+        artifacts, _ = ingest_artifacts(tmp_path)
+        assert [label for label, _ in artifacts] == [
+            str(tmp_path / "b.json"),
+            str(tmp_path / "a.json"),
+            str(tmp_path / "c.json"),
+        ]
 
     def test_foreign_and_empty_artifacts_are_reported_not_fatal(self, tmp_path):
         (tmp_path / "notes.json").write_text(json.dumps({"speedups": {}}))
