@@ -12,7 +12,11 @@ Installed as the ``repro-noc`` console script (or invoked as
   with ``--check --baseline FILE`` a run doubles as the perf-regression
   guard over the suite's records; ``suite diff A.json B.json`` compares two
   stored artefacts row by row (all fields, wall clocks excluded) and exits
-  nonzero on any mismatch;
+  nonzero on any mismatch; ``suite run`` is fault tolerant (``--timeout``
+  / ``--retries`` tune the supervised pool, exit 4 = subtrials failed every
+  attempt) and resumable (``--resume`` skips subtrials journaled under
+  ``--out`` by a previous, possibly killed, run; Ctrl-C exits 130 with the
+  journal flushed);
 * ``bench``     — hot-path engine microbenchmark: cycles/sec of an
   optimised engine (``--engine cycle`` = activity-tracked loop, ``event`` =
   calendar queue) vs the naive scan-everything loop; with ``--check
@@ -61,12 +65,14 @@ from repro.baselines import (
 from repro.core import ExperimentConfig, checkpoint, evaluate_controller
 from repro.exp import (
     HOTPATH_SCENARIOS,
+    TrialExecutionError,
     all_scenarios,
     all_suites,
     default_experiment_dqn_config,
     get_scenario,
     get_suite,
     paper_suites,
+    parse_chaos_spec,
     run_hotpath_benchmark,
     run_scenarios,
     run_suite,
@@ -97,6 +103,15 @@ def _positive_int(value: str) -> int:
     number = int(value)
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
+
+
+def _non_negative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value!r}"
+        )
     return number
 
 
@@ -305,6 +320,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream per-subtrial and perf telemetry rows to this file "
         "(.csv = CSV, else JSONL)",
     )
+    suite_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip subtrials already journaled under --out from a previous "
+        "(possibly killed) run of the same suite",
+    )
+    suite_run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per subtrial attempt; a stalled worker is "
+        "terminated and the subtrial retried (default: no limit)",
+    )
+    suite_run.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="retries per failed subtrial before it is quarantined (default 2)",
+    )
+    # Deterministic fault injection for tests and CI only — deliberately
+    # undocumented in --help (see repro.exp.chaos.parse_chaos_spec).
+    suite_run.add_argument("--chaos", default=None, help=argparse.SUPPRESS)
     suite_diff = suite_sub.add_parser(
         "diff",
         help="compare two stored suite artefacts row by row (all fields)",
@@ -383,6 +422,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1,
         help="actor rounds between policy-weight broadcasts (jobs > 1 only)",
+    )
+    train.add_argument(
+        "--episodes-per-task",
+        type=_positive_int,
+        default=1,
+        help="episodes batched onto each actor task (jobs > 1 only; amortises "
+        "the per-task weight broadcast, default 1)",
     )
     train.add_argument(
         "--resume",
@@ -673,6 +719,19 @@ def cmd_suite(args: argparse.Namespace) -> int:
     if args.check and not args.baseline:
         print("--check requires --baseline", file=sys.stderr)
         return 2
+    if args.resume and not args.out_dir:
+        print(
+            "--resume requires --out (the journal lives beside the artefact)",
+            file=sys.stderr,
+        )
+        return 2
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = parse_chaos_spec(args.chaos)
+        except ValueError as error:
+            print(f"bad --chaos spec: {error}", file=sys.stderr)
+            return 2
 
     engine_by_suite: dict[str, str] = {}
     if args.engine == AUTO_ENGINE:
@@ -703,9 +762,42 @@ def cmd_suite(args: argparse.Namespace) -> int:
                 perf_repeats=args.repeats,
                 engine=engine_by_suite.get(name, args.engine),
                 telemetry=sink,
+                resume=args.resume,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                chaos=chaos,
             )
             all_records.extend(outcome.records)
+            if outcome.resumed_subtrials:
+                print(
+                    f"suite {name}: resumed {outcome.resumed_subtrials} "
+                    "journaled subtrial(s)"
+                )
             print(format_table(outcome.records, title=f"Suite {name}"))
+    except TrialExecutionError as error:
+        # Siblings settled and the journal holds every completed subtrial;
+        # report the quarantined ones and hand back a distinct exit code.
+        print(f"suite {name}: {len(error.failures)} subtrial(s) failed "
+              "every attempt:", file=sys.stderr)
+        for failure in error.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        if args.out_dir:
+            print(
+                "completed subtrials are journaled; rerun with --resume to "
+                "retry only the failed ones",
+                file=sys.stderr,
+            )
+        return 4
+    except KeyboardInterrupt:
+        if args.out_dir:
+            print(
+                f"\nsuite {name}: interrupted; the journal holds every "
+                "completed subtrial — rerun with --resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print(f"\nsuite {name}: interrupted", file=sys.stderr)
+        return 130
     finally:
         if sink is not None:
             sink.close()
@@ -797,6 +889,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             episodes=args.episodes,
             jobs=args.jobs,
             sync_interval=args.sync_interval,
+            episodes_per_task=args.episodes_per_task,
             resume_from=restored,
         )
     else:
@@ -809,6 +902,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             episodes=args.episodes,
             jobs=args.jobs,
             sync_interval=args.sync_interval,
+            episodes_per_task=args.episodes_per_task,
             epsilon_decay_steps=max(args.episodes * experiment.episode_epochs // 2, 50),
             seed=args.seed,
         )

@@ -4,7 +4,7 @@ Every sweep point, scenario trial and benchmark figure in this repository is
 an independent simulation, so fan-out is trivial *provided* trials and their
 results cross process boundaries cleanly.  :func:`run_trials` is the single
 chokepoint: it takes a picklable module-level worker plus a list of picklable
-trial specs, runs them on a ``ProcessPoolExecutor`` (chunked, results
+trial specs, runs them on a supervised ``ProcessPoolExecutor`` (results
 returned in submission order) and degrades to a plain in-process loop for
 ``jobs=1`` — which is also the reference behaviour the parallel path must
 match bit for bit.
@@ -12,14 +12,35 @@ match bit for bit.
 Determinism contract: workers must derive all randomness from their trial
 spec (every spec carries an explicit seed; :func:`trial_seed` derives
 well-spread per-trial seeds from a base seed), so ``jobs=1`` and ``jobs=N``
-produce identical result sequences.
+produce identical result sequences.  That contract is also what makes the
+fault-tolerance layer safe: a retried trial is bit-identical to a first-try
+trial, so crash recovery never perturbs an outcome.
+
+Supervision (:class:`SupervisedTrialPool`): instead of one bare
+``pool.map``, every trial is its own future carrying a configurable
+timeout; a failed attempt is retried with exponential backoff up to
+``max_retries`` times; a lost worker (``BrokenProcessPool`` — OOM kill,
+segfault, SIGKILL) rebuilds the executor and re-dispatches only the
+unfinished trials; a stalled trial past its timeout gets its worker
+terminated and the pool rebuilt; and a *poison* trial that fails every
+attempt is quarantined into a structured :class:`TrialFailure` — reported
+via :class:`TrialExecutionError` after every sibling has settled — instead
+of aborting the whole run.  If the pool keeps dying past
+``max_rebuilds``, the remaining trials degrade gracefully to the
+in-process serial path.  A deterministic fault script
+(:class:`repro.exp.chaos.ChaosPolicy`) can be injected to exercise all of
+these paths byte-reproducibly in tests.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence, TypeVar
 
+from repro.exp.chaos import ChaosPolicy, execute_chaos_action
 from repro.exp.scenarios import ScenarioResult, get_scenario, run_scenario
 
 TrialT = TypeVar("TrialT")
@@ -38,6 +59,93 @@ def default_chunk_size(num_trials: int, jobs: int) -> int:
     if num_trials <= 0:
         return 1
     return max(1, num_trials // (jobs * 4))
+
+
+# ---------------------------------------------------------------------------
+# supervision: policies, failures, the chaos-aware call wrapper
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """The fault-tolerance knobs of a :class:`SupervisedTrialPool`.
+
+    ``timeout_s`` bounds one attempt's wall clock (``None`` = no limit;
+    only enforceable on the pool path — an in-process attempt cannot be
+    preempted).  ``max_retries`` bounds *re*-tries, so a trial gets
+    ``max_retries + 1`` attempts before quarantine.  Backoff between a
+    trial's attempts grows ``backoff_s * backoff_factor ** (attempt - 1)``
+    — deterministic, no jitter, so chaos tests replay exactly.
+    ``max_rebuilds`` bounds executor rebuilds (broken pools, stalled
+    workers) before the pool gives up on processes entirely and finishes
+    the run in-process.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None for no limit)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.max_rebuilds < 0:
+            raise ValueError("max_rebuilds must be non-negative")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds to wait before re-running a trial that failed ``attempt``."""
+        return self.backoff_s * self.backoff_factor ** max(attempt - 1, 0)
+
+
+#: Failure kinds a :class:`TrialFailure` reports.
+FAILURE_KINDS = ("exception", "timeout", "worker-lost")
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One quarantined trial: every attempt failed; siblings kept running."""
+
+    index: int
+    label: str
+    attempts: int
+    kind: str
+    error: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.label} (trial {self.index}): {self.kind} after "
+            f"{self.attempts} attempt(s): {self.error}"
+        )
+
+
+class TrialExecutionError(RuntimeError):
+    """Raised after a supervised run settles with quarantined trials.
+
+    Carries the structured :class:`TrialFailure` list plus every sibling's
+    completed result (``None`` in the failed slots), so callers — and the
+    suite journal — keep all the work that *did* finish.
+    """
+
+    def __init__(self, failures: Sequence[TrialFailure], results: Sequence) -> None:
+        self.failures = tuple(failures)
+        self.results = list(results)
+        super().__init__(
+            f"{len(self.failures)} trial(s) failed every attempt: "
+            + "; ".join(failure.describe() for failure in self.failures)
+        )
+
+
+def _call_with_chaos(worker, trial, chaos_action, in_pool: bool):
+    """Run one attempt, executing a scripted chaos fault first (module-level
+    so it pickles into pool workers alongside the worker itself)."""
+    if chaos_action is not None:
+        execute_chaos_action(chaos_action, allow_kill=in_pool)
+    return worker(trial)
 
 
 class TrialPool:
@@ -66,7 +174,9 @@ class TrialPool:
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown()
+            # cancel_futures: an exception mid-suite must not block close()
+            # on queued trials draining through the doomed pool.
+            self._pool.shutdown(cancel_futures=True)
             self._pool = None
 
     def run(
@@ -87,12 +197,385 @@ class TrialPool:
         return list(self._pool.map(worker, trial_list, chunksize=chunk_size))
 
 
+class SupervisedTrialPool(TrialPool):
+    """A :class:`TrialPool` whose every fan-out path is crash-safe.
+
+    Same ordering and determinism contract as the base pool — on the happy
+    path (no faults, ``jobs=1`` or N) results are bit-identical to an
+    unsupervised run — but each trial is an individually supervised future:
+
+    * an attempt that raises is retried with exponential backoff, up to
+      ``policy.max_retries`` retries;
+    * an attempt that outlives ``policy.timeout_s`` gets its (stuck) worker
+      terminated, the executor rebuilt, and the trial retried;
+    * a lost worker (``BrokenProcessPool``) rebuilds the executor and
+      re-dispatches only the unfinished trials — completed results are
+      never recomputed;
+    * a trial that fails every attempt is quarantined into a structured
+      :class:`TrialFailure`; siblings keep running and the failures surface
+      together in a :class:`TrialExecutionError` once the run settles;
+    * a pool that keeps dying past ``policy.max_rebuilds`` degrades the
+      remaining trials to the in-process serial path.
+
+    ``chaos`` injects a deterministic fault script
+    (:class:`repro.exp.chaos.ChaosPolicy`) for tests; chaos actions execute
+    inside workers on the pool path and degrade kills to raises in-process.
+
+    After each ``run``, :attr:`last_attempts` holds the attempt count per
+    trial (0 = never dispatched, 1 = first-try success) and
+    :attr:`rebuilds` the cumulative executor rebuilds — the telemetry
+    surface the suite engine's ``attempts``/``retries`` row fields use.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        policy: SupervisionPolicy | None = None,
+        chaos: ChaosPolicy | None = None,
+    ) -> None:
+        super().__init__(jobs)
+        self.policy = policy or SupervisionPolicy()
+        self.chaos = chaos if chaos else None
+        self.last_attempts: list[int] = []
+        self.rebuilds = 0
+        self._serial_fallback = False
+
+    # -- worker-side call construction --------------------------------------
+
+    def _chaos_action(self, index: int, label: str, attempt: int):
+        if self.chaos is None:
+            return None
+        return self.chaos.action_for(index, label, attempt)
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _terminate_pool(self) -> None:
+        """Hard-stop the executor: cancel queued work, kill live workers.
+
+        ``shutdown`` alone never terminates a *running* worker, so a stalled
+        or poisoned process would keep the pool (and ``close``) hostage;
+        terminating the worker processes is the only way to reclaim them.
+        """
+        if self._pool is None:
+            return
+        processes = list(getattr(self._pool, "_processes", {}).values())
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5)
+        self._pool = None
+
+    def _note_rebuild(self) -> None:
+        self.rebuilds += 1
+        if self.rebuilds > self.policy.max_rebuilds:
+            # The pool is irrecoverable (rebuilds keep dying); finish the
+            # remaining trials in-process rather than looping forever.
+            self._serial_fallback = True
+
+    # -- serial (in-process) attempts ----------------------------------------
+
+    def _run_serial_trial(
+        self,
+        worker,
+        trial,
+        index: int,
+        label: str,
+        attempts: list[int],
+        failures: list[TrialFailure],
+    ):
+        """All attempts of one trial, in-process.  Returns (ok, result)."""
+        while True:
+            attempt = attempts[index]
+            attempts[index] += 1
+            action = self._chaos_action(index, label, attempt)
+            try:
+                return True, _call_with_chaos(worker, trial, action, in_pool=False)
+            except Exception as error:
+                if attempts[index] > self.policy.max_retries:
+                    failures.append(
+                        TrialFailure(
+                            index=index,
+                            label=label,
+                            attempts=attempts[index],
+                            kind="exception",
+                            error=repr(error),
+                        )
+                    )
+                    return False, None
+                time.sleep(self.policy.backoff_for(attempts[index]))
+
+    # -- the supervised run ---------------------------------------------------
+
+    def run(
+        self,
+        worker: Callable[[TrialT], ResultT],
+        trials: Iterable[TrialT],
+        *,
+        chunk_size: int | None = None,
+        labels: Sequence[str] | None = None,
+        on_result: Callable[[int, ResultT, int], None] | None = None,
+        on_failure: str = "raise",
+    ) -> list[ResultT]:
+        """Run ``worker`` over ``trials`` under supervision, in trial order.
+
+        ``chunk_size`` is accepted for interface compatibility and ignored:
+        supervision is per-trial, so every trial is its own future.
+        ``labels`` names trials for failure reports and chaos addressing
+        (default ``trial[<index>]``).  ``on_result(index, result, attempts)``
+        fires parent-side as each trial's result lands (completion order,
+        not trial order) — the suite journal's hook.  ``on_failure`` is
+        ``"raise"`` (default: raise :class:`TrialExecutionError` after all
+        siblings settle) or ``"return"`` (leave the :class:`TrialFailure`
+        in the failed trial's result slot).
+        """
+        if on_failure not in ("raise", "return"):
+            raise ValueError("on_failure must be 'raise' or 'return'")
+        trial_list = list(trials)
+        trial_labels = (
+            [str(label) for label in labels]
+            if labels is not None
+            else [f"trial[{index}]" for index in range(len(trial_list))]
+        )
+        if len(trial_labels) != len(trial_list):
+            raise ValueError("labels must match trials one to one")
+
+        results: list = [None] * len(trial_list)
+        attempts = [0] * len(trial_list)
+        failures: list[TrialFailure] = []
+
+        if (self.jobs == 1 or len(trial_list) <= 1) and not self._serial_fallback:
+            if self.chaos is None:
+                # The reference path: plain in-process loop, bit-identical to
+                # the unsupervised pool — exceptions propagate raw, no retry
+                # wrapping (an in-process attempt cannot crash the host).
+                for index, trial in enumerate(trial_list):
+                    attempts[index] = 1
+                    results[index] = worker(trial)
+                    if on_result is not None:
+                        on_result(index, results[index], 1)
+            else:
+                self._drain_serial(
+                    worker, trial_list, trial_labels, range(len(trial_list)),
+                    results, attempts, failures, on_result,
+                )
+        elif self._serial_fallback:
+            self._drain_serial(
+                worker, trial_list, trial_labels, range(len(trial_list)),
+                results, attempts, failures, on_result,
+            )
+        else:
+            try:
+                self._run_pool(
+                    worker, trial_list, trial_labels, results, attempts,
+                    failures, on_result,
+                )
+            except BaseException:
+                # KeyboardInterrupt (or any escape) must not leave live
+                # workers grinding through cancelled trials.
+                self._terminate_pool()
+                raise
+
+        self.last_attempts = attempts
+        if failures:
+            if on_failure == "raise":
+                raise TrialExecutionError(failures, results)
+            for failure in failures:
+                results[failure.index] = failure
+        return results
+
+    def _drain_serial(
+        self, worker, trial_list, trial_labels, indices, results, attempts,
+        failures, on_result,
+    ) -> None:
+        for index in indices:
+            ok, result = self._run_serial_trial(
+                worker, trial_list[index], index, trial_labels[index], attempts, failures
+            )
+            if ok:
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result, attempts[index])
+
+    def _quarantine(
+        self, index, label, attempts, kind, error, failures, pending
+    ) -> None:
+        """One failed attempt: requeue with backoff, or quarantine."""
+        if attempts[index] > self.policy.max_retries:
+            failures.append(
+                TrialFailure(
+                    index=index,
+                    label=label,
+                    attempts=attempts[index],
+                    kind=kind,
+                    error=repr(error),
+                )
+            )
+        else:
+            pending[index] = time.monotonic() + self.policy.backoff_for(attempts[index])
+
+    def _run_pool(
+        self, worker, trial_list, trial_labels, results, attempts, failures,
+        on_result,
+    ) -> None:
+        policy = self.policy
+        #: trial index -> monotonic time at which it may be (re)submitted
+        pending: dict[int, float] = {index: 0.0 for index in range(len(trial_list))}
+        in_flight: dict[Future, int] = {}
+        deadlines: dict[Future, float] = {}
+
+        while pending or in_flight:
+            if self._serial_fallback:
+                # The executor is irrecoverable: abandon in-flight futures
+                # (their workers are dead) and finish in-process.
+                for future, index in in_flight.items():
+                    pending.setdefault(index, 0.0)
+                in_flight.clear()
+                deadlines.clear()
+                remaining = sorted(pending)
+                pending.clear()
+                self._drain_serial(
+                    worker, trial_list, trial_labels, remaining,
+                    results, attempts, failures, on_result,
+                )
+                return
+
+            now = time.monotonic()
+            submitted_any = False
+            if pending:
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                for index in sorted(pending):
+                    if pending[index] > now:
+                        continue
+                    action = self._chaos_action(index, trial_labels[index], attempts[index])
+                    attempts[index] += 1
+                    try:
+                        future = self._pool.submit(
+                            _call_with_chaos, worker, trial_list[index], action, True
+                        )
+                    except BrokenProcessPool as error:
+                        attempts[index] -= 1  # never dispatched
+                        pending[index] = 0.0
+                        self._handle_broken_pool(
+                            in_flight, deadlines, trial_labels, attempts,
+                            failures, pending, error,
+                        )
+                        break
+                    del pending[index]
+                    in_flight[future] = index
+                    if policy.timeout_s is not None:
+                        deadlines[future] = time.monotonic() + policy.timeout_s
+                    submitted_any = True
+
+            if not in_flight:
+                if pending:
+                    # Everything is backing off; sleep until the first trial
+                    # becomes eligible again.
+                    wake = min(pending.values())
+                    delay = wake - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                return
+
+            wait_timeout = self._wait_timeout(pending, deadlines)
+            done, _ = wait(
+                set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+
+            broken: BrokenProcessPool | None = None
+            for future in done:
+                index = in_flight.pop(future)
+                deadlines.pop(future, None)
+                error = future.exception()
+                if error is None:
+                    results[index] = future.result()
+                    if on_result is not None:
+                        on_result(index, results[index], attempts[index])
+                elif isinstance(error, BrokenProcessPool):
+                    broken = error
+                    self._quarantine(
+                        index, trial_labels[index], attempts, "worker-lost",
+                        error, failures, pending,
+                    )
+                else:
+                    self._quarantine(
+                        index, trial_labels[index], attempts, "exception",
+                        error, failures, pending,
+                    )
+
+            # A future past its deadline means a stuck worker: the executor
+            # API cannot preempt it, so terminate the pool and rebuild.
+            now = time.monotonic()
+            timed_out = [
+                future
+                for future, deadline in deadlines.items()
+                if future in in_flight and deadline <= now and not future.done()
+            ]
+            for future in timed_out:
+                index = in_flight.pop(future)
+                deadlines.pop(future, None)
+                self._quarantine(
+                    index, trial_labels[index], attempts, "timeout",
+                    TimeoutError(f"attempt exceeded {policy.timeout_s}s"),
+                    failures, pending,
+                )
+            if timed_out:
+                broken = broken or BrokenProcessPool("stalled worker terminated")
+
+            if broken is not None:
+                self._handle_broken_pool(
+                    in_flight, deadlines, trial_labels, attempts, failures,
+                    pending, broken,
+                )
+            elif not done and not timed_out and not submitted_any:
+                # Spurious wake (rounding); avoid a hot spin.
+                time.sleep(0.005)
+
+    def _wait_timeout(self, pending, deadlines) -> float | None:
+        now = time.monotonic()
+        candidates = list(deadlines.values()) + list(pending.values())
+        if not candidates:
+            return None
+        return max(min(candidates) - now, 0.01)
+
+    def _handle_broken_pool(
+        self, in_flight, deadlines, trial_labels, attempts, failures, pending, error
+    ) -> None:
+        """Tear down a broken/stalled executor and requeue unfinished trials.
+
+        Futures that cancel cleanly were still queued — their attempt is
+        refunded and they requeue immediately.  Futures already running
+        when the pool died can't be told apart from the one that killed it,
+        so each is charged a ``worker-lost`` attempt (bounded by
+        ``max_retries``, which is what quarantines a true poison trial).
+        """
+        for future, index in list(in_flight.items()):
+            deadlines.pop(future, None)
+            if future.cancel() or future.cancelled():
+                attempts[index] -= 1
+                pending[index] = 0.0
+            else:
+                self._quarantine(
+                    index, trial_labels[index], attempts, "worker-lost",
+                    error, failures, pending,
+                )
+        in_flight.clear()
+        self._terminate_pool()
+        self._note_rebuild()
+
+
 def run_trials(
     worker: Callable[[TrialT], ResultT],
     trials: Iterable[TrialT],
     *,
     jobs: int = 1,
     chunk_size: int | None = None,
+    policy: SupervisionPolicy | None = None,
+    chaos: ChaosPolicy | None = None,
 ) -> list[ResultT]:
     """Run ``worker`` over ``trials``, optionally across a process pool.
 
@@ -100,8 +583,14 @@ def run_trials(
     ``worker`` must be a module-level function and both trials and results
     must pickle (the in-process ``jobs=1`` path imposes no such constraint
     but every worker in this repository honours it anyway).
+
+    Every parallel run is supervised (see :class:`SupervisedTrialPool`):
+    by default a lost worker rebuilds the pool and retries the unfinished
+    trials, so a single OOM kill no longer aborts a whole sweep.  ``policy``
+    tunes timeout/retry behaviour; ``chaos`` injects a deterministic fault
+    script (tests only).  ``jobs=1`` stays the plain reference loop.
     """
-    with TrialPool(jobs) as pool:
+    with SupervisedTrialPool(jobs, policy=policy, chaos=chaos) as pool:
         return pool.run(worker, trials, chunk_size=chunk_size)
 
 
@@ -127,6 +616,7 @@ def run_scenarios(
     epoch_cycles: int | None = None,
     engine: str | Mapping[str, str | None] | None = None,
     telemetry=None,
+    policy: SupervisionPolicy | None = None,
 ) -> list[ScenarioResult]:
     """Run the named scenarios (``repeats`` seeds each), possibly in parallel.
 
@@ -137,7 +627,8 @@ def run_scenarios(
     scenario name to engine (how ``--engine auto`` applies its per-scenario
     decisions; unmapped names keep their spec's engine).  Telemetry is
     engine-agnostic, so results are the same for any value.  Results are
-    ordered by (name, repeat).
+    ordered by (name, repeat).  ``policy`` tunes the pool's supervision
+    (timeout/retries); the default already survives lost workers.
 
     ``telemetry`` streams :func:`run_scenario`'s live per-epoch rows to a
     sink (anything with ``emit(row)``) — in-process only: a sink holds an
@@ -180,4 +671,4 @@ def run_scenarios(
             )
             for spec, trial_seed_value, trial_epochs, trial_epoch_cycles, trial_engine in trials
         ]
-    return run_trials(_scenario_trial, trials, jobs=jobs)
+    return run_trials(_scenario_trial, trials, jobs=jobs, policy=policy)

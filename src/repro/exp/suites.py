@@ -54,8 +54,9 @@ from repro.core.training import (
     train_tabular_controller,
 )
 from repro.exp.bench import RESULTS_SCHEMA, perf_record
-from repro.exp.runner import run_trials, trial_seed
-from repro.exp.telemetry import WALL_CLOCK_FIELDS
+from repro.exp.chaos import ChaosPolicy
+from repro.exp.runner import SupervisedTrialPool, SupervisionPolicy, trial_seed
+from repro.exp.telemetry import NONDETERMINISTIC_FIELDS
 from repro.exp.scenarios import ScenarioSpec, get_scenario, run_scenario
 from repro.exp.training import train_dqn_sharded
 from repro.noc import SimulatorConfig
@@ -316,6 +317,103 @@ def _eval_cache_key(params: Mapping, agent_fingerprint: str) -> str:
 
 
 # ---------------------------------------------------------------------------
+# the suite journal (resumable runs)
+# ---------------------------------------------------------------------------
+
+
+def subtrial_key(subtrial: tuple) -> str:
+    """A stable content address for one expanded ``(kind, params)`` subtrial.
+
+    The key hashes everything the subtrial's outcome depends on: its kind
+    and its plain-data params, with any embedded agent payload replaced by
+    its weight fingerprint (raw network state is neither JSON-able nor
+    key-stable).  Two subtrials with the same key produce bit-identical
+    payloads — the determinism contract — which is what makes a journaled
+    result safe to reuse across process restarts.
+    """
+    kind, params = subtrial
+    reduced = {key: value for key, value in dict(params).items() if key != "agent"}
+    blob = json.dumps([kind, reduced], sort_keys=True, default=str)
+    return hashlib.sha1(
+        (blob + "|" + _agent_fingerprint(params.get("agent"))).encode()
+    ).hexdigest()
+
+
+class SuiteJournal:
+    """Append-only completion log: one JSONL row per finished subtrial.
+
+    Lives at ``<out_dir>/<suite>.journal.jsonl`` next to the artefact.
+    Every row carries the subtrial's content key (:func:`subtrial_key`),
+    its unit/kind, the supervised pool's attempt count, a ``generated_at``
+    stamp and the full payload — and is flushed the moment the subtrial
+    lands, so a killed run (OOM, SIGKILL, Ctrl-C) loses at most the
+    in-flight subtrials.  ``suite run --resume`` loads the journal and
+    skips every keyed subtrial it already holds; a truncated final line
+    (the kill arriving mid-write) is tolerated and simply re-run.
+
+    Determinism makes this safe: a key identifies the subtrial's entire
+    input, so the journaled payload *is* what a rerun would produce —
+    only its wall-clock fields are stale (ignored by ``suite diff`` like
+    every other timing field).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = None
+        self._written: set[str] = set()
+
+    def load(self) -> dict[str, dict]:
+        """Journaled payloads by subtrial key (tolerates a truncated tail)."""
+        completed: dict[str, dict] = {}
+        if not self.path.exists():
+            return completed
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # the killed run died mid-write; rerun that subtrial
+            key = row.get("key")
+            if key and "payload" in row:
+                completed[key] = row["payload"]
+                self._written.add(key)
+        return completed
+
+    def append(
+        self, key: str, *, unit: str, kind: str, attempts: int, payload: Mapping
+    ) -> None:
+        """Journal one completed subtrial (idempotent per key, flushed)."""
+        if key in self._written:
+            return
+        self._written.add(key)
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("a", encoding="utf-8")
+        self._file.write(
+            json.dumps(
+                {
+                    "key": key,
+                    "unit": unit,
+                    "kind": kind,
+                    "attempts": attempts,
+                    "generated_at": time.time(),
+                    "payload": payload,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+# ---------------------------------------------------------------------------
 # subtrial workers (module-level: picklable into the pool)
 # ---------------------------------------------------------------------------
 
@@ -515,6 +613,9 @@ class SuiteOutcome:
     records: list[dict]
     wall_s: float
     training: TrainingResult | None = None
+    #: Subtrials satisfied from the on-disk journal by ``--resume`` (their
+    #: payloads are bit-identical to a fresh run; only wall clock is stale).
+    resumed_subtrials: int = 0
 
     def unit(self, name: str) -> dict:
         for payload in self.units:
@@ -580,6 +681,10 @@ def run_suite(
     reuse_evals: bool = False,
     engine: str = "cycle",
     telemetry=None,
+    resume: bool = False,
+    timeout_s: float | None = None,
+    retries: int | None = None,
+    chaos: ChaosPolicy | None = None,
 ) -> SuiteOutcome:
     """Run every unit of ``spec``, fanning subtrials over one process pool.
 
@@ -610,11 +715,40 @@ def run_suite(
     emitted parent-side in unit order — never from pool workers, where an
     open sink would not pickle — so the stream is deterministic for any
     ``jobs`` (wall-clock fields aside), same as the payloads themselves.
+    Subtrial rows also carry the supervised pool's ``attempts``/``retries``
+    accounting (scheduling metadata — diff-ignored like wall clock).
+
+    Fault tolerance: subtrials fan out through a
+    :class:`repro.exp.runner.SupervisedTrialPool`, so a lost worker (OOM,
+    segfault, SIGKILL) rebuilds the pool and retries only the unfinished
+    subtrials, and a poison subtrial is quarantined into a
+    :class:`repro.exp.runner.TrialExecutionError` after its siblings
+    settle.  ``timeout_s`` bounds one subtrial attempt's wall clock;
+    ``retries`` overrides the default retry budget (2).  ``chaos`` injects
+    a deterministic fault script (tests/CI only) — by the determinism
+    contract a chaos-ridden run's artefact is identical to a clean run's.
+
+    Resume: with ``out_dir``, every completed subtrial is journaled to
+    ``<out_dir>/<suite>.journal.jsonl`` as it lands (flushed row by row;
+    a fresh run truncates any stale journal first).  ``resume=True``
+    loads that journal and skips every subtrial it already holds, so a
+    killed multi-hour run restarts where it died and — because journaled
+    payloads are bit-identical to fresh ones — yields the identical
+    combined artefact.  A ``KeyboardInterrupt`` leaves the journal
+    flushed and consistent.
     """
     if isinstance(spec, str):
         spec = get_suite(spec)
     if perf_repeats < 1:
         raise ValueError("perf_repeats must be at least 1")
+    if resume and out_dir is None:
+        raise ValueError(
+            "resume needs an out_dir: the journal lives beside the artefact"
+        )
+    supervision = SupervisionPolicy(
+        timeout_s=timeout_s,
+        max_retries=SupervisionPolicy().max_retries if retries is None else retries,
+    )
     if engine != "cycle" and spec.training is not None:
         # The engine becomes part of the training spec (and thus the memo
         # key): a suite run on another backend trains on that backend too.
@@ -644,34 +778,93 @@ def run_suite(
         for repeat in range(perf_repeats):
             tagged.extend((index, repeat, subtrial) for subtrial in subtrials)
 
-    # Satisfy what we can from the eval memo; dispatch the rest as one batch.
+    # The journal (resumable runs): a fresh run truncates any stale file; a
+    # resume loads it and satisfies journaled subtrials without dispatching.
+    journal: SuiteJournal | None = None
+    journaled: dict[str, dict] = {}
+    if out_dir is not None:
+        journal = SuiteJournal(Path(out_dir) / f"{spec.name}.journal.jsonl")
+        if resume:
+            journaled = journal.load()
+        elif journal.path.exists():
+            journal.path.unlink()
+
+    # Satisfy what we can from the journal and the eval memo; dispatch the
+    # rest as one supervised batch.  ``attempts`` stays 0 for subtrials that
+    # never hit the pool (journaled/cached).
     payloads: list[dict | None] = [None] * len(tagged)
-    dispatch: list[tuple[int, str | None, tuple]] = []
-    for position, (_, _, subtrial) in enumerate(tagged):
+    attempts_by_position = [0] * len(tagged)
+    resumed = 0
+    dispatch: list[tuple[int, str | None, str | None, tuple]] = []
+    for position, (index, _, subtrial) in enumerate(tagged):
+        journal_key = subtrial_key(subtrial) if journal is not None else None
+        if journal_key is not None and journal_key in journaled:
+            payloads[position] = journaled[journal_key]
+            resumed += 1
+            continue
         cache_key = None
         if reuse_evals and subtrial[0] == "eval":
             cache_key = _eval_cache_key(subtrial[1], fingerprint)
         if cache_key is not None and cache_key in _EVAL_CACHE:
             payloads[position] = _EVAL_CACHE[cache_key]
+            if journal is not None:
+                unit = spec.units[index]
+                journal.append(
+                    journal_key,
+                    unit=unit.name,
+                    kind=unit.kind,
+                    attempts=0,
+                    payload=_EVAL_CACHE[cache_key],
+                )
         else:
-            dispatch.append((position, cache_key, subtrial))
-    results = run_trials(
-        run_suite_subtrial,
-        [subtrial for _, _, subtrial in dispatch],
-        jobs=jobs,
-        chunk_size=1,
-    )
-    for (position, cache_key, _), payload in zip(dispatch, results):
+            dispatch.append((position, cache_key, journal_key, subtrial))
+
+    def _on_subtrial(dispatch_index: int, payload: dict, attempts: int) -> None:
+        # Fires parent-side the moment a subtrial's result lands (completion
+        # order): journal it immediately so a kill right after loses nothing.
+        position, _, journal_key, _ = dispatch[dispatch_index]
+        attempts_by_position[position] = attempts
+        if journal is not None:
+            unit = spec.units[tagged[position][0]]
+            journal.append(
+                journal_key,
+                unit=unit.name,
+                kind=unit.kind,
+                attempts=attempts,
+                payload=payload,
+            )
+
+    # Chaos rules address subtrials by dispatch index or by this label.
+    labels = [
+        f"{spec.units[tagged[position][0]].name}[{position}]"
+        for position, _, _, _ in dispatch
+    ]
+    pool = SupervisedTrialPool(jobs, policy=supervision, chaos=chaos)
+    try:
+        results = pool.run(
+            run_suite_subtrial,
+            [subtrial for _, _, _, subtrial in dispatch],
+            labels=labels,
+            on_result=_on_subtrial,
+        )
+    finally:
+        # Interrupt/quarantine included: the journal is already flushed row
+        # by row, so whatever completed survives for --resume.
+        pool.close()
+        if journal is not None:
+            journal.close()
+    for (position, cache_key, _, _), payload in zip(dispatch, results):
         payloads[position] = payload
         if cache_key is not None:
             _EVAL_CACHE[cache_key] = payload
 
     grouped: dict[tuple[int, int], list[dict]] = {}
-    for (index, repeat, _), payload in zip(tagged, payloads):
+    for position, ((index, repeat, _), payload) in enumerate(zip(tagged, payloads)):
         grouped.setdefault((index, repeat), []).append(payload)
         if telemetry is not None and repeat == 0:
             unit = spec.units[index]
             wall_s = payload.get("wall_s", 0.0)
+            attempts = attempts_by_position[position]
             telemetry.emit(
                 {
                     "source": "subtrial",
@@ -689,6 +882,8 @@ def run_suite(
                         if wall_s > 0 and payload.get("cycles")
                         else None
                     ),
+                    "attempts": attempts,
+                    "retries": max(attempts - 1, 0),
                 }
             )
 
@@ -737,6 +932,7 @@ def run_suite(
         records=records,
         wall_s=time.perf_counter() - start,
         training=training_result,
+        resumed_subtrials=resumed,
     )
     if out_dir is not None:
         out_dir = Path(out_dir)
@@ -751,14 +947,16 @@ def run_suite(
 # artefact diffing
 # ---------------------------------------------------------------------------
 
-#: Keys :func:`diff_payloads` skips by default: wall-clock measurements are
+#: Keys :func:`diff_payloads` skips by default: wall-clock measurements and
+#: the supervised pool's scheduling metadata (``attempts``/``retries``) are
 #: not deterministic, so two runs of the same suite legitimately differ in
 #: them while every simulated field must match exactly.  The set is the
-#: telemetry module's canonical wall-clock-field registry — one list, so a
-#: new timing field added there is automatically excluded from parity
-#: checks here (``episodes_per_second`` once leaked through a second copy
-#: of this set and flagged training suites as nondeterministic).
-DIFF_IGNORED_KEYS = WALL_CLOCK_FIELDS
+#: telemetry module's canonical nondeterministic-field registry — one list,
+#: so a new timing/scheduling field added there is automatically excluded
+#: from parity checks here (``episodes_per_second`` once leaked through a
+#: second copy of this set and flagged training suites as
+#: nondeterministic).
+DIFF_IGNORED_KEYS = NONDETERMINISTIC_FIELDS
 
 
 def diff_payloads(

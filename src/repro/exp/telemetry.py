@@ -67,6 +67,17 @@ WALL_CLOCK_FIELDS = frozenset(
     }
 )
 
+#: Fields that depend on *scheduling* rather than the wall clock: the
+#: supervised pool's attempt accounting (how many tries a subtrial took,
+#: how many were retries) varies with worker crashes, timeouts and chaos
+#: injection while the simulated outcome stays bit-identical.  Parity
+#: checks must ignore these alongside the wall-clock fields — this union
+#: is what ``diff_payloads`` (``repro-noc suite diff``) skips, which is
+#: exactly what lets CI assert that a chaos-ridden run equals a clean one.
+SCHEDULING_FIELDS = frozenset({"attempts", "retries"})
+
+NONDETERMINISTIC_FIELDS = WALL_CLOCK_FIELDS | SCHEDULING_FIELDS
+
 #: Column schema of the streamed telemetry tap.  Every emitted row is
 #: normalized to exactly these fields (absent ones null), so CSV and JSONL
 #: sinks produce identical rows and CSV headers are stable from row one.
@@ -88,6 +99,8 @@ TELEMETRY_FIELDS = (
     "energy_total_pj",
     "wall_s",
     "cycles_per_s",
+    "attempts",
+    "retries",
 )
 
 #: Telemetry ``source`` values: live per-epoch scenario rows, per-subtrial

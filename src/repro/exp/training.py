@@ -17,7 +17,9 @@ roles the way distributed DQN implementations do:
   and train-interval bookkeeping behave exactly as in serial training.
 * **Policy broadcast** — actors run against a possibly stale weight
   snapshot; the snapshot is refreshed from the learner every
-  ``sync_interval`` rounds (one round = ``jobs`` episodes).
+  ``sync_interval`` rounds (one round = ``jobs * episodes_per_task``
+  episodes; each :class:`ActorBatchTask` ships the snapshot once for its
+  whole episode batch).
 
 RNG-order contract (same discipline as the PR 2 engine toggles):
 
@@ -56,7 +58,8 @@ from repro.core.training import (
     record_training_timing,
     run_training_episode,
 )
-from repro.exp.runner import TrialPool, trial_seed
+from repro.exp.chaos import ChaosPolicy
+from repro.exp.runner import SupervisedTrialPool, SupervisionPolicy, trial_seed
 from repro.rl.agent import Transition
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.rl.replay import pack_transitions, unpack_transitions
@@ -102,26 +105,41 @@ class ActorRollout:
     mean_energy: float
 
 
-def run_actor_episode(task: ActorTask) -> ActorRollout:
-    """Roll out one episode under the broadcast policy (module-level: picklable).
+@dataclass(frozen=True)
+class ActorBatchTask:
+    """A contiguous batch of episodes for one actor process.
 
-    The actor never trains — it only evaluates the snapshot network — so the
-    learner's optimizer, replay and target-network state stay in one place.
+    One weight snapshot is shipped (and one agent built) per *task* instead
+    of per episode, amortising the dominant IPC cost — pickling the network
+    state into spawn-started workers — across ``len(episode_indices)``
+    rollouts.  Every episode still derives its RNG streams and schedule
+    position from its own index, so batching never changes an outcome; it
+    only changes how many episodes ride on each snapshot copy.  The batch
+    is also the supervised pool's recovery unit: a lost worker re-runs only
+    its batch's episode indices, bit-exactly.
     """
+
+    experiment: ExperimentConfig
+    dqn_config: DQNConfig
+    network_state: dict
+    episode_indices: tuple[int, ...]
+    steps_per_episode: int
+
+
+def _rollout_episode(agent: DQNAgent, task, episode_index: int) -> ActorRollout:
+    """One episode under ``agent``'s already-loaded snapshot network."""
     config = task.dqn_config
     env = task.experiment.build_environment(
-        seed_offset=trial_seed(config.seed, task.episode_index)
+        seed_offset=trial_seed(config.seed, episode_index)
     )
-    agent = DQNAgent(config)
-    agent.online.set_state(task.network_state)
     # Reuse the agent's own EpsilonGreedyPolicy (one exploration code path
     # repo-wide), repositioned for this episode: a per-episode RNG stream and
     # the schedule step the serial trainer would have reached by now.
     agent.policy.set_state(
         {
-            "steps": task.episode_index * task.steps_per_episode,
+            "steps": episode_index * task.steps_per_episode,
             "rng": np.random.default_rng(
-                trial_seed(config.seed + 1, task.episode_index)
+                trial_seed(config.seed + 1, episode_index)
             ).bit_generator.state,
         }
     )
@@ -151,12 +169,36 @@ def run_actor_episode(task: ActorTask) -> ActorRollout:
         energies.append(telemetry.energy_per_flit_pj)
 
     return ActorRollout(
-        episode_index=task.episode_index,
+        episode_index=episode_index,
         transitions=pack_transitions(transitions),
         episode_return=episode_return,
         mean_latency=float(np.mean(latencies)) if latencies else 0.0,
         mean_energy=float(np.mean(energies)) if energies else 0.0,
     )
+
+
+def run_actor_batch(task: ActorBatchTask) -> tuple[ActorRollout, ...]:
+    """Roll out a batch of episodes under the broadcast policy (picklable).
+
+    The actor never trains — it only evaluates the snapshot network — so
+    the learner's optimizer, replay and target-network state stay in one
+    place.  The agent (and its loaded snapshot) is built once and reused
+    across the batch; :func:`_rollout_episode` repositions the exploration
+    policy per episode, so each rollout is identical to a one-episode task.
+    """
+    agent = DQNAgent(task.dqn_config)
+    agent.online.set_state(task.network_state)
+    return tuple(
+        _rollout_episode(agent, task, episode_index)
+        for episode_index in task.episode_indices
+    )
+
+
+def run_actor_episode(task: ActorTask) -> ActorRollout:
+    """Roll out one episode under the broadcast policy (module-level: picklable)."""
+    agent = DQNAgent(task.dqn_config)
+    agent.online.set_state(task.network_state)
+    return _rollout_episode(agent, task, task.episode_index)
 
 
 def _resolve_agent_and_result(
@@ -195,8 +237,11 @@ def train_dqn_sharded(
     *,
     jobs: int = 1,
     sync_interval: int = 1,
+    episodes_per_task: int = 1,
     dqn_config: DQNConfig | None = None,
     resume_from: TrainingResult | None = None,
+    supervision: SupervisionPolicy | None = None,
+    chaos: ChaosPolicy | None = None,
     **dqn_overrides,
 ) -> TrainingResult:
     """Train a DQN controller on ``experiment``, sharding rollouts over ``jobs``.
@@ -207,6 +252,20 @@ def train_dqn_sharded(
     path (bit-identical to :func:`~repro.core.training.train_dqn_controller`);
     ``jobs>=2`` fans actor rollouts over a persistent process pool and
     broadcasts learner weights every ``sync_interval`` rounds.
+
+    ``episodes_per_task`` batches that many episodes onto each actor task
+    (one round = ``jobs * episodes_per_task`` episodes), amortising the
+    per-task weight broadcast on spawn-start platforms; 1 preserves the
+    historical one-episode-per-task rounds exactly.  Like ``jobs`` and
+    ``sync_interval`` it is part of the RNG-order contract: results depend
+    on the round structure, never on process scheduling.
+
+    The actor pool is supervised: a lost or crashed worker rebuilds the
+    pool and re-dispatches only its own batch's episode indices — every
+    random stream derives from the episode index, so the recovered round
+    is bit-exact versus an uninterrupted one.  ``supervision`` tunes the
+    timeout/retry budget; ``chaos`` injects a deterministic fault script
+    (tests only).
     """
     if episodes < 1:
         raise ValueError("episodes must be positive")
@@ -214,6 +273,8 @@ def train_dqn_sharded(
         raise ValueError("jobs must be at least 1")
     if sync_interval < 1:
         raise ValueError("sync_interval must be at least 1")
+    if episodes_per_task < 1:
+        raise ValueError("episodes_per_task must be at least 1")
 
     agent, result = _resolve_agent_and_result(experiment, dqn_config, resume_from, dqn_overrides)
     start_episode = result.episodes
@@ -231,51 +292,60 @@ def train_dqn_sharded(
         record_training_timing(result, episodes - start_episode, time.perf_counter() - start)
         return result
 
-    if start_episode % jobs != 0:
+    round_size = jobs * episodes_per_task
+    if start_episode % round_size != 0:
         raise ValueError(
             f"sharded resume must start at a round boundary: {start_episode} trained "
-            f"episodes is not divisible by jobs={jobs}"
+            f"episodes is not divisible by jobs*episodes_per_task={round_size}"
         )
-    if start_episode and (start_episode // jobs) % sync_interval != 0:
+    if start_episode and (start_episode // round_size) % sync_interval != 0:
         # Resuming mid-sync-window would force a fresh broadcast where the
         # uninterrupted run used a stale one, silently breaking the
         # bit-identical-resume contract.
         raise ValueError(
             f"sharded resume must start at a policy-sync boundary: round "
-            f"{start_episode // jobs} is not a multiple of sync_interval={sync_interval}"
+            f"{start_episode // round_size} is not a multiple of "
+            f"sync_interval={sync_interval}"
         )
 
     steps_per_episode = experiment.episode_epochs
-    round_index = start_episode // jobs
+    round_index = start_episode // round_size
     broadcast_state: dict | None = None
     start = time.perf_counter()
-    with TrialPool(jobs) as pool:
+    with SupervisedTrialPool(jobs, policy=supervision, chaos=chaos) as pool:
         episode = start_episode
         while episode < episodes:
             if broadcast_state is None or round_index % sync_interval == 0:
                 broadcast_state = agent.online.get_state()
-            round_episodes = range(episode, min(episode + jobs, episodes))
+            round_end = min(episode + round_size, episodes)
+            round_episodes = list(range(episode, round_end))
+            # One contiguous batch per actor per round; each task ships the
+            # broadcast snapshot once for all of its episodes.
             tasks = [
-                ActorTask(
+                ActorBatchTask(
                     experiment=experiment,
                     dqn_config=agent.config,
                     network_state=broadcast_state,
-                    episode_index=index,
+                    episode_indices=tuple(round_episodes[offset : offset + episodes_per_task]),
                     steps_per_episode=steps_per_episode,
                 )
-                for index in round_episodes
+                for offset in range(0, len(round_episodes), episodes_per_task)
             ]
-            # One task per actor per round: chunk_size=1 so every worker
-            # process gets exactly one episode.
-            rollouts = pool.run(run_actor_episode, tasks, chunk_size=1)
-            for rollout in rollouts:
+            labels = [
+                f"actors[{task.episode_indices[0]}..{task.episode_indices[-1]}]"
+                for task in tasks
+            ]
+            # Supervised: a lost worker re-dispatches only its batch's episode
+            # indices (seeds derive from the index, so recovery is bit-exact).
+            batches = pool.run(run_actor_batch, tasks, labels=labels)
+            for rollout in (r for batch in batches for r in batch):
                 for transition in unpack_transitions(rollout.transitions):
                     agent.observe(transition)
                 agent.end_episode()
                 result.episode_returns.append(rollout.episode_return)
                 result.episode_mean_latency.append(rollout.mean_latency)
                 result.episode_mean_energy_per_flit.append(rollout.mean_energy)
-            episode += len(round_episodes)
+            episode = round_end
             round_index += 1
     record_training_timing(result, episodes - start_episode, time.perf_counter() - start)
     return result

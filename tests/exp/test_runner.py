@@ -5,7 +5,12 @@ import pickle
 import pytest
 
 from repro.analysis.sweep import SweepTrial, load_latency_sweep, measure_sweep_point
+from repro.exp.chaos import ChaosPolicy, ChaosRule
 from repro.exp.runner import (
+    SupervisedTrialPool,
+    SupervisionPolicy,
+    TrialExecutionError,
+    TrialFailure,
     TrialPool,
     default_chunk_size,
     run_scenarios,
@@ -45,6 +50,36 @@ class TestRunTrials:
         assert default_chunk_size(0, 4) == 1
         assert default_chunk_size(6, 4) == 1
         assert default_chunk_size(64, 4) == 4
+
+    def test_default_chunk_size_with_more_jobs_than_trials(self):
+        # Oversubscribed pools must still chunk at >= 1, never 0.
+        assert default_chunk_size(2, 8) == 1
+        assert default_chunk_size(1, 16) == 1
+
+    def test_default_chunk_size_with_no_trials(self):
+        assert default_chunk_size(0, 1) == 1
+        assert default_chunk_size(-3, 4) == 1
+
+    def test_telemetry_with_parallel_jobs_rejected(self):
+        class Sink:
+            def emit(self, row):  # pragma: no cover - never reached
+                raise AssertionError("sink must not be used")
+
+        with pytest.raises(ValueError, match="cannot cross process boundaries"):
+            run_scenarios(["uniform"], jobs=2, telemetry=Sink())
+
+    def test_telemetry_streams_in_process(self):
+        rows = []
+
+        class Sink:
+            def emit(self, row):
+                rows.append(row)
+
+        [result] = run_scenarios(
+            ["uniform"], jobs=1, epochs=1, epoch_cycles=100, telemetry=Sink()
+        )
+        assert result.scenario == "uniform"
+        assert rows and all(row["scenario"] == "uniform" for row in rows)
 
 
 class TestTrialPool:
@@ -123,3 +158,163 @@ class TestParallelEquivalence:
         )
         assert [result.seed for result in results] == [trial_seed(5, 0), trial_seed(5, 1)]
         assert results[0].epochs != results[1].epochs
+
+
+# Module-level so they pickle into pool workers.
+def _double(x):
+    return x * 2
+
+
+def _fail_below(x):
+    if x < 0:
+        raise ValueError(f"bad trial {x}")
+    return x * 2
+
+
+class TestSupervisionPolicy:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            SupervisionPolicy(timeout_s=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisionPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            SupervisionPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="max_rebuilds"):
+            SupervisionPolicy(max_rebuilds=-1)
+
+    def test_backoff_grows_exponentially(self):
+        policy = SupervisionPolicy(backoff_s=0.1, backoff_factor=2.0)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.4)
+
+
+class TestSupervisedTrialPool:
+    def test_serial_happy_path_matches_plain_loop(self):
+        with SupervisedTrialPool(1) as pool:
+            assert pool.run(_double, [1, 2, 3]) == [2, 4, 6]
+            assert pool.last_attempts == [1, 1, 1]
+
+    def test_serial_exceptions_propagate_raw_without_chaos(self):
+        # jobs=1 is the reference path: no retry wrapping, today's semantics.
+        with SupervisedTrialPool(1) as pool:
+            with pytest.raises(ValueError, match="bad trial"):
+                pool.run(_fail_below, [1, -1, 2])
+
+    def test_labels_must_match_trials(self):
+        with SupervisedTrialPool(1) as pool:
+            with pytest.raises(ValueError, match="labels"):
+                pool.run(_double, [1, 2], labels=["only-one"])
+
+    def test_on_failure_mode_validated(self):
+        with SupervisedTrialPool(1) as pool:
+            with pytest.raises(ValueError, match="on_failure"):
+                pool.run(_double, [1], on_failure="ignore")
+
+    def test_on_result_fires_with_attempt_counts(self):
+        seen = []
+        with SupervisedTrialPool(1) as pool:
+            pool.run(
+                _double,
+                [5, 6],
+                on_result=lambda index, result, attempts: seen.append(
+                    (index, result, attempts)
+                ),
+            )
+        assert seen == [(0, 10, 1), (1, 12, 1)]
+
+    def test_poison_trial_is_quarantined_after_siblings(self):
+        chaos = ChaosPolicy(
+            rules=tuple(ChaosRule("raise", 1, attempt) for attempt in range(3))
+        )
+        with SupervisedTrialPool(
+            1, policy=SupervisionPolicy(max_retries=2, backoff_s=0.0), chaos=chaos
+        ) as pool:
+            with pytest.raises(TrialExecutionError) as excinfo:
+                pool.run(_double, [1, 2, 3], labels=["a", "b", "c"])
+        error = excinfo.value
+        assert [failure.label for failure in error.failures] == ["b"]
+        assert error.failures[0].kind == "exception"
+        assert error.failures[0].attempts == 3
+        # Every sibling's result survives alongside the failure report.
+        assert error.results == [2, None, 6]
+
+    def test_on_failure_return_leaves_failures_in_slots(self):
+        chaos = ChaosPolicy(rules=(ChaosRule("raise", 0),))
+        with SupervisedTrialPool(
+            1, policy=SupervisionPolicy(max_retries=0, backoff_s=0.0), chaos=chaos
+        ) as pool:
+            results = pool.run(_double, [1, 2], on_failure="return")
+        assert isinstance(results[0], TrialFailure)
+        assert results[1] == 4
+
+    @pytest.mark.slow
+    def test_lost_worker_rebuilds_pool_and_recovers(self):
+        chaos = ChaosPolicy(rules=(ChaosRule("kill", 1),))
+        with SupervisedTrialPool(
+            2, policy=SupervisionPolicy(backoff_s=0.01), chaos=chaos
+        ) as pool:
+            results = pool.run(_double, list(range(6)))
+        assert results == [x * 2 for x in range(6)]
+        assert pool.rebuilds >= 1
+        assert pool.last_attempts[1] >= 2
+
+    @pytest.mark.slow
+    def test_stalled_trial_times_out_and_retries(self):
+        chaos = ChaosPolicy(rules=(ChaosRule("stall", 2, stall_s=60.0),))
+        with SupervisedTrialPool(
+            2,
+            policy=SupervisionPolicy(timeout_s=2.0, backoff_s=0.01),
+            chaos=chaos,
+        ) as pool:
+            results = pool.run(_double, list(range(4)))
+        assert results == [0, 2, 4, 6]
+        assert pool.last_attempts[2] >= 2
+
+    @pytest.mark.slow
+    def test_irrecoverable_pool_degrades_to_serial(self):
+        # Kill trial 0's first four attempts: three rebuilds exhaust
+        # max_rebuilds=2, the pool falls back in-process (kill degrades to
+        # raise there) and the fifth attempt finally succeeds.
+        chaos = ChaosPolicy(
+            rules=tuple(ChaosRule("kill", 0, attempt) for attempt in range(4))
+        )
+        with SupervisedTrialPool(
+            2,
+            policy=SupervisionPolicy(max_retries=8, backoff_s=0.01, max_rebuilds=2),
+            chaos=chaos,
+        ) as pool:
+            results = pool.run(_double, list(range(4)))
+        assert results == [0, 2, 4, 6]
+        assert pool.rebuilds == 3
+
+    @pytest.mark.slow
+    def test_parallel_chaos_matches_clean_run(self):
+        trials = [
+            SweepTrial(CONFIG, "uniform", rate, 50, 100, seed=1, dvfs_level=0)
+            for rate in (0.05, 0.10, 0.15)
+        ]
+        clean = [measure_sweep_point(trial) for trial in trials]
+        chaos = ChaosPolicy(rules=(ChaosRule("kill", 0), ChaosRule("raise", 2),))
+        with SupervisedTrialPool(
+            2, policy=SupervisionPolicy(backoff_s=0.01), chaos=chaos
+        ) as pool:
+            assert pool.run(measure_sweep_point, trials) == clean
+
+
+class TestPoolShutdownSemantics:
+    def test_close_cancels_queued_futures(self):
+        pool = TrialPool(2)
+        pool.run(_double, [1, 2, 3])
+        captured = {}
+        inner = pool._pool
+        original = inner.shutdown
+
+        def recording_shutdown(*args, **kwargs):
+            captured.update(kwargs)
+            return original(*args, **kwargs)
+
+        inner.shutdown = recording_shutdown
+        pool.close()
+        # An exception mid-suite must not block close() on queued trials.
+        assert captured.get("cancel_futures") is True

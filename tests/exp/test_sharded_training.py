@@ -17,8 +17,10 @@ import pytest
 from repro.core.config import ExperimentConfig, TrafficSpec
 from repro.core.training import default_dqn_config, train_dqn_controller
 from repro.exp.training import (
+    ActorBatchTask,
     ActorTask,
     default_experiment_dqn_config,
+    run_actor_batch,
     run_actor_episode,
     train_dqn_sharded,
 )
@@ -223,3 +225,77 @@ class TestShardedTraining:
         sharded_smoothed = sharded.smoothed_returns(window=3)
         band = max(3.0, max(serial_smoothed) - min(serial_smoothed))
         assert abs(serial_smoothed[-1] - sharded_smoothed[-1]) <= band
+
+
+class TestActorBatching:
+    def test_rejects_bad_episodes_per_task(self, tiny_experiment):
+        with pytest.raises(ValueError, match="episodes_per_task"):
+            train_dqn_sharded(tiny_experiment, episodes=2, episodes_per_task=0)
+
+    def test_batch_task_pickles_and_matches_per_episode_rollouts(
+        self, tiny_experiment
+    ):
+        config = default_experiment_dqn_config(tiny_experiment, **TRAIN_KWARGS)
+        agent = DQNAgent(config)
+        state = agent.online.get_state()
+        batch = ActorBatchTask(
+            experiment=tiny_experiment,
+            dqn_config=config,
+            network_state=state,
+            episode_indices=(0, 1, 2),
+            steps_per_episode=tiny_experiment.episode_epochs,
+        )
+        rollouts = run_actor_batch(pickle.loads(pickle.dumps(batch)))
+        assert [rollout.episode_index for rollout in rollouts] == [0, 1, 2]
+        # Batching amortises agent construction; it must not change any
+        # rollout relative to the one-task-per-episode path.
+        for rollout in rollouts:
+            single = run_actor_episode(
+                ActorTask(
+                    experiment=tiny_experiment,
+                    dqn_config=config,
+                    network_state=state,
+                    episode_index=rollout.episode_index,
+                    steps_per_episode=tiny_experiment.episode_epochs,
+                )
+            )
+            assert rollout.episode_return == single.episode_return
+            np.testing.assert_array_equal(
+                rollout.transitions["states"], single.transitions["states"]
+            )
+
+    def test_resume_round_boundary_accounts_for_batching(self, tiny_experiment):
+        head = train_dqn_sharded(tiny_experiment, episodes=2, jobs=1, **TRAIN_KWARGS)
+        with pytest.raises(ValueError, match="round boundary"):
+            train_dqn_sharded(
+                tiny_experiment,
+                episodes=8,
+                jobs=2,
+                episodes_per_task=2,
+                resume_from=head,
+            )
+
+
+@pytest.mark.slow
+class TestActorBatchingParallel:
+    def test_batched_rounds_match_equivalent_unbatched_rounds(self, tiny_experiment):
+        # jobs=2 x 2 episodes/task and jobs=4 x 1 episode/task share the same
+        # round size, hence the same broadcast cadence: bit-identical runs.
+        batched = train_dqn_sharded(
+            tiny_experiment, episodes=4, jobs=2, episodes_per_task=2, **TRAIN_KWARGS
+        )
+        wide = train_dqn_sharded(
+            tiny_experiment, episodes=4, jobs=4, episodes_per_task=1, **TRAIN_KWARGS
+        )
+        assert_curves_equal(batched, wide)
+        assert_weights_equal(batched.agent, wide.agent)
+
+    def test_batched_training_is_deterministic(self, tiny_experiment):
+        first = train_dqn_sharded(
+            tiny_experiment, episodes=4, jobs=2, episodes_per_task=2, **TRAIN_KWARGS
+        )
+        second = train_dqn_sharded(
+            tiny_experiment, episodes=4, jobs=2, episodes_per_task=2, **TRAIN_KWARGS
+        )
+        assert_curves_equal(first, second)
+        assert_weights_equal(first.agent, second.agent)

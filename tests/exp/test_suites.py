@@ -7,14 +7,18 @@ from pathlib import Path
 import pytest
 
 from repro.exp import suites
+from repro.exp.chaos import ChaosPolicy, ChaosRule
+from repro.exp.runner import TrialExecutionError
 from repro.exp.scenarios import scenario_names
 from repro.exp.suites import (
+    SuiteJournal,
     SuiteSpec,
     SuiteUnit,
     derive_smoke_suite,
     get_suite,
     paper_suites,
     run_suite,
+    subtrial_key,
     suite_for_artifact,
 )
 
@@ -346,10 +350,13 @@ class TestDiffPayloads:
         assert suites.diff_payloads(payload, other) != []
 
     def test_ignored_keys_come_from_the_telemetry_registry(self):
-        from repro.exp.telemetry import WALL_CLOCK_FIELDS
+        from repro.exp.telemetry import NONDETERMINISTIC_FIELDS, WALL_CLOCK_FIELDS
 
-        assert suites.DIFF_IGNORED_KEYS == WALL_CLOCK_FIELDS
+        assert suites.DIFF_IGNORED_KEYS == NONDETERMINISTIC_FIELDS
+        assert WALL_CLOCK_FIELDS <= suites.DIFF_IGNORED_KEYS
         assert "episodes_per_second" in suites.DIFF_IGNORED_KEYS
+        # Scheduling metadata (retry accounting) is nondeterministic too.
+        assert {"attempts", "retries"} <= suites.DIFF_IGNORED_KEYS
 
 
 class TestTrainController:
@@ -414,3 +421,108 @@ class TestBuildExperiment:
     def test_unknown_preset_rejected(self):
         with pytest.raises(ValueError, match="unknown experiment preset"):
             suites.build_experiment({"preset": "enormous"})
+
+
+class TestSubtrialKey:
+    def test_key_is_stable_and_order_insensitive(self):
+        a = ("sweep", {"rates": [0.05], "seed": 0})
+        b = ("sweep", {"seed": 0, "rates": [0.05]})
+        assert subtrial_key(a) == subtrial_key(b)
+
+    def test_key_separates_kind_and_params(self):
+        base = subtrial_key(("sweep", {"rates": [0.05], "seed": 0}))
+        assert subtrial_key(("eval", {"rates": [0.05], "seed": 0})) != base
+        assert subtrial_key(("sweep", {"rates": [0.05], "seed": 1})) != base
+
+
+class TestSuiteJournal:
+    def test_append_and_load_round_trip(self, tmp_path):
+        journal = SuiteJournal(tmp_path / "x.journal.jsonl")
+        journal.append("k1", unit="u", kind="sweep", attempts=1, payload={"rows": [1]})
+        journal.append("k2", unit="u", kind="sweep", attempts=2, payload={"rows": [2]})
+        journal.close()
+        assert SuiteJournal(journal.path).load() == {
+            "k1": {"rows": [1]},
+            "k2": {"rows": [2]},
+        }
+
+    def test_append_is_idempotent_per_key(self, tmp_path):
+        journal = SuiteJournal(tmp_path / "x.journal.jsonl")
+        journal.append("k", unit="u", kind="sweep", attempts=1, payload={})
+        journal.append("k", unit="u", kind="sweep", attempts=5, payload={"other": 1})
+        journal.close()
+        assert len(journal.path.read_text().splitlines()) == 1
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "x.journal.jsonl"
+        journal = SuiteJournal(path)
+        journal.append("k1", unit="u", kind="sweep", attempts=1, payload={"ok": True})
+        journal.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "payload": {"ok"')  # killed mid-write
+        assert SuiteJournal(path).load() == {"k1": {"ok": True}}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert SuiteJournal(tmp_path / "none.jsonl").load() == {}
+
+
+class TestResumableSuites:
+    def test_resume_requires_an_out_dir(self):
+        with pytest.raises(ValueError, match="resume needs an out_dir"):
+            run_suite("fig1-smoke", resume=True)
+
+    def test_resume_satisfies_everything_from_the_journal(self, tmp_path):
+        clean = run_suite("fig1-smoke", jobs=1, out_dir=tmp_path)
+        journal_path = tmp_path / "fig1-smoke.journal.jsonl"
+        rows = [json.loads(line) for line in journal_path.read_text().splitlines()]
+        resumed = run_suite("fig1-smoke", jobs=1, out_dir=tmp_path, resume=True)
+        assert clean.resumed_subtrials == 0
+        assert resumed.resumed_subtrials == len(rows)
+        assert suites.diff_payloads(
+            clean.deterministic_payload(), resumed.deterministic_payload()
+        ) == []
+
+    def test_fresh_run_truncates_a_stale_journal(self, tmp_path):
+        path = tmp_path / "fig1-smoke.journal.jsonl"
+        path.write_text('{"key": "stale", "payload": {}}\n', encoding="utf-8")
+        run_suite("fig1-smoke", jobs=1, out_dir=tmp_path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows and all(row["key"] != "stale" for row in rows)
+
+    def test_telemetry_rows_carry_attempt_accounting(self):
+        rows = []
+
+        class Sink:
+            def emit(self, row):
+                rows.append(row)
+
+        run_suite("fig1-smoke", jobs=1, telemetry=Sink())
+        subtrial_rows = [row for row in rows if row["source"] == "subtrial"]
+        assert subtrial_rows
+        assert all(
+            row["attempts"] >= 1 and row["retries"] == row["attempts"] - 1
+            for row in subtrial_rows
+        )
+
+
+class TestSuiteChaos:
+    def test_chaos_run_matches_clean_run(self):
+        clean = run_suite("fig1-smoke", jobs=1)
+        chaos = ChaosPolicy(rules=(ChaosRule("raise", 0), ChaosRule("raise", 3)))
+        perturbed = run_suite("fig1-smoke", jobs=1, chaos=chaos)
+        assert suites.diff_payloads(
+            clean.deterministic_payload(), perturbed.deterministic_payload()
+        ) == []
+
+    def test_poison_subtrial_quarantines_then_resume_completes(self, tmp_path):
+        clean = run_suite("fig1-smoke", jobs=1)
+        poison = ChaosPolicy(rules=(ChaosRule("raise", 2),))
+        with pytest.raises(TrialExecutionError):
+            run_suite("fig1-smoke", jobs=1, out_dir=tmp_path, retries=0, chaos=poison)
+        journal = SuiteJournal(tmp_path / "fig1-smoke.journal.jsonl").load()
+        assert journal  # the siblings landed before the quarantine surfaced
+        resumed = run_suite("fig1-smoke", jobs=1, out_dir=tmp_path, resume=True)
+        assert resumed.resumed_subtrials == len(journal)
+        assert suites.diff_payloads(
+            clean.deterministic_payload(), resumed.deterministic_payload()
+        ) == []

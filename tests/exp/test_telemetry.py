@@ -404,5 +404,9 @@ class TestLiveTaps:
 
 class TestWallClockFieldRegistry:
     def test_diff_ignored_keys_is_the_telemetry_registry(self):
-        assert DIFF_IGNORED_KEYS == WALL_CLOCK_FIELDS
+        from repro.exp.telemetry import NONDETERMINISTIC_FIELDS, SCHEDULING_FIELDS
+
+        assert DIFF_IGNORED_KEYS == NONDETERMINISTIC_FIELDS
+        assert NONDETERMINISTIC_FIELDS == WALL_CLOCK_FIELDS | SCHEDULING_FIELDS
         assert "episodes_per_second" in DIFF_IGNORED_KEYS
+        assert "attempts" in DIFF_IGNORED_KEYS

@@ -704,3 +704,54 @@ class TestBenchCommand:
 
         payload = json_module.loads(json_path.read_text())
         assert payload["telemetry_equivalent"] == {"powersave-idle": True}
+
+
+class TestSuiteFaultTolerance:
+    def test_fault_tolerance_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            ["suite", "run", "fig1-smoke", "--resume", "--out", "/tmp/x",
+             "--timeout", "10", "--retries", "1", "--chaos", "kill:0@0"]
+        )
+        assert args.resume is True
+        assert args.timeout == 10.0
+        assert args.retries == 1
+        assert args.chaos == "kill:0@0"
+
+    def test_train_episodes_per_task_flag_parses(self):
+        args = cli.build_parser().parse_args(["train", "--episodes-per-task", "3"])
+        assert args.episodes_per_task == 3
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["train", "--episodes-per-task", "0"])
+
+    def test_resume_without_out_rejected(self, capsys):
+        assert cli.main(["suite", "run", "fig1-smoke", "--resume"]) == 2
+        assert "--resume requires --out" in capsys.readouterr().err
+
+    def test_bad_chaos_spec_rejected(self, capsys):
+        assert cli.main(["suite", "run", "fig1-smoke", "--chaos", "explode:0"]) == 2
+        assert "bad --chaos spec" in capsys.readouterr().err
+
+    def test_poison_chaos_exits_four_with_resume_hint(self, capsys, tmp_path):
+        code = cli.main(
+            ["suite", "run", "fig1-smoke", "--out", str(tmp_path),
+             "--retries", "0", "--chaos", "raise:2@0"]
+        )
+        assert code == 4
+        assert "rerun with --resume" in capsys.readouterr().err
+
+    def test_chaos_run_resumes_to_a_clean_artifact(self, capsys, tmp_path):
+        clean_dir, chaos_dir = tmp_path / "clean", tmp_path / "chaos"
+        assert cli.main(["suite", "run", "fig1-smoke", "--out", str(clean_dir)]) == 0
+        assert cli.main(
+            ["suite", "run", "fig1-smoke", "--out", str(chaos_dir),
+             "--retries", "0", "--chaos", "raise:2@0"]
+        ) == 4
+        assert cli.main(
+            ["suite", "run", "fig1-smoke", "--out", str(chaos_dir), "--resume"]
+        ) == 0
+        assert "resumed" in capsys.readouterr().out
+        # The recovered artefact is indistinguishable from the clean one.
+        assert cli.main(
+            ["suite", "diff", str(clean_dir / "fig1-smoke.json"),
+             str(chaos_dir / "fig1-smoke.json")]
+        ) == 0
