@@ -28,6 +28,7 @@ import pytest
 
 from repro.core import ExperimentConfig
 from repro.exp.bench import RESULTS_SCHEMA, perf_record
+from repro.exp.execution import ExecutionConfig
 from repro.exp.training import train_dqn_sharded
 
 EPISODES = int(os.environ.get("REPRO_BENCH_SCALING_EPISODES", "12"))
@@ -49,8 +50,12 @@ def test_train_scaling(report, results_dir):
     jobs = max(jobs, 2)
     train_kwargs = dict(episodes=EPISODES, epsilon_decay_steps=EPISODES * 5, seed=1)
 
-    serial = train_dqn_sharded(experiment, jobs=1, **train_kwargs)
-    sharded = train_dqn_sharded(experiment, jobs=jobs, **train_kwargs)
+    serial = train_dqn_sharded(
+        experiment, config=ExecutionConfig(train_jobs=1), **train_kwargs
+    )
+    sharded = train_dqn_sharded(
+        experiment, config=ExecutionConfig(train_jobs=jobs), **train_kwargs
+    )
 
     simulated_cycles = EPISODES * experiment.episode_epochs * experiment.epoch_cycles
     speedup = (

@@ -36,6 +36,7 @@ from pathlib import Path
 import pytest
 
 from repro.exp import suites
+from repro.exp.execution import ExecutionConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
 TRAIN_EPISODES = int(os.environ.get("REPRO_BENCH_EPISODES", "22"))
@@ -106,12 +107,14 @@ def suite_runner(results_dir, bench_jobs):
         if name not in outcomes:
             outcomes[name] = suites.run_suite(
                 bench_suite_spec(name),
-                jobs=bench_jobs,
-                train_jobs=TRAIN_JOBS,
+                config=ExecutionConfig(
+                    jobs=bench_jobs,
+                    train_jobs=TRAIN_JOBS,
+                    # fig4/fig5/table1/table2 deploy the same phased policies;
+                    # pay for each distinct evaluation once per session.
+                    reuse_evals=True,
+                ),
                 out_dir=results_dir,
-                # fig4/fig5/table1/table2 deploy the same phased policies;
-                # pay for each distinct evaluation once per session.
-                reuse_evals=True,
             )
         return outcomes[name]
 

@@ -34,14 +34,29 @@ Installed as the ``repro-noc`` console script (or invoked as
   e.g. restored CI caches) into a per-(scenario, engine) trend table,
   engine win/loss matrix and advisory regression check.
 
-Every simulation-running subcommand accepts ``--engine cycle|event`` — the
+Two more subcommands host the distributed suite service
+(:mod:`repro.exp.service`):
+
+* ``serve``     — run a broker: workers connect and pull subtrial leases,
+  clients submit whole suites; ``--once`` exits after the first job (CI);
+* ``worker``    — join a broker's fleet (``worker --connect tcp://HOST:PORT``)
+  and execute leased subtrials until the broker shuts down.
+
+``suite run --workers tcp://HOST:PORT`` is the matching client: the suite
+executes on the fleet and the artefact is byte-identical to a local run.
+
+Execution flags are shared: ``sweep``, ``scenarios run``, ``suite run``,
+``train``, ``serve`` and ``worker`` all accept the same
+``--jobs/--train-jobs/--engine/--timeout/--retries/--telemetry`` group
+(one argparse parent), mapping 1:1 onto
+:class:`repro.exp.execution.ExecutionConfig` via
+:func:`execution_config_from_args`.  ``--engine cycle|event`` selects the
 pluggable execution backends of :mod:`repro.engines`; simulated outcomes
 are byte-identical across engines, so the flag is purely a perf choice.
 ``--engine auto`` defers that choice to the measured telemetry (the
 :class:`repro.exp.telemetry.EnginePolicy` over the stored artefacts),
-logging which measurement decided.  ``sweep``, ``scenarios run`` and
-``suite run`` additionally accept ``--telemetry PATH`` to stream live rows
-(CSV when the path ends in ``.csv``, JSONL otherwise) while they run.
+logging which measurement decided.  ``--telemetry PATH`` streams live rows
+(CSV when the path ends in ``.csv``, JSONL otherwise).
 """
 
 from __future__ import annotations
@@ -49,6 +64,7 @@ from __future__ import annotations
 import argparse
 import difflib
 import json
+import logging
 import sys
 import time
 from pathlib import Path
@@ -82,12 +98,19 @@ from repro.exp import (
 )
 from repro.engines import AUTO_ENGINE, resolve_engine_name, selectable_engine_names
 from repro.exp.bench import BENCH_ENGINE_VARIANTS, RESULTS_SCHEMA
+from repro.exp.execution import ExecutionConfig, SupervisionPolicy
 from repro.exp.perfguard import (
     DEFAULT_TOLERANCE,
     check_against_baseline,
     format_regressions,
 )
-from repro.exp.suites import DIFF_IGNORED_KEYS, diff_payloads
+from repro.exp.service import (
+    ServiceError,
+    ServiceWorker,
+    SuiteBroker,
+    parse_workers_url,
+)
+from repro.exp.suites import DIFF_IGNORED_KEYS, JournalMismatchError, diff_payloads
 from repro.exp.telemetry import (
     DEFAULT_RESULTS_DIR,
     EnginePolicy,
@@ -156,14 +179,105 @@ def _write_json(path: str, payload) -> None:
         json.dump(payload, handle, indent=2)
 
 
+def _execution_parent() -> argparse.ArgumentParser:
+    """The shared execution-flag group (argparse parent).
+
+    ``sweep``, ``scenarios run``, ``suite run``, ``train``, ``serve`` and
+    ``worker`` all inherit these six flags, so execution knobs parse
+    identically everywhere and map 1:1 onto
+    :class:`~repro.exp.execution.ExecutionConfig` (see
+    :func:`execution_config_from_args`).  Defaults are ``None`` so commands
+    can tell "left alone" from "explicitly set" (e.g. ``train`` treats
+    ``--jobs`` as a synonym for ``--train-jobs``).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group(
+        "execution", "shared flags, mapping 1:1 onto ExecutionConfig"
+    )
+    group.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes for the simulation trials (default 1 = "
+        "in-process serial)",
+    )
+    group.add_argument(
+        "--train-jobs",
+        type=_positive_int,
+        default=None,
+        help="actor processes for controller training (default 1)",
+    )
+    group.add_argument(
+        "--engine",
+        default=None,
+        help="simulation engine (cycle|event, or auto to pick the measured "
+        "best; simulated results are engine-agnostic)",
+    )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per supervised attempt; a stalled worker is "
+        "terminated and the trial retried (default: no limit)",
+    )
+    group.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="retries per failed trial before it is quarantined (default 2)",
+    )
+    group.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="stream perf telemetry rows to this file (.csv = CSV, else JSONL)",
+    )
+    return parent
+
+
+def execution_config_from_args(
+    args: argparse.Namespace,
+    *,
+    engine: str | None = ...,  # type: ignore[assignment]
+    perf_repeats: int = 1,
+    reuse_evals: bool = False,
+    chaos=None,
+) -> ExecutionConfig:
+    """Map the shared execution flags 1:1 onto an :class:`ExecutionConfig`.
+
+    ``engine`` overrides ``args.engine`` when the command has already
+    resolved it (e.g. ``auto`` → per-suite choice; ``None`` explicitly
+    defers to the spec's own engine); the remaining keywords carry knobs
+    that live outside the shared flag group.
+    """
+    supervision_knobs: dict = {}
+    if args.timeout is not None:
+        supervision_knobs["timeout_s"] = args.timeout
+    if args.retries is not None:
+        supervision_knobs["max_retries"] = args.retries
+    return ExecutionConfig(
+        jobs=args.jobs or 1,
+        train_jobs=args.train_jobs or 1,
+        engine=args.engine if engine is ... else engine,
+        perf_repeats=perf_repeats,
+        reuse_evals=reuse_evals,
+        supervision=SupervisionPolicy(**supervision_knobs),
+        chaos=chaos,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-noc",
         description="DRL self-configurable NoC: sweeps, training, evaluation.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    execution = _execution_parent()
 
-    sweep = subparsers.add_parser("sweep", help="load/latency sweep of a mesh")
+    sweep = subparsers.add_parser(
+        "sweep", help="load/latency sweep of a mesh", parents=[execution]
+    )
     sweep.add_argument("--width", type=int, default=4, help="mesh width (and height)")
     sweep.add_argument("--pattern", default="uniform", help="traffic pattern name")
     sweep.add_argument("--routing", default="xy", help="routing algorithm name")
@@ -176,23 +290,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--cycles", type=int, default=1200, help="measured cycles per point")
     sweep.add_argument("--dvfs-level", type=int, default=0, help="static DVFS level index")
-    sweep.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="worker processes for the sweep points (1 = in-process serial)",
-    )
-    sweep.add_argument(
-        "--engine",
-        default="cycle",
-        help="simulation engine (cycle|event, or auto to pick the measured best; "
-        "results are engine-agnostic)",
-    )
-    sweep.add_argument(
-        "--telemetry",
-        metavar="PATH",
-        help="stream perf telemetry rows to this file (.csv = CSV, else JSONL)",
-    )
 
     scenarios = subparsers.add_parser(
         "scenarios", help="list or run the named experiment scenarios"
@@ -200,19 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
     scenarios_sub.add_parser("list", help="show every registered scenario")
     scenarios_run = scenarios_sub.add_parser(
-        "run", help="run one or more scenarios (optionally in parallel)"
+        "run",
+        help="run one or more scenarios (optionally in parallel)",
+        parents=[execution],
     )
     scenarios_run.add_argument(
         "names",
         nargs="*",
         metavar="NAME",
         help="scenario names (default: every registered scenario)",
-    )
-    scenarios_run.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="worker processes for the trials (1 = in-process serial)",
     )
     scenarios_run.add_argument("--seed", type=int, default=0, help="base trial seed")
     scenarios_run.add_argument(
@@ -227,18 +320,6 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios_run.add_argument(
         "--json", dest="json_path", help="also write full per-epoch results to this file"
     )
-    scenarios_run.add_argument(
-        "--engine",
-        default=None,
-        help="override the specs' simulation engine (cycle|event, or auto to "
-        "pick the measured best per scenario)",
-    )
-    scenarios_run.add_argument(
-        "--telemetry",
-        metavar="PATH",
-        help="stream per-epoch and perf telemetry rows to this file "
-        "(.csv = CSV, else JSONL)",
-    )
 
     suite = subparsers.add_parser(
         "suite", help="list, describe or run the registered benchmark suites"
@@ -250,7 +331,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suite_describe.add_argument("name", help="suite name (see `suite list`)")
     suite_run = suite_sub.add_parser(
-        "run", help="run one or more suites through the bench engine"
+        "run",
+        help="run one or more suites through the bench engine",
+        parents=[execution],
     )
     suite_run.add_argument(
         "names",
@@ -270,16 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the CI-sized -smoke variant of each named suite",
     )
     suite_run.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="worker processes for the suite's subtrials (1 = in-process serial)",
-    )
-    suite_run.add_argument(
-        "--train-jobs",
-        type=_positive_int,
-        default=1,
-        help="actor processes for the shared controller training (default 1)",
+        "--workers",
+        metavar="tcp://HOST:PORT",
+        help="run the suites on the broker's worker fleet at this address "
+        "instead of in-process (see `serve` / `worker`); the artefact is "
+        "byte-identical to a local run",
     )
     suite_run.add_argument(
         "--repeats",
@@ -309,37 +387,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of baseline throughput that must be retained (default 0.75)",
     )
     suite_run.add_argument(
-        "--engine",
-        default="cycle",
-        help="simulation engine for every subtrial (cycle|event, or auto to "
-        "pick the measured best per suite)",
-    )
-    suite_run.add_argument(
-        "--telemetry",
-        metavar="PATH",
-        help="stream per-subtrial and perf telemetry rows to this file "
-        "(.csv = CSV, else JSONL)",
-    )
-    suite_run.add_argument(
         "--resume",
         action="store_true",
         help="skip subtrials already journaled under --out from a previous "
         "(possibly killed) run of the same suite",
-    )
-    suite_run.add_argument(
-        "--timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="wall-clock budget per subtrial attempt; a stalled worker is "
-        "terminated and the subtrial retried (default: no limit)",
-    )
-    suite_run.add_argument(
-        "--retries",
-        type=_non_negative_int,
-        default=None,
-        metavar="N",
-        help="retries per failed subtrial before it is quarantined (default 2)",
     )
     # Deterministic fault injection for tests and CI only — deliberately
     # undocumented in --help (see repro.exp.chaos.parse_chaos_spec).
@@ -406,17 +457,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="optimised engine to pit against the naive loop (cycle|event)",
     )
 
-    train = subparsers.add_parser("train", help="train the DQN controller")
+    train = subparsers.add_parser(
+        "train", help="train the DQN controller", parents=[execution]
+    )
     train.add_argument("--episodes", type=_positive_int, default=20)
     train.add_argument("--preset", choices=("default", "small", "joint"), default="default")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--checkpoint", help="directory to save the trained controller to")
-    train.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="actor processes for rollout episodes (1 = the serial reference path)",
-    )
     train.add_argument(
         "--sync-interval",
         type=_positive_int,
@@ -434,6 +481,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         help="checkpoint directory to resume training from (see --checkpoint)",
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="host a suite broker: workers pull subtrial leases, clients "
+        "submit suites (see `worker` and `suite run --workers`)",
+        parents=[execution],
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=7077,
+        help="listen port (default 7077; 0 = pick a free port)",
+    )
+    serve.add_argument(
+        "--out",
+        dest="out_dir",
+        help="directory for per-suite JSON artefacts and journals (clients "
+        "resume against journals written here)",
+    )
+    serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat deadline per lease; an expired lease is re-queued to "
+        "another worker (default 30)",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="shut down after the first submitted suite job completes (CI)",
+    )
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="join a broker's fleet and execute leased subtrials",
+        parents=[execution],
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="tcp://HOST:PORT",
+        help="broker address to pull leases from (see `serve`)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable identity reported in leases and telemetry "
+        "(default: HOSTNAME-PID)",
+    )
+    worker.add_argument(
+        "--max-leases",
+        type=_positive_int,
+        default=None,
+        help="exit after executing this many leases (default: serve until "
+        "the broker shuts down)",
+    )
+    # Deterministic connection-fault injection for tests and CI only —
+    # deliberately undocumented in --help (kill|stall:N.N|raise rules over
+    # dispatch index / label, see repro.exp.chaos.parse_chaos_spec).
+    worker.add_argument("--chaos", default=None, help=argparse.SUPPRESS)
 
     evaluate = subparsers.add_parser(
         "evaluate", help="evaluate a checkpoint or a named baseline"
@@ -521,14 +630,15 @@ def _resolve_policy(controller: str, experiment: ExperimentConfig):
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    if not _check_names("engine", [args.engine], selectable_engine_names()):
+    engine = args.engine or "cycle"
+    if not _check_names("engine", [engine], selectable_engine_names()):
         return 2
-    engine = args.engine
     if engine == AUTO_ENGINE:
         engine, reason = resolve_engine_name(
             engine, chooser=EnginePolicy.from_results().overall
         )
         print(f"engine auto: sweep -> {engine} ({reason})")
+    exec_config = execution_config_from_args(args, engine=engine)
     config = SimulatorConfig(width=args.width, routing=args.routing)
     points = load_latency_sweep(
         config,
@@ -536,8 +646,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         pattern=args.pattern,
         measure_cycles=args.cycles,
         dvfs_level=args.dvfs_level,
-        jobs=args.jobs,
-        engine=engine,
+        jobs=exec_config.jobs,
+        engine=exec_config.resolved_engine(),
     )
     if args.telemetry:
         with TelemetrySink(args.telemetry) as sink:
@@ -595,37 +705,38 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         "engine", [args.engine], selectable_engine_names()
     ):
         return 2
-    engine: str | dict | None = args.engine
+    engine = args.engine
+    engine_overrides: dict[str, str] | None = None
     if engine == AUTO_ENGINE:
         policy = EnginePolicy.from_results()
-        engine = {}
+        engine = None
+        engine_overrides = {}
         for name in names:
             resolved, reason = resolve_engine_name(
                 AUTO_ENGINE, chooser=lambda name=name: policy.choose(name)
             )
-            engine[name] = resolved
+            engine_overrides[name] = resolved
             print(f"engine auto: scenario {name} -> {resolved} ({reason})")
+    config = execution_config_from_args(args, engine=engine)
     sink = TelemetrySink(args.telemetry) if args.telemetry else None
-    if sink is not None and args.jobs > 1:
+    if sink is not None and config.jobs > 1:
         # The live tap holds an open file handle, which cannot pickle into
         # pool workers; per-epoch rows therefore need the in-process path.
         print("telemetry: per-epoch rows need --jobs 1; streaming perf rows only")
     try:
         results = run_scenarios(
             names,
-            jobs=args.jobs,
+            config=config,
             seed=args.seed,
             repeats=args.repeats,
             epochs=args.epochs,
             epoch_cycles=args.epoch_cycles,
-            engine=engine,
-            telemetry=sink if args.jobs == 1 else None,
+            engine_overrides=engine_overrides,
+            telemetry=sink if config.jobs == 1 else None,
         )
         if sink is not None:
             for result in results:
-                override = (
-                    engine.get(result.scenario) if isinstance(engine, dict) else engine
-                )
+                override = (engine_overrides or {}).get(result.scenario, config.engine)
                 sink.emit(
                     {
                         "source": "perf",
@@ -714,17 +825,25 @@ def cmd_suite(args: argparse.Namespace) -> int:
         ]
     if not _check_names("suite", names, suite_names()):
         return 2
-    if not _check_names("engine", [args.engine], selectable_engine_names()):
+    engine = args.engine or "cycle"
+    if not _check_names("engine", [engine], selectable_engine_names()):
         return 2
     if args.check and not args.baseline:
         print("--check requires --baseline", file=sys.stderr)
         return 2
-    if args.resume and not args.out_dir:
+    if args.resume and not args.out_dir and not args.workers:
         print(
-            "--resume requires --out (the journal lives beside the artefact)",
+            "--resume requires --out (the journal lives beside the artefact; "
+            "with --workers it lives under the broker's --out)",
             file=sys.stderr,
         )
         return 2
+    if args.workers:
+        try:
+            parse_workers_url(args.workers)
+        except ValueError as error:
+            print(f"bad --workers address: {error}", file=sys.stderr)
+            return 2
     chaos = None
     if args.chaos:
         try:
@@ -734,7 +853,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
             return 2
 
     engine_by_suite: dict[str, str] = {}
-    if args.engine == AUTO_ENGINE:
+    if engine == AUTO_ENGINE:
         policy = EnginePolicy.from_results()
         for name in names:
             # A smoke variant with no telemetry of its own inherits its full
@@ -754,18 +873,19 @@ def cmd_suite(args: argparse.Namespace) -> int:
     all_records: list[dict] = []
     try:
         for name in names:
+            config = execution_config_from_args(
+                args,
+                engine=engine_by_suite.get(name, engine),
+                perf_repeats=args.repeats,
+                chaos=chaos,
+            )
             outcome = run_suite(
                 name,
-                jobs=args.jobs,
-                train_jobs=args.train_jobs,
+                config=config,
                 out_dir=args.out_dir,
-                perf_repeats=args.repeats,
-                engine=engine_by_suite.get(name, args.engine),
                 telemetry=sink,
                 resume=args.resume,
-                timeout_s=args.timeout,
-                retries=args.retries,
-                chaos=chaos,
+                workers=args.workers,
             )
             all_records.extend(outcome.records)
             if outcome.resumed_subtrials:
@@ -788,6 +908,24 @@ def cmd_suite(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 4
+    except JournalMismatchError as error:
+        print(f"suite {name}: {error}", file=sys.stderr)
+        print(
+            "the journal under --out was written by a different suite "
+            "revision; drop --resume (or point --out elsewhere) to start over",
+            file=sys.stderr,
+        )
+        return 2
+    except ServiceError as error:
+        print(f"suite {name}: broker at {args.workers}: {error}", file=sys.stderr)
+        return 2
+    except ConnectionRefusedError:
+        print(
+            f"suite {name}: no broker listening at {args.workers} "
+            "(start one with `repro-noc serve`)",
+            file=sys.stderr,
+        )
+        return 2
     except KeyboardInterrupt:
         if args.out_dir:
             print(
@@ -858,7 +996,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     experiment = _experiment_from_preset(args.preset)
+    engine = args.engine
+    if engine is not None:
+        if not _check_names("engine", [engine], selectable_engine_names()):
+            return 2
+        if engine == AUTO_ENGINE:
+            engine, reason = resolve_engine_name(
+                engine, chooser=EnginePolicy.from_results().overall
+            )
+            print(f"engine auto: train -> {engine} ({reason})")
+        experiment = replace(
+            experiment, simulator=replace(experiment.simulator, engine=engine)
+        )
+    # --jobs is a synonym for --train-jobs here: train's processes ARE the
+    # actor shards (an explicit --train-jobs wins when both are given).
+    train_jobs = args.train_jobs or args.jobs or 1
+    supervision_knobs: dict = {}
+    if args.timeout is not None:
+        supervision_knobs["timeout_s"] = args.timeout
+    if args.retries is not None:
+        supervision_knobs["max_retries"] = args.retries
+    exec_config = ExecutionConfig(
+        train_jobs=train_jobs, supervision=SupervisionPolicy(**supervision_knobs)
+    )
     if args.resume:
         restored = checkpoint.load_dqn_checkpoint(args.resume)
         expected = default_experiment_dqn_config(experiment)
@@ -878,7 +1041,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             return 2
         print(
             f"Resuming DQN training from {args.resume} ({restored.episodes} episodes "
-            f"trained) to {args.episodes} episodes with jobs={args.jobs} ..."
+            f"trained) to {args.episodes} episodes with jobs={train_jobs} ..."
         )
         print(
             "  (hyperparameters, including the epsilon schedule, come from the "
@@ -887,7 +1050,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         result = train_dqn_sharded(
             experiment,
             episodes=args.episodes,
-            jobs=args.jobs,
+            config=exec_config,
             sync_interval=args.sync_interval,
             episodes_per_task=args.episodes_per_task,
             resume_from=restored,
@@ -895,12 +1058,12 @@ def cmd_train(args: argparse.Namespace) -> int:
     else:
         print(
             f"Training DQN controller: {args.episodes} episodes on preset "
-            f"'{args.preset}' with jobs={args.jobs} ..."
+            f"'{args.preset}' with jobs={train_jobs} ..."
         )
         result = train_dqn_sharded(
             experiment,
             episodes=args.episodes,
-            jobs=args.jobs,
+            config=exec_config,
             sync_interval=args.sync_interval,
             episodes_per_task=args.episodes_per_task,
             epsilon_decay_steps=max(args.episodes * experiment.episode_epochs // 2, 50),
@@ -919,6 +1082,103 @@ def cmd_train(args: argparse.Namespace) -> int:
         print(f"  checkpoint saved to {path}")
     trace = evaluate_controller(experiment, result.to_policy())
     print(format_table([summarize_trace(trace)], title="Held-out evaluation"))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: host a :class:`SuiteBroker` until interrupted.
+
+    The execution flags form the broker's *default* config — applied when a
+    client submits without one; ``suite run --workers`` clients always send
+    their own, which wins.
+    """
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s: %(message)s"
+    )
+    engine = args.engine
+    if engine is not None:
+        if not _check_names("engine", [engine], selectable_engine_names()):
+            return 2
+        if engine == AUTO_ENGINE:
+            engine, reason = resolve_engine_name(
+                engine, chooser=EnginePolicy.from_results().overall
+            )
+            print(f"engine auto: serve -> {engine} ({reason})")
+    config = execution_config_from_args(args, engine=engine)
+    try:
+        broker = SuiteBroker(
+            host=args.host,
+            port=args.port,
+            out_dir=args.out_dir,
+            config=config,
+            lease_timeout_s=args.lease_timeout,
+            once=args.once,
+        )
+    except OSError as error:
+        print(f"cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    with broker:
+        print(
+            f"broker listening on {broker.address}"
+            + (" (exiting after one job)" if args.once else "")
+        )
+        print(f"  workers join with:  repro-noc worker --connect {broker.address}")
+        print(f"  clients submit via: repro-noc suite run ... --workers {broker.address}")
+        try:
+            broker.serve_forever()
+        except KeyboardInterrupt:
+            print("\nbroker interrupted; draining connections", file=sys.stderr)
+            return 130
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """``worker``: pull and execute subtrial leases until the broker stops.
+
+    The shared execution flags are accepted for CLI symmetry but ignored:
+    every lease carries the submitting client's :class:`ExecutionConfig`.
+    """
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s: %(message)s"
+    )
+    try:
+        parse_workers_url(args.connect)
+    except ValueError as error:
+        print(f"bad --connect address: {error}", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = parse_chaos_spec(args.chaos)
+        except ValueError as error:
+            print(f"bad --chaos spec: {error}", file=sys.stderr)
+            return 2
+    # CLI workers are disposable processes, so chaos `kill` may genuinely
+    # hard-exit them (the broker re-queues the abandoned leases).
+    worker = ServiceWorker(
+        args.connect,
+        worker_id=args.worker_id,
+        chaos=chaos,
+        allow_kill=True,
+        max_leases=args.max_leases,
+    )
+    print(f"worker {worker.worker_id} pulling leases from {args.connect}")
+    try:
+        leases = worker.run()
+    except ConnectionRefusedError:
+        print(
+            f"no broker listening at {args.connect} "
+            "(start one with `repro-noc serve`)",
+            file=sys.stderr,
+        )
+        return 2
+    except ServiceError as error:
+        print(f"broker at {args.connect}: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(f"\nworker {worker.worker_id} interrupted", file=sys.stderr)
+        return 130
+    print(f"worker {worker.worker_id} done: {leases} lease(s) executed")
     return 0
 
 
@@ -973,6 +1233,8 @@ _COMMANDS = {
     "suite": cmd_suite,
     "bench": cmd_bench,
     "train": cmd_train,
+    "serve": cmd_serve,
+    "worker": cmd_worker,
     "evaluate": cmd_evaluate,
     "compare": cmd_compare,
     "perf": cmd_perf,

@@ -41,7 +41,24 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence, TypeVar
 
 from repro.exp.chaos import ChaosPolicy, execute_chaos_action
+from repro.exp.execution import (
+    ExecutionConfig,
+    SupervisionPolicy,
+    coalesce_execution_config,
+)
 from repro.exp.scenarios import ScenarioResult, get_scenario, run_scenario
+
+__all__ = [
+    "SupervisedTrialPool",
+    "SupervisionPolicy",  # re-exported from repro.exp.execution (moved there)
+    "TrialExecutionError",
+    "TrialFailure",
+    "TrialPool",
+    "default_chunk_size",
+    "run_scenarios",
+    "run_trials",
+    "trial_seed",
+]
 
 TrialT = TypeVar("TrialT")
 ResultT = TypeVar("ResultT")
@@ -64,42 +81,6 @@ def default_chunk_size(num_trials: int, jobs: int) -> int:
 # ---------------------------------------------------------------------------
 # supervision: policies, failures, the chaos-aware call wrapper
 # ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class SupervisionPolicy:
-    """The fault-tolerance knobs of a :class:`SupervisedTrialPool`.
-
-    ``timeout_s`` bounds one attempt's wall clock (``None`` = no limit;
-    only enforceable on the pool path — an in-process attempt cannot be
-    preempted).  ``max_retries`` bounds *re*-tries, so a trial gets
-    ``max_retries + 1`` attempts before quarantine.  Backoff between a
-    trial's attempts grows ``backoff_s * backoff_factor ** (attempt - 1)``
-    — deterministic, no jitter, so chaos tests replay exactly.
-    ``max_rebuilds`` bounds executor rebuilds (broken pools, stalled
-    workers) before the pool gives up on processes entirely and finishes
-    the run in-process.
-    """
-
-    timeout_s: float | None = None
-    max_retries: int = 2
-    backoff_s: float = 0.05
-    backoff_factor: float = 2.0
-    max_rebuilds: int = 3
-
-    def __post_init__(self) -> None:
-        if self.timeout_s is not None and self.timeout_s <= 0:
-            raise ValueError("timeout_s must be positive (or None for no limit)")
-        if self.max_retries < 0:
-            raise ValueError("max_retries must be non-negative")
-        if self.backoff_s < 0 or self.backoff_factor < 1.0:
-            raise ValueError("backoff must be non-negative and non-shrinking")
-        if self.max_rebuilds < 0:
-            raise ValueError("max_rebuilds must be non-negative")
-
-    def backoff_for(self, attempt: int) -> float:
-        """Seconds to wait before re-running a trial that failed ``attempt``."""
-        return self.backoff_s * self.backoff_factor ** max(attempt - 1, 0)
 
 
 #: Failure kinds a :class:`TrialFailure` reports.
@@ -609,42 +590,60 @@ def _scenario_trial(args: tuple) -> ScenarioResult:
 def run_scenarios(
     names: Sequence[str],
     *,
-    jobs: int = 1,
+    config: ExecutionConfig | None = None,
     seed: int = 0,
     repeats: int = 1,
     epochs: int | None = None,
     epoch_cycles: int | None = None,
-    engine: str | Mapping[str, str | None] | None = None,
+    engine_overrides: Mapping[str, str | None] | None = None,
     telemetry=None,
+    jobs: int | None = None,
+    engine: str | Mapping[str, str | None] | None = None,
     policy: SupervisionPolicy | None = None,
 ) -> list[ScenarioResult]:
     """Run the named scenarios (``repeats`` seeds each), possibly in parallel.
 
+    ``config`` is the unified :class:`~repro.exp.execution.ExecutionConfig`:
+    ``config.jobs`` fans trials over a supervised process pool,
+    ``config.engine`` overrides every spec's execution engine (``None``
+    keeps each spec's own) and ``config.supervision`` tunes the pool's
+    timeout/retry budget.  ``engine_overrides`` maps individual scenario
+    names to engines on top of that (how ``--engine auto`` applies its
+    per-scenario decisions; unmapped names fall back to ``config.engine``,
+    then to their spec's engine).  The legacy ``jobs=``/``engine=``/
+    ``policy=`` keywords still work — they build a config and emit a
+    :class:`DeprecationWarning` (a legacy ``engine`` mapping routes to
+    ``engine_overrides``).
+
     With ``repeats == 1`` every scenario runs at ``seed`` exactly; with more,
     trial ``r`` of a scenario uses ``trial_seed(seed, r)`` so replications are
-    independent yet reproducible.  ``engine`` overrides every spec's
-    execution engine — either one name for all scenarios or a mapping of
-    scenario name to engine (how ``--engine auto`` applies its per-scenario
-    decisions; unmapped names keep their spec's engine).  Telemetry is
-    engine-agnostic, so results are the same for any value.  Results are
-    ordered by (name, repeat).  ``policy`` tunes the pool's supervision
-    (timeout/retries); the default already survives lost workers.
+    independent yet reproducible.  Simulated outcomes are engine-agnostic
+    and never depend on ``jobs``.  Results are ordered by (name, repeat).
 
     ``telemetry`` streams :func:`run_scenario`'s live per-epoch rows to a
     sink (anything with ``emit(row)``) — in-process only: a sink holds an
     open file handle, which cannot pickle into pool workers, so with
     ``jobs > 1`` the tap is rejected rather than silently dropped.
     """
+    if isinstance(engine, Mapping):
+        # Legacy per-scenario mapping: route to engine_overrides (the
+        # shim below only folds scalar engines into the config).
+        if engine_overrides is not None:
+            raise ValueError("pass either engine_overrides or a legacy engine mapping")
+        engine_overrides = dict(engine)
+        engine = None
+    config = coalesce_execution_config(
+        config, caller="run_scenarios", jobs=jobs, engine=engine, policy=policy
+    )
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
-    if telemetry is not None and jobs > 1:
+    if telemetry is not None and config.jobs > 1:
         raise ValueError(
             "a telemetry sink cannot cross process boundaries; use jobs=1 "
             "with telemetry (or tap the per-unit records instead)"
         )
-    engine_overrides = (
-        engine if isinstance(engine, Mapping) else {name: engine for name in names}
-    )
+    overrides = dict(engine_overrides or {})
+    engine_by_name = {name: overrides.get(name, config.engine) for name in names}
     # Ship the full spec (not just the name) so runtime-registered scenarios
     # survive the trip into spawn-started workers, whose re-imported registry
     # only contains the built-ins.
@@ -654,7 +653,7 @@ def run_scenarios(
             seed if repeats == 1 else trial_seed(seed, repeat),
             epochs,
             epoch_cycles,
-            engine_overrides.get(name),
+            engine_by_name.get(name),
         )
         for name in names
         for repeat in range(repeats)
@@ -671,4 +670,10 @@ def run_scenarios(
             )
             for spec, trial_seed_value, trial_epochs, trial_epoch_cycles, trial_engine in trials
         ]
-    return run_trials(_scenario_trial, trials, jobs=jobs, policy=policy)
+    return run_trials(
+        _scenario_trial,
+        trials,
+        jobs=config.jobs,
+        policy=config.supervision,
+        chaos=config.chaos,
+    )

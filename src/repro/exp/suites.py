@@ -55,6 +55,7 @@ from repro.core.training import (
 )
 from repro.exp.bench import RESULTS_SCHEMA, perf_record
 from repro.exp.chaos import ChaosPolicy
+from repro.exp.execution import ExecutionConfig, coalesce_execution_config
 from repro.exp.runner import SupervisedTrialPool, SupervisionPolicy, trial_seed
 from repro.exp.telemetry import NONDETERMINISTIC_FIELDS
 from repro.exp.scenarios import ScenarioSpec, get_scenario, run_scenario
@@ -271,7 +272,7 @@ def _train_once(training: Mapping, jobs: int) -> TrainingResult:
     return train_dqn_sharded(
         experiment,
         episodes=int(training.get("episodes", 22)),
-        jobs=jobs,
+        config=ExecutionConfig(train_jobs=jobs),
         epsilon_decay_steps=int(training.get("epsilon_decay_steps", 400)),
         seed=int(training.get("seed", 0)),
     )
@@ -321,6 +322,27 @@ def _eval_cache_key(params: Mapping, agent_fingerprint: str) -> str:
 # ---------------------------------------------------------------------------
 
 
+#: Bumped when the journal's on-disk shape changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+class JournalMismatchError(ValueError):
+    """A resume journal was written by a different suite revision.
+
+    Raised by :meth:`SuiteJournal.load` when the journal's header row names
+    a different spec content hash or :meth:`ExecutionConfig.fingerprint`
+    than the resuming run — reusing those rows would silently splice
+    results computed from different inputs into one artefact.  The CLI
+    maps this to exit 2; start fresh (drop ``--resume``) or rerun with the
+    original spec/config.
+    """
+
+
+def spec_sha1(spec: "SuiteSpec") -> str:
+    """Content hash of a suite spec (what the journal header records)."""
+    return hashlib.sha1(spec.to_json().encode()).hexdigest()
+
+
 def subtrial_key(subtrial: tuple) -> str:
     """A stable content address for one expanded ``(kind, params)`` subtrial.
 
@@ -361,9 +383,43 @@ class SuiteJournal:
         self.path = Path(path)
         self._file = None
         self._written: set[str] = set()
+        self._has_header = False
 
-    def load(self) -> dict[str, dict]:
-        """Journaled payloads by subtrial key (tolerates a truncated tail)."""
+    def header_row(self, spec: "SuiteSpec", config: ExecutionConfig) -> dict:
+        """The metadata header identifying the suite revision of this journal."""
+        return {
+            "version": JOURNAL_VERSION,
+            "suite": spec.name,
+            "spec_sha1": spec_sha1(spec),
+            "config_fingerprint": config.fingerprint(),
+        }
+
+    def write_header(self, header: Mapping) -> None:
+        """Stamp the journal with its suite revision (first row, once).
+
+        Eager — creates the file immediately — so even a run killed before
+        its first subtrial lands leaves a journal that a later ``--resume``
+        can validate.
+        """
+        if self._has_header:
+            return
+        self._has_header = True
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("a", encoding="utf-8")
+        self._file.write(json.dumps({"journal": dict(header)}, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def load(self, expected_header: Mapping | None = None) -> dict[str, dict]:
+        """Journaled payloads by subtrial key (tolerates a truncated tail).
+
+        With ``expected_header``, a journal whose header row disagrees on
+        the spec content hash or config fingerprint raises
+        :class:`JournalMismatchError` — its rows were computed from
+        different inputs and must not be spliced into this run.  Journals
+        written before the header existed (PR 7) carry no header row and
+        load without validation, as before.
+        """
         completed: dict[str, dict] = {}
         if not self.path.exists():
             return completed
@@ -375,6 +431,23 @@ class SuiteJournal:
                 row = json.loads(line)
             except json.JSONDecodeError:
                 continue  # the killed run died mid-write; rerun that subtrial
+            header = row.get("journal")
+            if header is not None:
+                self._has_header = True
+                if expected_header is not None:
+                    mismatched = sorted(
+                        key
+                        for key in ("suite", "spec_sha1", "config_fingerprint")
+                        if header.get(key) != expected_header.get(key)
+                    )
+                    if mismatched:
+                        raise JournalMismatchError(
+                            f"journal {self.path} was written by a different "
+                            f"suite revision ({', '.join(mismatched)} differ); "
+                            "rerun without --resume or with the original "
+                            "spec/config"
+                        )
+                continue
             key = row.get("key")
             if key and "payload" in row:
                 completed[key] = row["payload"]
@@ -674,39 +747,58 @@ def _train_unit_payload(
 def run_suite(
     spec: SuiteSpec | str,
     *,
-    jobs: int = 1,
-    train_jobs: int = 1,
+    config: ExecutionConfig | None = None,
     out_dir: str | Path | None = None,
-    perf_repeats: int = 1,
-    reuse_evals: bool = False,
-    engine: str = "cycle",
     telemetry=None,
     resume: bool = False,
+    workers: str | None = None,
+    jobs: int | None = None,
+    train_jobs: int | None = None,
+    perf_repeats: int | None = None,
+    reuse_evals: bool | None = None,
+    engine: str | None = None,
     timeout_s: float | None = None,
     retries: int | None = None,
     chaos: ChaosPolicy | None = None,
+    _dispatch=None,
 ) -> SuiteOutcome:
     """Run every unit of ``spec``, fanning subtrials over one process pool.
 
-    ``jobs`` parallelises the suite's subtrials (simulated outcomes are
-    identical for any value); ``train_jobs`` is handed to the sharded DQN
-    trainer for the suite's shared controller (1 = the serial reference
-    path).  ``engine`` runs the whole suite — subtrials and the shared
-    training — on the named execution engine (simulated outcomes are
-    engine-agnostic; every perf record is tagged with the engine so
-    baselines track each backend separately).  ``perf_repeats`` runs every subtrial — and any shared-training
+    ``config`` is the unified :class:`~repro.exp.execution.ExecutionConfig`
+    — every knob that shapes *execution* in one frozen, serializable value.
+    The legacy keywords (``jobs``, ``train_jobs``, ``perf_repeats``,
+    ``reuse_evals``, ``engine``, ``timeout_s``, ``retries``, ``chaos``)
+    still work: they fold into a config and emit a
+    :class:`DeprecationWarning`.  What stays a keyword is the environment —
+    ``out_dir``, ``telemetry``, ``resume``, ``workers`` describe where the
+    run happens, not what it computes, and never cross a socket.
+
+    ``config.jobs`` parallelises the suite's subtrials (simulated outcomes
+    are identical for any value); ``config.train_jobs`` is handed to the
+    sharded DQN trainer for the suite's shared controller (1 = the serial
+    reference path).  ``config.engine`` runs the whole suite — subtrials
+    and the shared training — on the named execution engine (simulated
+    outcomes are engine-agnostic; every perf record is tagged with the
+    engine so baselines track each backend separately).
+    ``config.perf_repeats`` runs every subtrial — and any shared-training
     unit — N times and keeps the best (minimum) wall time per unit for the
     perf records; rows come from the first repeat and are identical across
-    repeats, so this only steadies the wall-clock samples (the CI gate runs with repeats; the
-    sub-second smoke units are otherwise at the mercy of a shared runner's
-    scheduler).  ``reuse_evals`` memoizes completed ``eval`` subtrials
-    process-wide, keyed on their params plus the deployed weights, so a
-    session running several suites over the same phased policies (the
-    benchmark harness) pays for each distinct evaluation once; cached
-    evals reuse their recorded wall time, so combine it with
-    ``perf_repeats`` only when stale samples are acceptable.  With
-    ``out_dir`` the outcome is also written to ``<out_dir>/<suite>.json``
-    in the shared artefact shape.
+    repeats, so this only steadies the wall-clock samples (the CI gate runs
+    with repeats; the sub-second smoke units are otherwise at the mercy of
+    a shared runner's scheduler).  ``config.reuse_evals`` memoizes
+    completed ``eval`` subtrials process-wide, keyed on their params plus
+    the deployed weights, so a session running several suites over the same
+    phased policies (the benchmark harness) pays for each distinct
+    evaluation once; cached evals reuse their recorded wall time, so
+    combine it with ``perf_repeats`` only when stale samples are
+    acceptable.  With ``out_dir`` the outcome is also written to
+    ``<out_dir>/<suite>.json`` in the shared artefact shape.
+
+    ``workers`` routes the whole run to a :mod:`repro.exp.service` broker
+    (``"tcp://HOST:PORT"``): the spec and config ship over the wire, the
+    broker's fleet executes the subtrials, and the returned outcome — plus
+    the artefact written under ``out_dir`` — is byte-identical to an
+    in-process run (the determinism contract; ``suite diff`` exit 0).
 
     ``telemetry`` is an optional live tap (anything with ``emit(row)``,
     typically a :class:`repro.exp.telemetry.TelemetrySink`): one
@@ -737,29 +829,49 @@ def run_suite(
     combined artefact.  A ``KeyboardInterrupt`` leaves the journal
     flushed and consistent.
     """
+    config = coalesce_execution_config(
+        config,
+        caller="run_suite",
+        timeout_s=timeout_s,
+        retries=retries,
+        jobs=jobs,
+        train_jobs=train_jobs,
+        perf_repeats=perf_repeats,
+        reuse_evals=reuse_evals,
+        engine=engine,
+        chaos=chaos,
+    )
     if isinstance(spec, str):
         spec = get_suite(spec)
-    if perf_repeats < 1:
-        raise ValueError("perf_repeats must be at least 1")
+    if workers is not None:
+        # Imported lazily: the service layer imports this module.
+        from repro.exp.service import submit_suite
+
+        return submit_suite(
+            spec,
+            address=workers,
+            config=config,
+            out_dir=out_dir,
+            telemetry=telemetry,
+            resume=resume,
+        )
+    engine_name = config.resolved_engine()
+    reuse = config.reuse_evals
     if resume and out_dir is None:
         raise ValueError(
             "resume needs an out_dir: the journal lives beside the artefact"
         )
-    supervision = SupervisionPolicy(
-        timeout_s=timeout_s,
-        max_retries=SupervisionPolicy().max_retries if retries is None else retries,
-    )
-    if engine != "cycle" and spec.training is not None:
+    if engine_name != "cycle" and spec.training is not None:
         # The engine becomes part of the training spec (and thus the memo
         # key): a suite run on another backend trains on that backend too.
-        spec = replace(spec, training={**spec.training, "engine": engine})
+        spec = replace(spec, training={**spec.training, "engine": engine_name})
     start = time.perf_counter()
     training_result = None
     agent_payload = None
     if spec.needs_training():
-        training_result = train_controller(spec.training, jobs=train_jobs)
+        training_result = train_controller(spec.training, jobs=config.train_jobs)
         agent_payload = _agent_payload(training_result)
-    fingerprint = _agent_fingerprint(agent_payload) if reuse_evals else ""
+    fingerprint = _agent_fingerprint(agent_payload) if reuse else ""
 
     parent_payloads: dict[int, tuple[dict, float]] = {}
     tagged: list[tuple[int, int, tuple]] = []  # (unit index, repeat, subtrial)
@@ -769,25 +881,28 @@ def run_suite(
             # Resample the (possibly cached) training's wall clock too:
             # the gate's best-of-N discipline must cover every record it
             # compares, not just the pool subtrials.
-            for _ in range(perf_repeats - 1):
-                fresh = _train_once(spec.training, train_jobs)
+            for _ in range(config.perf_repeats - 1):
+                fresh = _train_once(spec.training, config.train_jobs)
                 unit_wall_s = min(unit_wall_s, fresh.wall_time_s)
             parent_payloads[index] = (payload, unit_wall_s)
             continue
-        subtrials = expand_unit(unit, agent_payload, engine=engine)
-        for repeat in range(perf_repeats):
+        subtrials = expand_unit(unit, agent_payload, engine=engine_name)
+        for repeat in range(config.perf_repeats):
             tagged.extend((index, repeat, subtrial) for subtrial in subtrials)
 
     # The journal (resumable runs): a fresh run truncates any stale file; a
-    # resume loads it and satisfies journaled subtrials without dispatching.
+    # resume loads it — refusing one stamped by a different suite revision
+    # — and satisfies journaled subtrials without dispatching.
     journal: SuiteJournal | None = None
     journaled: dict[str, dict] = {}
     if out_dir is not None:
         journal = SuiteJournal(Path(out_dir) / f"{spec.name}.journal.jsonl")
+        header = journal.header_row(spec, config)
         if resume:
-            journaled = journal.load()
+            journaled = journal.load(expected_header=header)
         elif journal.path.exists():
             journal.path.unlink()
+        journal.write_header(header)
 
     # Satisfy what we can from the journal and the eval memo; dispatch the
     # rest as one supervised batch.  ``attempts`` stays 0 for subtrials that
@@ -803,7 +918,7 @@ def run_suite(
             resumed += 1
             continue
         cache_key = None
-        if reuse_evals and subtrial[0] == "eval":
+        if reuse and subtrial[0] == "eval":
             cache_key = _eval_cache_key(subtrial[1], fingerprint)
         if cache_key is not None and cache_key in _EVAL_CACHE:
             payloads[position] = _EVAL_CACHE[cache_key]
@@ -839,9 +954,15 @@ def run_suite(
         f"{spec.units[tagged[position][0]].name}[{position}]"
         for position, _, _, _ in dispatch
     ]
-    pool = SupervisedTrialPool(jobs, policy=supervision, chaos=chaos)
+    # ``_dispatch`` is the fleet hook: the service broker substitutes its
+    # lease-based dispatcher for the local pool, reusing everything else
+    # here — expansion, journal, memo, assembly — unchanged, which is what
+    # makes a fleet run's artefact byte-identical to this in-process path.
+    executor = _dispatch or SupervisedTrialPool(
+        config.jobs, policy=config.supervision, chaos=config.chaos
+    )
     try:
-        results = pool.run(
+        results = executor.run(
             run_suite_subtrial,
             [subtrial for _, _, _, subtrial in dispatch],
             labels=labels,
@@ -850,9 +971,15 @@ def run_suite(
     finally:
         # Interrupt/quarantine included: the journal is already flushed row
         # by row, so whatever completed survives for --resume.
-        pool.close()
+        executor.close()
         if journal is not None:
             journal.close()
+    # Lease metadata (which worker ran what) — scheduling only, never part
+    # of outcomes; rides the telemetry rows as diff-ignored fields.
+    scheduling = dict(getattr(executor, "last_scheduling", ()) or {})
+    scheduling_by_position = {
+        dispatch[idx][0]: meta for idx, meta in scheduling.items()
+    }
     for (position, cache_key, _, _), payload in zip(dispatch, results):
         payloads[position] = payload
         if cache_key is not None:
@@ -867,12 +994,15 @@ def run_suite(
             attempts = attempts_by_position[position]
             telemetry.emit(
                 {
-                    "source": "subtrial",
+                    # Fleet-executed subtrials are tagged source="service"
+                    # and carry their lease metadata (diff-ignored
+                    # scheduling fields, like attempts/retries).
+                    "source": "service" if _dispatch is not None else "subtrial",
                     "suite": spec.name,
                     "scenario": unit.name,
                     "unit": unit.name,
                     "kind": unit.kind,
-                    "engine": unit.params.get("engine") or engine,
+                    "engine": unit.params.get("engine") or engine_name,
                     "repeat": repeat,
                     "rows": len(payload.get("rows", ())),
                     "cycles": payload.get("cycles"),
@@ -884,6 +1014,7 @@ def run_suite(
                     ),
                     "attempts": attempts,
                     "retries": max(attempts - 1, 0),
+                    **scheduling_by_position.get(position, {}),
                 }
             )
 
@@ -904,7 +1035,7 @@ def run_suite(
                 payload["summary"] = parts[0]["summary"]
             unit_wall_s = min(
                 sum(part["wall_s"] for part in grouped[(index, repeat)])
-                for repeat in range(perf_repeats)
+                for repeat in range(config.perf_repeats)
             )
         units.append(payload)
         records.append(
@@ -917,7 +1048,7 @@ def run_suite(
                 # A unit naming its own engine wins over the suite-level
                 # argument (mirroring expand_unit), so the record always
                 # names the engine that actually ran.
-                engine=unit.params.get("engine") or engine,
+                engine=unit.params.get("engine") or engine_name,
             )
         )
 

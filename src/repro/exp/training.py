@@ -59,6 +59,7 @@ from repro.core.training import (
     run_training_episode,
 )
 from repro.exp.chaos import ChaosPolicy
+from repro.exp.execution import ExecutionConfig, coalesce_execution_config
 from repro.exp.runner import SupervisedTrialPool, SupervisionPolicy, trial_seed
 from repro.rl.agent import Transition
 from repro.rl.dqn import DQNAgent, DQNConfig
@@ -235,7 +236,8 @@ def train_dqn_sharded(
     experiment: ExperimentConfig,
     episodes: int = 30,
     *,
-    jobs: int = 1,
+    config: ExecutionConfig | None = None,
+    jobs: int | None = None,
     sync_interval: int = 1,
     episodes_per_task: int = 1,
     dqn_config: DQNConfig | None = None,
@@ -244,13 +246,20 @@ def train_dqn_sharded(
     chaos: ChaosPolicy | None = None,
     **dqn_overrides,
 ) -> TrainingResult:
-    """Train a DQN controller on ``experiment``, sharding rollouts over ``jobs``.
+    """Train a DQN controller on ``experiment``, sharding rollouts over actors.
+
+    ``config`` is the unified :class:`~repro.exp.execution.ExecutionConfig`;
+    this function reads its ``train_jobs`` (the actor count — part of the
+    RNG contract for ``>= 2``), ``supervision`` and ``chaos`` fields.  The
+    legacy ``jobs=``/``supervision=``/``chaos=`` keywords still work but
+    emit a :class:`DeprecationWarning`.
 
     ``episodes`` is the *total* target episode count; with ``resume_from``
     the engine trains only the remaining ``episodes - resume_from.episodes``
-    and returns the combined curve.  ``jobs=1`` is the serial reference
-    path (bit-identical to :func:`~repro.core.training.train_dqn_controller`);
-    ``jobs>=2`` fans actor rollouts over a persistent process pool and
+    and returns the combined curve.  One actor (``train_jobs=1``) is the
+    serial reference path (bit-identical to
+    :func:`~repro.core.training.train_dqn_controller`);
+    ``train_jobs>=2`` fans actor rollouts over a persistent process pool and
     broadcasts learner weights every ``sync_interval`` rounds.
 
     ``episodes_per_task`` batches that many episodes onto each actor task
@@ -267,10 +276,18 @@ def train_dqn_sharded(
     timeout/retry budget; ``chaos`` injects a deterministic fault script
     (tests only).
     """
+    config = coalesce_execution_config(
+        config,
+        caller="train_dqn_sharded",
+        train_jobs=jobs,
+        supervision=supervision,
+        chaos=chaos,
+    )
+    jobs = config.train_jobs
+    supervision = config.supervision
+    chaos = config.chaos
     if episodes < 1:
         raise ValueError("episodes must be positive")
-    if jobs < 1:
-        raise ValueError("jobs must be at least 1")
     if sync_interval < 1:
         raise ValueError("sync_interval must be at least 1")
     if episodes_per_task < 1:

@@ -50,7 +50,9 @@ class TestParser:
     def test_engine_flags_parse_everywhere(self):
         parser = cli.build_parser()
         assert parser.parse_args(["sweep", "--engine", "event"]).engine == "event"
-        assert parser.parse_args(["sweep"]).engine == "cycle"
+        # The shared execution parent leaves --engine unset; each command
+        # resolves None to its default ("cycle" for sweep/suite run).
+        assert parser.parse_args(["sweep"]).engine is None
         assert (
             parser.parse_args(["scenarios", "run", "--engine", "event"]).engine
             == "event"
