@@ -1,0 +1,140 @@
+"""Stacked-batch vs per-process fan-out for the repeated-eval workload.
+
+The batch-dispatch surface exists to make "evaluate N policies on the
+same experiment" cheap: :func:`repro.core.evaluate_controller_batch`
+stacks the replicas on one :class:`~repro.engines.batch.BatchEngine`
+over the vectorised numpy engine, where the old path ran one full
+per-process evaluation per policy (``jobs=1`` fan-out on the cycle
+engine — the pre-batch reference).
+
+This module times both paths over the same replica set and records them
+to ``benchmarks/results/batch_scaling.json`` in the shared perf schema
+(``cycles`` counts *simulated* cycles: replicas x epochs x
+cycles-per-epoch), plus the cycles/sec of each and their ratio.
+
+Two checks ride along:
+
+* the stacked traces must match the serial references exactly (summary
+  and per-epoch action indices) — the batch path is a shipping
+  optimisation, never a different simulation;
+* on hosts with at least four usable cores the stacked run must clear
+  3x the serial cycles/sec.  On smaller hosts the artefact is still
+  written but the speedup is informational — the honest number on a
+  starved host says more than a skipped benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core import (
+    ExperimentConfig,
+    evaluate_controller,
+    evaluate_controller_batch,
+)
+from repro.exp.bench import RESULTS_SCHEMA, perf_record
+from repro.exp.suites import build_policy
+
+NUM_EPOCHS = int(os.environ.get("REPRO_BENCH_BATCH_EPOCHS", "6"))
+POLICIES = (
+    "static-L0",
+    "static-L1",
+    "static-L2",
+    "static-L3",
+    "static-max",
+    "static-min",
+    "heuristic",
+    "random",
+)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _experiment(engine: str) -> ExperimentConfig:
+    experiment = ExperimentConfig.small()
+    return replace(experiment, simulator=replace(experiment.simulator, engine=engine))
+
+
+@pytest.mark.bench
+def test_batch_scaling(report, results_dir):
+    cores = _usable_cores()
+
+    serial_experiment = _experiment("cycle")
+    start = time.perf_counter()
+    serial_traces = [
+        evaluate_controller(
+            serial_experiment,
+            build_policy(name, serial_experiment),
+            num_epochs=NUM_EPOCHS,
+        )
+        for name in POLICIES
+    ]
+    serial_wall = time.perf_counter() - start
+
+    batch_experiment = _experiment("numpy")
+    policies = [build_policy(name, batch_experiment) for name in POLICIES]
+    start = time.perf_counter()
+    stacked_traces = evaluate_controller_batch(
+        batch_experiment, policies, num_epochs=NUM_EPOCHS
+    )
+    batch_wall = time.perf_counter() - start
+
+    # Parity before throughput: the stacked replicas must reproduce the
+    # serial evaluations exactly or the speedup is measuring the wrong thing.
+    for serial_trace, stacked_trace in zip(serial_traces, stacked_traces):
+        assert stacked_trace.policy_name == serial_trace.policy_name
+        assert stacked_trace.summary() == serial_trace.summary()
+        assert [record.action_index for record in stacked_trace.records] == [
+            record.action_index for record in serial_trace.records
+        ]
+
+    simulated_cycles = (
+        len(POLICIES) * NUM_EPOCHS * serial_experiment.epoch_cycles
+    )
+    serial_record = perf_record(
+        "repeated-eval", simulated_cycles, serial_wall, engine="cycle", replicas=1
+    )
+    batch_record = perf_record(
+        "repeated-eval",
+        simulated_cycles,
+        batch_wall,
+        engine="numpy+batch",
+        replicas=len(POLICIES),
+    )
+    speedup = (
+        batch_record["cycles_per_s"] / serial_record["cycles_per_s"]
+        if serial_record["cycles_per_s"] and batch_record["cycles_per_s"]
+        else 0.0
+    )
+
+    artefact = {
+        "replicas": len(POLICIES),
+        "policies": list(POLICIES),
+        "num_epochs": NUM_EPOCHS,
+        "epoch_cycles": serial_experiment.epoch_cycles,
+        "cpu_count": cores,
+        "schema": list(RESULTS_SCHEMA),
+        "runs": [serial_record, batch_record],
+        "speedup": speedup,
+    }
+    (results_dir / "batch_scaling.json").write_text(json.dumps(artefact, indent=2))
+    report(
+        "Batch scaling — stacked eval replicas vs per-process fan-out (cycles/sec)",
+        json.dumps(artefact, indent=2),
+    )
+
+    if cores >= 4:
+        assert speedup >= 3.0, (
+            f"expected the stacked batch path to clear 3x serial cycles/sec "
+            f"on {cores} cores, got {speedup:.2f}x"
+        )

@@ -96,7 +96,13 @@ from repro.exp import (
     suite_names,
     train_dqn_sharded,
 )
-from repro.engines import AUTO_ENGINE, resolve_engine_name, selectable_engine_names
+from repro.engines import (
+    AUTO_ENGINE,
+    DEFAULT_ENGINE,
+    engine_infos,
+    resolve_engine_name,
+    selectable_engine_names,
+)
 from repro.exp.bench import BENCH_ENGINE_VARIANTS, RESULTS_SCHEMA
 from repro.exp.execution import ExecutionConfig, SupervisionPolicy
 from repro.exp.perfguard import (
@@ -210,8 +216,18 @@ def _execution_parent() -> argparse.ArgumentParser:
     group.add_argument(
         "--engine",
         default=None,
-        help="simulation engine (cycle|event, or auto to pick the measured "
-        "best; simulated results are engine-agnostic)",
+        help="simulation engine (cycle|event|numpy, or auto to pick the "
+        "measured best; see `engines list`; simulated results are "
+        "engine-agnostic)",
+    )
+    group.add_argument(
+        "--batch",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="group up to N homogeneous subtrials into one stacked "
+        "batch-engine task (needs an engine with batch support, e.g. "
+        "--engine numpy; default 0 = off; results are identical either way)",
     )
     group.add_argument(
         "--timeout",
@@ -261,6 +277,7 @@ def execution_config_from_args(
         train_jobs=args.train_jobs or 1,
         engine=args.engine if engine is ... else engine,
         perf_repeats=perf_repeats,
+        batch=getattr(args, "batch", None) or 0,
         reuse_evals=reuse_evals,
         supervision=SupervisionPolicy(**supervision_knobs),
         chaos=chaos,
@@ -410,6 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
         "wall-clock fields are always ignored",
     )
 
+    engines = subparsers.add_parser(
+        "engines", help="inspect the registered simulation engines"
+    )
+    engines_sub = engines.add_subparsers(dest="engines_command", required=True)
+    engines_sub.add_parser(
+        "list", help="show every registered engine and its capabilities"
+    )
+
     bench = subparsers.add_parser(
         "bench", help="hot-path engine microbenchmark (cycles/sec, both engines)"
     )
@@ -454,7 +479,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--engine",
         default="cycle",
-        help="optimised engine to pit against the naive loop (cycle|event)",
+        help="optimised engine to pit against the naive loop "
+        "(cycle|event|numpy; see `engines list`)",
     )
 
     train = subparsers.add_parser(
@@ -1227,10 +1253,38 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_engines(args: argparse.Namespace) -> int:
+    """``engines list``: every registry entry with its capability flags.
+
+    ``selectable`` engines are valid ``--engine`` values (plus ``auto``);
+    a ``batch``-capable engine lets ``--batch`` group subtrials onto the
+    stacked batch engine.  ``batch`` itself is registered unselectable —
+    it only makes sense as an explicit N-replica configuration, so neither
+    ``--engine`` nor the auto policy will ever pick it for a single sim.
+    """
+    del args
+    rows = [
+        {
+            "engine": info.name
+            + (" (default)" if info.name == DEFAULT_ENGINE else ""),
+            "selectable": "yes" if info.selectable else "no",
+            "batch": "yes" if info.supports_batch else "no",
+        }
+        for info in engine_infos()
+    ]
+    print(format_table(rows, title="Registered engines"))
+    print(
+        f"--engine accepts: {', '.join(selectable_engine_names())}; "
+        "'batch: yes' engines power suite --batch dispatch"
+    )
+    return 0
+
+
 _COMMANDS = {
     "sweep": cmd_sweep,
     "scenarios": cmd_scenarios,
     "suite": cmd_suite,
+    "engines": cmd_engines,
     "bench": cmd_bench,
     "train": cmd_train,
     "serve": cmd_serve,

@@ -32,6 +32,7 @@ from repro.core.controller import (
     DRLControllerPolicy,
     EpochRecord,
     SelfConfigController,
+    run_controllers_lockstep,
 )
 from repro.core.environment import NoCConfigEnv
 from repro.core.features import FeatureExtractor
@@ -39,6 +40,7 @@ from repro.core.rewards import RewardSpec
 from repro.core.training import (
     TrainingResult,
     evaluate_controller,
+    evaluate_controller_batch,
     train_dqn_controller,
     train_tabular_controller,
 )
@@ -64,7 +66,9 @@ __all__ = [
     "TrainingResult",
     "VcActionSpace",
     "evaluate_controller",
+    "evaluate_controller_batch",
     "make_action_space",
+    "run_controllers_lockstep",
     "train_dqn_controller",
     "train_tabular_controller",
 ]

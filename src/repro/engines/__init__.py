@@ -12,38 +12,59 @@ engines are telemetry-equivalent — statistics, energy floats and the
 * ``event`` — :class:`EventEngine`, a calendar queue over injection and
   pipeline events (rebuilt against the current divider table whenever a
   DVFS retune can have happened) that additionally leaps gated spans
-  while flits are parked (the large-mesh scaling path).
+  while flits are parked (the large-mesh scaling path);
+* ``numpy`` — :class:`NumpyEngine`, the cycle loop with block-sampled
+  injections (one vectorised RNG call per span) and exact idle leaps;
+* ``batch`` — :class:`BatchEngine`, N replica models advanced in lockstep
+  by one process (``selectable=False``: never offered for a single sim,
+  reachable as explicit configuration and through the suite engine's
+  batch-dispatch pass).
 
-New engines register through :func:`register_engine` and become available
-everywhere a name is accepted.
+New engines register through :func:`register_engine`, declare capabilities
+via :class:`EngineInfo`, and become available everywhere a name is
+accepted.
 """
 
 from repro.engines.base import (
     AUTO_ENGINE,
     DEFAULT_ENGINE,
     Engine,
+    EngineInfo,
     build_engine,
+    engine_info,
+    engine_infos,
     engine_names,
+    engine_supports_batch,
     get_engine_factory,
     register_engine,
     resolve_engine_name,
     selectable_engine_names,
     validate_engine_name,
 )
+from repro.engines.batch import BatchEngine
 from repro.engines.cycle import CycleEngine
 from repro.engines.event import EventEngine
+from repro.engines.numpy_engine import NumpyEngine
 
 register_engine("cycle", CycleEngine)
 register_engine("event", EventEngine)
+register_engine("numpy", NumpyEngine, supports_batch=True)
+register_engine("batch", BatchEngine, supports_batch=True, selectable=False)
 
 __all__ = [
     "AUTO_ENGINE",
+    "BatchEngine",
     "CycleEngine",
     "DEFAULT_ENGINE",
     "Engine",
+    "EngineInfo",
     "EventEngine",
+    "NumpyEngine",
     "build_engine",
+    "engine_info",
+    "engine_infos",
     "engine_names",
+    "engine_supports_batch",
     "get_engine_factory",
     "register_engine",
     "resolve_engine_name",

@@ -15,6 +15,7 @@ caller importing a concrete engine class.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -52,11 +53,39 @@ class Engine(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
+@dataclass(frozen=True)
+class EngineInfo:
+    """Capability metadata the registry keeps alongside each factory.
+
+    ``supports_batch``
+        The engine can advance N stacked replicas in lockstep
+        (:meth:`repro.engines.batch.BatchEngine.run_batch`); the suite
+        engine's batch-dispatch pass only groups subtrials when the
+        resolved engine advertises this.
+    ``selectable``
+        The engine is a sensible choice for a *single* simulation and may
+        be offered by ``--engine`` / chosen by ``EnginePolicy``.  Batch-only
+        backends register with ``selectable=False``: they stay reachable as
+        explicit configuration (``SimulatorConfig(engine=...)`` builds a
+        batch of one) but are never auto-selected.
+    """
+
+    name: str
+    supports_batch: bool = False
+    selectable: bool = True
+
+
 _REGISTRY: dict[str, Callable[["NoCModel"], Engine]] = {}
+_INFO: dict[str, EngineInfo] = {}
 
 
 def register_engine(
-    name: str, factory: Callable[["NoCModel"], Engine], *, replace_existing: bool = False
+    name: str,
+    factory: Callable[["NoCModel"], Engine],
+    *,
+    supports_batch: bool = False,
+    selectable: bool = True,
+    replace_existing: bool = False,
 ) -> None:
     """Add an engine factory (usually the class itself) under ``name``."""
     if not name:
@@ -64,10 +93,27 @@ def register_engine(
     if name in _REGISTRY and not replace_existing:
         raise ValueError(f"engine {name!r} is already registered")
     _REGISTRY[name] = factory
+    _INFO[name] = EngineInfo(name=name, supports_batch=supports_batch, selectable=selectable)
 
 
 def engine_names() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
+
+
+def engine_info(name: str) -> EngineInfo:
+    """Capability metadata for the engine registered under ``name``."""
+    validate_engine_name(name)
+    return _INFO[name]
+
+
+def engine_infos() -> tuple[EngineInfo, ...]:
+    """Metadata for every registered engine, sorted by name."""
+    return tuple(_INFO[name] for name in engine_names())
+
+
+def engine_supports_batch(name: str) -> bool:
+    """Whether the registry advertises lockstep replica batching for ``name``."""
+    return engine_info(name).supports_batch
 
 
 def validate_engine_name(name: str) -> str:
@@ -100,8 +146,13 @@ DEFAULT_ENGINE = "cycle"
 
 
 def selectable_engine_names() -> tuple[str, ...]:
-    """Engine names an ``--engine`` flag accepts: the registry plus ``auto``."""
-    return engine_names() + (AUTO_ENGINE,)
+    """Engine names an ``--engine`` flag accepts.
+
+    The registry's ``selectable`` engines plus ``auto`` — batch-only
+    backends are deliberately absent (a batch of one is never what a
+    single-sim flag means).
+    """
+    return tuple(info.name for info in engine_infos() if info.selectable) + (AUTO_ENGINE,)
 
 
 def resolve_engine_name(

@@ -1,0 +1,130 @@
+"""The batch engine: N replica models advanced in lockstep by one process.
+
+Suites burn thousands of *near-identical* subtrials — sweep points, eval
+repeats, DQN rollout envs — that differ only in rate, seed or policy
+weights.  Per-process fan-out pays full interpreter cost per trial;
+:class:`BatchEngine` instead stacks N independent replicas in one process
+and advances them in lockstep chunks, each replica driven by its own inner
+engine (the vectorised ``numpy`` engine by default).
+
+Replicas never interact, so every replica's telemetry is byte-identical to
+running it alone — the whole-suite ``suite diff`` parity that holds for
+``cycle`` vs ``event`` holds for serial vs batched execution too.  The
+registry entry is ``selectable=False``: ``--engine``/``EnginePolicy`` never
+pick a batch backend for a single sim, but explicit configuration
+(``SimulatorConfig(engine="batch")``) still works and builds a batch of
+one.
+
+:meth:`run_batch` is the capability surface the suite engine's
+batch-dispatch pass targets (``EngineInfo.supports_batch``);
+:meth:`run_epoch_all` mirrors :meth:`NoCSimulator.run_epoch` per replica so
+controller evaluation can run stacked.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.engines.base import Engine, build_engine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.noc.model import NoCModel
+    from repro.noc.stats import EpochTelemetry
+
+#: Cycles advanced per lockstep round.  Chunking bounds how far replicas
+#: drift apart mid-advance; results are chunk-size independent (block
+#: sampling consumes the same stream however the span is split).
+LOCKSTEP_CHUNK_CYCLES = 256
+
+
+class BatchEngine:
+    """Advance N independent replica models in lockstep."""
+
+    name = "batch"
+    #: Registry name of the engine built for each replica.
+    inner_engine = "numpy"
+
+    def __init__(
+        self,
+        model: "NoCModel | None" = None,
+        *,
+        engines: Sequence[Engine] | None = None,
+    ) -> None:
+        if (model is None) == (engines is None):
+            raise ValueError("pass exactly one of model= or engines=")
+        if engines is None:
+            engines = [build_engine(self.inner_engine, model)]
+        if not engines:
+            raise ValueError("a batch engine needs at least one replica")
+        self.engines: list[Engine] = list(engines)
+        clocks = {engine.model.cycle for engine in self.engines}
+        if len(clocks) != 1:
+            raise ValueError("batched replicas must start on the same cycle")
+
+    @classmethod
+    def stack(cls, models: Iterable["NoCModel"], inner: str | None = None) -> "BatchEngine":
+        """Build a batch over ``models``, one ``inner`` engine per replica."""
+        inner_name = inner or cls.inner_engine
+        return cls(engines=[build_engine(inner_name, model) for model in models])
+
+    # -- Engine protocol (the primary replica is the batch's face) ----------
+
+    @property
+    def model(self) -> "NoCModel":
+        return self.engines[0].model
+
+    @property
+    def idle_cycles(self) -> int:
+        return self.engines[0].idle_cycles
+
+    @property
+    def skipped_router_steps(self) -> int:
+        return self.engines[0].skipped_router_steps
+
+    def step(self) -> None:
+        """Advance every replica by exactly one cycle."""
+        for engine in self.engines:
+            engine.step()
+
+    def run(self, cycles: int, *, on_cycle: Callable[[int], None] | None = None) -> None:
+        """Advance every replica ``cycles`` cycles in lockstep.
+
+        ``on_cycle`` receives each cycle number once (replicas share a
+        clock) before any replica executes it, and forces per-cycle
+        stepping like on every engine.
+        """
+        if on_cycle is not None:
+            end = self.model.cycle + cycles
+            while self.model.cycle < end:
+                on_cycle(self.model.cycle)
+                self.step()
+            return
+        self.run_batch(cycles)
+
+    # -- the batch surface ---------------------------------------------------
+
+    def run_batch(self, cycles: int) -> None:
+        """Advance all replicas ``cycles`` cycles, in bounded lockstep chunks."""
+        remaining = cycles
+        while remaining > 0:
+            chunk = min(remaining, LOCKSTEP_CHUNK_CYCLES)
+            for engine in self.engines:
+                engine.run(chunk)
+            remaining -= chunk
+
+    def run_epoch_all(self, cycles: int) -> "list[EpochTelemetry]":
+        """One epoch for every replica: snapshot, advance lockstep, settle.
+
+        Mirrors :meth:`repro.noc.network.NoCSimulator.run_epoch` replica by
+        replica, so each returned :class:`EpochTelemetry` is byte-identical
+        to what a solo run of that replica would have produced.
+        """
+        snapshots = [
+            (engine.model.stats.snapshot(), engine.model.power.snapshot())
+            for engine in self.engines
+        ]
+        self.run_batch(cycles)
+        return [
+            engine.model.finish_epoch(cycles, stats_before, energy_before)
+            for engine, (stats_before, energy_before) in zip(self.engines, snapshots)
+        ]

@@ -17,8 +17,10 @@ The loop is *activity tracked* (see :class:`repro.noc.model.NoCModel` for
 the sets it reads): injection and router stepping iterate only over active
 members, routers whose DVFS clock divider gates the current cycle are
 skipped without so much as a method call, and completely empty cycles take
-an *idle fast path* — batched into whole idle spans when the traffic source
-implements the :meth:`TrafficSource.next_injection_cycle` hint.
+an *idle fast path* — batched into whole idle spans via the traffic
+source's :meth:`TrafficSource.next_injection_cycle` hint (a full protocol
+member since PR 9; the conservative default returns ``cycle`` and simply
+disables span batching).
 
 Two model toggles bound the behaviour for equivalence testing:
 ``model.activity_tracking = False`` restores the naive scan-everything
@@ -79,7 +81,6 @@ class CycleEngine:
         """
         model = self.model
         traffic = model.traffic
-        hint = getattr(traffic, "next_injection_cycle", None)
         tracking = model.activity_tracking
         idle_fast = model.idle_fast_path
         nonempty_sources = model._nonempty_sources
@@ -107,8 +108,8 @@ class CycleEngine:
                 if tracking and end - cycle > 1:
                     if traffic is None:
                         span = end - cycle
-                    elif hint is not None:
-                        next_injection = hint(cycle + 1)
+                    else:
+                        next_injection = traffic.next_injection_cycle(cycle + 1)
                         if next_injection is None:
                             span = end - cycle
                         elif next_injection > cycle + 1:

@@ -5,8 +5,9 @@ a calendar (a min-heap keyed on cycle) of the moments something *can*
 happen and leaps over everything in between:
 
 * **injection events** — the earliest cycle the traffic source may create a
-  packet, from the :meth:`TrafficSource.next_injection_cycle` hint (a
-  source without the hint schedules an injection event every cycle);
+  packet, from the :meth:`TrafficSource.next_injection_cycle` protocol
+  member (the conservative default returns the queried cycle itself, which
+  schedules an injection event every cycle);
 * **pipeline events** — while any flit is buffered in a router or queued at
   an NI, the next cycle on which at least one DVFS clock divider fires
   (cycles none fires are fully gated: no injection, no pipeline work);
@@ -107,7 +108,6 @@ class EventEngine:
     def _advance(self, end: int) -> None:
         model = self.model
         traffic = model.traffic
-        hint = getattr(traffic, "next_injection_cycle", None)
         stats = model.stats
         power = model.power
         nonempty_sources = model._nonempty_sources
@@ -119,10 +119,7 @@ class EventEngine:
         def schedule_injection(at: int) -> None:
             if traffic is None:
                 return
-            if hint is None:
-                heapq.heappush(heap, (at, _INJECT))
-                return
-            next_injection = hint(at)
+            next_injection = traffic.next_injection_cycle(at)
             if next_injection is not None:
                 heapq.heappush(heap, (max(next_injection, at), _INJECT))
 

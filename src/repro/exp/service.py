@@ -100,7 +100,9 @@ class Lease:
     lease_id: str
     index: int  # dispatch index into the job's subtrial list
     label: str
-    subtrial: tuple
+    #: A :class:`repro.exp.suites.Subtrial` (it unpacks as ``kind, params``,
+    #: which is exactly the wire frame's ``[kind, params]`` shape).
+    subtrial: object
     worker_id: str
     #: Zero-based attempt number (chaos rules address this).
     attempt: int
@@ -793,7 +795,7 @@ class ServiceWorker:
 
     def _execute(self, sock, lease: dict) -> bool:
         """Run one lease; False = the connection was chaos-dropped."""
-        from repro.exp.suites import run_suite_subtrial
+        from repro.exp.suites import Subtrial, run_suite_subtrial
 
         action = None
         if self.chaos is not None:
@@ -822,7 +824,7 @@ class ServiceWorker:
                 # and the subtrial is stolen; the late result below is then
                 # discarded (first-wins).
                 time.sleep(stall_s)
-        subtrial_kind, params = lease["subtrial"]
+        subtrial = Subtrial.from_wire(lease["subtrial"])
         stop_heartbeat = threading.Event()
         heartbeat = None
         timeout_s = lease.get("timeout_s")
@@ -842,7 +844,7 @@ class ServiceWorker:
             heartbeat = threading.Thread(target=_beat, daemon=True)
             heartbeat.start()
         try:
-            payload = run_suite_subtrial((subtrial_kind, params))
+            payload = run_suite_subtrial(subtrial)
         except Exception as exc:
             stop_heartbeat.set()
             self._send(

@@ -34,9 +34,10 @@ import hashlib
 import json
 import pickle
 import time
+import warnings
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.analysis.metrics import summarize_trace
 from repro.baselines import (
@@ -47,6 +48,7 @@ from repro.baselines import (
     static_min_energy,
 )
 from repro.core import ExperimentConfig, TrafficSpec, evaluate_controller
+from repro.core.training import evaluate_controller_batch
 from repro.core.controller import DRLControllerPolicy
 from repro.core.training import (
     TrainingResult,
@@ -60,6 +62,7 @@ from repro.exp.runner import SupervisedTrialPool, SupervisionPolicy, trial_seed
 from repro.exp.telemetry import NONDETERMINISTIC_FIELDS
 from repro.exp.scenarios import ScenarioSpec, get_scenario, run_scenario
 from repro.exp.training import train_dqn_sharded
+from repro.engines import engine_supports_batch
 from repro.noc import SimulatorConfig
 from repro.rl.dqn import DQNAgent
 
@@ -343,22 +346,101 @@ def spec_sha1(spec: "SuiteSpec") -> str:
     return hashlib.sha1(spec.to_json().encode()).hexdigest()
 
 
-def subtrial_key(subtrial: tuple) -> str:
-    """A stable content address for one expanded ``(kind, params)`` subtrial.
+#: Subtrial kinds :func:`run_suite_subtrial` can execute.  The ``batch``
+#: kind is synthetic: it wraps homogeneous members of the other kinds for
+#: one :meth:`Engine.run_batch`-backed worker call (see
+#: :func:`group_subtrials`); units never expand into it directly.
+SUBTRIAL_KINDS = ("sweep", "scenario", "eval", "train-eval", "batch")
 
-    The key hashes everything the subtrial's outcome depends on: its kind
-    and its plain-data params, with any embedded agent payload replaced by
-    its weight fingerprint (raw network state is neither JSON-able nor
+
+@dataclass(frozen=True)
+class Subtrial:
+    """One expanded, picklable unit of suite work: a kind plus its params.
+
+    This is the typed form of the historical ``(kind, params)`` tuple that
+    rides everywhere a subtrial travels — the pool path
+    (:func:`run_suite_subtrial`), the service's lease payload
+    (:meth:`to_wire`/:meth:`from_wire` frame the JSON shape) and the batch
+    grouper (:func:`group_subtrials`).  It still unpacks like the tuple
+    (``kind, params = subtrial``) so wire codecs stay one line, and the
+    public entry points accept the legacy tuple behind a
+    :class:`DeprecationWarning` (:meth:`coerce`).
+
+    ``key`` is the subtrial's content address: a hash of everything its
+    outcome depends on, with any embedded agent payload replaced by its
+    weight fingerprint (raw network state is neither JSON-able nor
     key-stable).  Two subtrials with the same key produce bit-identical
     payloads — the determinism contract — which is what makes a journaled
     result safe to reuse across process restarts.
     """
-    kind, params = subtrial
-    reduced = {key: value for key, value in dict(params).items() if key != "agent"}
-    blob = json.dumps([kind, reduced], sort_keys=True, default=str)
-    return hashlib.sha1(
-        (blob + "|" + _agent_fingerprint(params.get("agent"))).encode()
-    ).hexdigest()
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SUBTRIAL_KINDS:
+            raise ValueError(
+                f"unknown subtrial kind {self.kind!r}; "
+                f"known: {', '.join(SUBTRIAL_KINDS)}"
+            )
+        # Params stay a plain dict (picklable, wire-framable); the copy
+        # keeps the frozen value insulated from caller-side mutation.
+        object.__setattr__(self, "params", dict(self.params))
+
+    def __iter__(self):
+        """Unpack like the legacy tuple: ``kind, params = subtrial``."""
+        yield self.kind
+        yield self.params
+
+    @property
+    def key(self) -> str:
+        """Stable content address (see the class docstring)."""
+        if self.kind == "batch":
+            # Agent payloads hide inside the members, so hash member keys
+            # (which fingerprint them properly) rather than raw params.
+            members = [
+                Subtrial(kind, params).key
+                for kind, params in self.params.get("subtrials", ())
+            ]
+            blob = json.dumps(["batch", members], sort_keys=True)
+            return hashlib.sha1(blob.encode()).hexdigest()
+        reduced = {key: value for key, value in self.params.items() if key != "agent"}
+        blob = json.dumps([self.kind, reduced], sort_keys=True, default=str)
+        return hashlib.sha1(
+            (blob + "|" + _agent_fingerprint(self.params.get("agent"))).encode()
+        ).hexdigest()
+
+    def to_wire(self) -> list:
+        """The JSON-framable ``[kind, params]`` shape the service ships."""
+        return [self.kind, self.params]
+
+    @classmethod
+    def from_wire(cls, payload: Sequence) -> "Subtrial":
+        """Rebuild from :meth:`to_wire` output (or the legacy tuple shape)."""
+        kind, params = payload
+        return cls(kind, params)
+
+    @classmethod
+    def coerce(cls, value: "Subtrial | tuple", *, caller: str) -> "Subtrial":
+        """Accept a :class:`Subtrial`, or a legacy tuple with a warning."""
+        if isinstance(value, cls):
+            return value
+        warnings.warn(
+            f"{caller}() with a (kind, params) tuple is deprecated; "
+            "pass a Subtrial instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return cls.from_wire(value)
+
+
+def subtrial_key(subtrial: "Subtrial | tuple") -> str:
+    """Content address of one expanded subtrial (see :attr:`Subtrial.key`).
+
+    Kept as the journal's public keying function; legacy ``(kind, params)``
+    tuples still work behind a :class:`DeprecationWarning`.
+    """
+    return Subtrial.coerce(subtrial, caller="subtrial_key").key
 
 
 class SuiteJournal:
@@ -543,15 +625,7 @@ def _run_scenario_subtrial(params: Mapping) -> dict:
     }
 
 
-def _run_eval(params: Mapping) -> dict:
-    experiment = build_experiment(params)
-    policy = build_policy(params["policy"], experiment, params.get("agent"))
-    num_epochs = params.get("num_epochs")
-    start = time.perf_counter()
-    trace = evaluate_controller(
-        experiment, policy, num_epochs=int(num_epochs) if num_epochs else None
-    )
-    wall_s = time.perf_counter() - start
+def _eval_payload(trace, wall_s: float) -> dict:
     rows = [
         {
             "epoch": record.epoch,
@@ -569,6 +643,17 @@ def _run_eval(params: Mapping) -> dict:
         "cycles": trace.total_cycles,
         "wall_s": wall_s,
     }
+
+
+def _run_eval(params: Mapping) -> dict:
+    experiment = build_experiment(params)
+    policy = build_policy(params["policy"], experiment, params.get("agent"))
+    num_epochs = params.get("num_epochs")
+    start = time.perf_counter()
+    trace = evaluate_controller(
+        experiment, policy, num_epochs=int(num_epochs) if num_epochs else None
+    )
+    return _eval_payload(trace, time.perf_counter() - start)
 
 
 def _run_train_eval(params: Mapping) -> dict:
@@ -615,24 +700,136 @@ def _run_train_eval(params: Mapping) -> dict:
     }
 
 
+#: Eval params a stacked batch's members may differ in; everything else
+#: (traffic, width, epochs, engine) must match for replicas to share one
+#: lockstep clock and one experiment shape.
+_EVAL_BATCH_AXES = ("policy", "agent")
+
+
+def _stacked_eval_payloads(members: "list[Subtrial]") -> "list[dict] | None":
+    """Run homogeneous eval members as stacked replicas (None = ineligible).
+
+    Eligible members are all ``eval`` subtrials over the identical
+    experiment (params equal outside :data:`_EVAL_BATCH_AXES`): one replica
+    simulator per policy, advanced in lockstep through
+    :func:`repro.core.training.evaluate_controller_batch`.  Each returned
+    payload is byte-identical to :func:`_run_eval` on that member; only the
+    wall clock differs (the stacked elapsed time, split evenly).
+    """
+    if len(members) < 2 or any(member.kind != "eval" for member in members):
+        return None
+
+    def _shape(member: Subtrial) -> dict:
+        return {
+            key: value
+            for key, value in member.params.items()
+            if key not in _EVAL_BATCH_AXES
+        }
+
+    shape = _shape(members[0])
+    if any(_shape(member) != shape for member in members[1:]):
+        return None
+    params = members[0].params
+    experiment = build_experiment(params)
+    policies = [
+        build_policy(member.params["policy"], experiment, member.params.get("agent"))
+        for member in members
+    ]
+    num_epochs = params.get("num_epochs")
+    start = time.perf_counter()
+    traces = evaluate_controller_batch(
+        experiment, policies, num_epochs=int(num_epochs) if num_epochs else None
+    )
+    wall_s = (time.perf_counter() - start) / len(members)
+    return [_eval_payload(trace, wall_s) for trace in traces]
+
+
+def _run_batch(params: Mapping) -> dict:
+    """Execute one batch subtrial: member payloads, in member order.
+
+    Homogeneous eval members run stacked on one batch engine; anything
+    else (and any heterogeneity the grouper let through) falls back to the
+    members' own workers sequentially — the payloads are identical either
+    way, per the engine-parity contract.
+    """
+    members = [Subtrial(kind, member) for kind, member in params["subtrials"]]
+    if not members:
+        raise ValueError("a batch subtrial needs at least one member")
+    parts = _stacked_eval_payloads(members)
+    if parts is None:
+        parts = [_SUBTRIAL_WORKERS[member.kind](member.params) for member in members]
+    return {"batch": parts}
+
+
 _SUBTRIAL_WORKERS = {
     "sweep": _run_sweep_point,
     "scenario": _run_scenario_subtrial,
     "eval": _run_eval,
     "train-eval": _run_train_eval,
+    "batch": _run_batch,
 }
 
 
-def run_suite_subtrial(subtrial: tuple) -> dict:
-    """Dispatch one expanded subtrial (module-level so it pickles)."""
-    kind, params = subtrial
-    return _SUBTRIAL_WORKERS[kind](params)
+def run_suite_subtrial(subtrial: "Subtrial | tuple") -> dict:
+    """Dispatch one expanded subtrial (module-level so it pickles).
+
+    Accepts the typed :class:`Subtrial`; the legacy ``(kind, params)``
+    tuple still works behind a :class:`DeprecationWarning`.
+    """
+    subtrial = Subtrial.coerce(subtrial, caller="run_suite_subtrial")
+    return _SUBTRIAL_WORKERS[subtrial.kind](subtrial.params)
+
+
+#: Param axes along which one batch group's members may differ, per kind.
+#: Everything else must match exactly — same engine, topology, cycle
+#: budget — so the group is shape-homogeneous.  ``train-eval`` is absent on
+#: purpose: training dominates its wall clock and does not stack.
+BATCH_GROUP_AXES = {
+    "sweep": ("rate", "seed"),
+    "scenario": ("seed",),
+    "eval": ("policy", "agent"),
+}
+
+
+def group_subtrials(
+    subtrials: "Sequence[Subtrial | tuple]", *, max_group: int = 8
+) -> list[list[int]]:
+    """Group homogeneous batchable subtrials for ``run_batch`` fan-out.
+
+    Returns index groups into ``subtrials``: every index appears exactly
+    once, groups are ordered by their first member and members keep their
+    original order, so ungrouping is a stable inverse.  Two subtrials share
+    a group when they have the same kind and identical params outside that
+    kind's :data:`BATCH_GROUP_AXES`; kinds with no batch axes become
+    singletons and a signature's group is chunked at ``max_group``.
+    """
+    if max_group < 1:
+        raise ValueError("max_group must be positive")
+    groups: list[list[int]] = []
+    open_by_signature: dict[str, list[int]] = {}
+    for index, subtrial in enumerate(subtrials):
+        subtrial = Subtrial.coerce(subtrial, caller="group_subtrials")
+        axes = BATCH_GROUP_AXES.get(subtrial.kind)
+        if axes is None:
+            groups.append([index])
+            continue
+        reduced = {
+            key: value for key, value in subtrial.params.items() if key not in axes
+        }
+        signature = json.dumps([subtrial.kind, reduced], sort_keys=True, default=str)
+        group = open_by_signature.get(signature)
+        if group is None or len(group) >= max_group:
+            group = []
+            groups.append(group)
+            open_by_signature[signature] = group
+        group.append(index)
+    return groups
 
 
 def expand_unit(
     unit: SuiteUnit, agent_payload: Mapping | None = None, engine: str = "cycle"
-) -> list[tuple]:
-    """Expand a unit into (kind, params) subtrials for the pool.
+) -> list[Subtrial]:
+    """Expand a unit into :class:`Subtrial` work items for the pool.
 
     ``engine`` is stamped into every subtrial's params (unit params naming
     their own ``engine`` win) so whole suites can run on any registered
@@ -642,7 +839,7 @@ def expand_unit(
     params.setdefault("engine", engine)
     if unit.kind == "sweep":
         rates = params.pop("rates")
-        return [("sweep", {**params, "rate": rate}) for rate in rates]
+        return [Subtrial("sweep", {**params, "rate": rate}) for rate in rates]
     if unit.kind == "scenario":
         # Ship the full spec so runtime-registered scenarios survive the trip
         # into spawn-started workers (same rationale as run_scenarios).
@@ -650,7 +847,7 @@ def expand_unit(
         repeats = int(params.get("repeats", 1))
         base_seed = int(params.get("seed", 0))
         return [
-            (
+            Subtrial(
                 "scenario",
                 {
                     "scenario_spec": spec.to_dict(),
@@ -665,9 +862,9 @@ def expand_unit(
     if unit.kind == "eval":
         if params.get("policy") == "drl":
             params["agent"] = agent_payload
-        return [("eval", params)]
+        return [Subtrial("eval", params)]
     if unit.kind == "train-eval":
-        return [("train-eval", params)]
+        return [Subtrial("train-eval", params)]
     raise ValueError(f"unit kind {unit.kind!r} does not expand into subtrials")
 
 
@@ -794,6 +991,16 @@ def run_suite(
     acceptable.  With ``out_dir`` the outcome is also written to
     ``<out_dir>/<suite>.json`` in the shared artefact shape.
 
+    ``config.batch`` (with an engine whose registry entry advertises
+    ``supports_batch``, e.g. ``--engine numpy``) turns on batch dispatch:
+    homogeneous subtrials — same kind and params outside the kind's
+    :data:`BATCH_GROUP_AXES` — are grouped up to ``batch`` per task and
+    shipped as one synthetic ``batch`` subtrial, which the worker runs as
+    stacked replicas on a :class:`~repro.engines.batch.BatchEngine` where
+    possible.  Payloads, journal rows and memo entries stay member-level
+    and byte-identical to serial execution, so ``suite diff`` between any
+    batch settings (and against the ``cycle`` reference) exits 0.
+
     ``workers`` routes the whole run to a :mod:`repro.exp.service` broker
     (``"tcp://HOST:PORT"``): the spec and config ship over the wire, the
     broker's fleet executes the subtrials, and the returned outcome — plus
@@ -874,7 +1081,7 @@ def run_suite(
     fingerprint = _agent_fingerprint(agent_payload) if reuse else ""
 
     parent_payloads: dict[int, tuple[dict, float]] = {}
-    tagged: list[tuple[int, int, tuple]] = []  # (unit index, repeat, subtrial)
+    tagged: list[tuple[int, int, Subtrial]] = []  # (unit index, repeat, subtrial)
     for index, unit in enumerate(spec.units):
         if unit.kind == "train":
             payload, unit_wall_s = _train_unit_payload(unit, spec, training_result)
@@ -910,16 +1117,16 @@ def run_suite(
     payloads: list[dict | None] = [None] * len(tagged)
     attempts_by_position = [0] * len(tagged)
     resumed = 0
-    dispatch: list[tuple[int, str | None, str | None, tuple]] = []
+    dispatch: list[tuple[int, str | None, str | None, Subtrial]] = []
     for position, (index, _, subtrial) in enumerate(tagged):
-        journal_key = subtrial_key(subtrial) if journal is not None else None
+        journal_key = subtrial.key if journal is not None else None
         if journal_key is not None and journal_key in journaled:
             payloads[position] = journaled[journal_key]
             resumed += 1
             continue
         cache_key = None
-        if reuse and subtrial[0] == "eval":
-            cache_key = _eval_cache_key(subtrial[1], fingerprint)
+        if reuse and subtrial.kind == "eval":
+            cache_key = _eval_cache_key(subtrial.params, fingerprint)
         if cache_key is not None and cache_key in _EVAL_CACHE:
             payloads[position] = _EVAL_CACHE[cache_key]
             if journal is not None:
@@ -934,25 +1141,68 @@ def run_suite(
         else:
             dispatch.append((position, cache_key, journal_key, subtrial))
 
-    def _on_subtrial(dispatch_index: int, payload: dict, attempts: int) -> None:
-        # Fires parent-side the moment a subtrial's result lands (completion
-        # order): journal it immediately so a kill right after loses nothing.
-        position, _, journal_key, _ = dispatch[dispatch_index]
-        attempts_by_position[position] = attempts
-        if journal is not None:
-            unit = spec.units[tagged[position][0]]
-            journal.append(
-                journal_key,
-                unit=unit.name,
-                kind=unit.kind,
-                attempts=attempts,
-                payload=payload,
-            )
+    # Batch dispatch (``config.batch``): group homogeneous subtrials and ship
+    # each group as one synthetic ``batch`` subtrial when the engine
+    # advertises ``supports_batch`` — the pool, the supervised pool and the
+    # fleet dispatcher all inherit the stacked fan-out without changes,
+    # because a group travels the exact same path a single subtrial does.
+    # Journal and memo keys stay member-level, so resume and eval reuse are
+    # batch-setting-agnostic (a run journaled at --batch 4 resumes at any
+    # other setting).
+    batching = config.batch > 1 and engine_supports_batch(engine_name)
+    if batching:
+        groups = group_subtrials(
+            [entry[3] for entry in dispatch], max_group=config.batch
+        )
+    else:
+        groups = [[index] for index in range(len(dispatch))]
+    tasks: list[tuple[list[int], Subtrial]] = []
+    for members in groups:
+        if len(members) == 1:
+            tasks.append((members, dispatch[members[0]][3]))
+        else:
+            wrapped = [dispatch[index][3].to_wire() for index in members]
+            tasks.append((members, Subtrial("batch", {"subtrials": wrapped})))
 
-    # Chaos rules address subtrials by dispatch index or by this label.
+    def _task_parts(task: Subtrial, members: list[int], payload: dict) -> list[dict]:
+        parts = payload["batch"] if task.kind == "batch" else [payload]
+        if len(parts) != len(members):  # defensive: a worker/wire bug
+            raise RuntimeError(
+                f"batch subtrial returned {len(parts)} payloads "
+                f"for {len(members)} members"
+            )
+        return parts
+
+    def _on_task(task_index: int, payload: dict, attempts: int) -> None:
+        # Fires parent-side the moment a task's result lands (completion
+        # order): journal it immediately so a kill right after loses
+        # nothing.  A batch task journals each member under its own key.
+        members, task = tasks[task_index]
+        for dispatch_index, part in zip(members, _task_parts(task, members, payload)):
+            position, _, journal_key, _ = dispatch[dispatch_index]
+            attempts_by_position[position] = attempts
+            if journal is not None:
+                unit = spec.units[tagged[position][0]]
+                journal.append(
+                    journal_key,
+                    unit=unit.name,
+                    kind=unit.kind,
+                    attempts=attempts,
+                    payload=part,
+                )
+
+    # Chaos rules address subtrials by dispatch index or by this label; a
+    # batch task's label joins its member labels, so substring rules keep
+    # matching whatever the batch setting.
+    def _member_label(dispatch_index: int) -> str:
+        position = dispatch[dispatch_index][0]
+        return f"{spec.units[tagged[position][0]].name}[{position}]"
+
     labels = [
-        f"{spec.units[tagged[position][0]].name}[{position}]"
-        for position, _, _, _ in dispatch
+        _member_label(members[0])
+        if task.kind != "batch"
+        else "batch[" + ",".join(_member_label(index) for index in members) + "]"
+        for members, task in tasks
     ]
     # ``_dispatch`` is the fleet hook: the service broker substitutes its
     # lease-based dispatcher for the local pool, reusing everything else
@@ -964,9 +1214,9 @@ def run_suite(
     try:
         results = executor.run(
             run_suite_subtrial,
-            [subtrial for _, _, _, subtrial in dispatch],
+            [task for _, task in tasks],
             labels=labels,
-            on_result=_on_subtrial,
+            on_result=_on_task,
         )
     finally:
         # Interrupt/quarantine included: the journal is already flushed row
@@ -975,15 +1225,20 @@ def run_suite(
         if journal is not None:
             journal.close()
     # Lease metadata (which worker ran what) — scheduling only, never part
-    # of outcomes; rides the telemetry rows as diff-ignored fields.
+    # of outcomes; rides the telemetry rows as diff-ignored fields.  Every
+    # member of a batch task ran under that task's lease.
     scheduling = dict(getattr(executor, "last_scheduling", ()) or {})
     scheduling_by_position = {
-        dispatch[idx][0]: meta for idx, meta in scheduling.items()
+        dispatch[dispatch_index][0]: meta
+        for task_index, meta in scheduling.items()
+        for dispatch_index in tasks[task_index][0]
     }
-    for (position, cache_key, _, _), payload in zip(dispatch, results):
-        payloads[position] = payload
-        if cache_key is not None:
-            _EVAL_CACHE[cache_key] = payload
+    for (members, task), payload in zip(tasks, results):
+        for dispatch_index, part in zip(members, _task_parts(task, members, payload)):
+            position, cache_key, _, _ = dispatch[dispatch_index]
+            payloads[position] = part
+            if cache_key is not None:
+                _EVAL_CACHE[cache_key] = part
 
     grouped: dict[tuple[int, int], list[dict]] = {}
     for position, ((index, repeat, _), payload) in enumerate(zip(tagged, payloads)):

@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
-from repro.engines import engine_names
+from repro.engines import engine_infos
 from repro.exp.perfguard import (
     DEFAULT_TOLERANCE,
     Regression,
@@ -644,7 +644,12 @@ class EnginePolicy:
     ) -> None:
         self.report = report
         self.default = default
-        self.engines = tuple(engines) if engines is not None else engine_names()
+        if engines is None:
+            # Selectable engines only: a batch-only backend is never a
+            # sensible auto choice for a single sim, however well its
+            # samples score.
+            engines = tuple(info.name for info in engine_infos() if info.selectable)
+        self.engines = tuple(engines)
 
     @classmethod
     def from_results(

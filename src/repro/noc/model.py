@@ -41,28 +41,55 @@ from repro.noc.topology import Direction, Mesh, Torus
 class TrafficSource(Protocol):
     """Anything that can hand the simulator new packets each cycle.
 
-    ``generate`` is required; ``next_injection_cycle`` is an optional hint
-    (the engines probe for it with ``getattr``) that enables idle-span
-    batching and event scheduling.  A source that implements it promises
-    that
-
-    * no packet is created before the returned cycle (``None`` meaning
-      "never again"), and
-    * skipping the ``generate`` calls for every cycle in
-      ``[cycle, returned)`` is unobservable — later ``generate`` calls
-      behave exactly as if the skipped ones had been made.
+    ``generate`` is required.  ``next_injection_cycle`` and ``sample_block``
+    are full protocol members (engines call them directly, no ``getattr``
+    probing); both carry default implementations here, so a source can
+    subclass :class:`TrafficSource` and override only ``generate``.
     """
 
     def generate(self, cycle: int) -> list[Packet]:
         """Packets created at ``cycle`` (creation_cycle must equal ``cycle``)."""
         ...  # pragma: no cover - protocol definition
 
-    # Optional member (not part of the structural protocol, so sources that
-    # only implement ``generate`` still type-check):
-    #
-    #   def next_injection_cycle(self, cycle: int) -> int | None
-    #
-    # Earliest cycle ``>= cycle`` at which a packet may be created.
+    def next_injection_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle ``>= cycle`` at which a packet may be created.
+
+        A source that returns anything other than ``cycle`` promises that
+
+        * no packet is created before the returned cycle (``None`` meaning
+          "never again"), and
+        * skipping the ``generate`` calls for every cycle in
+          ``[cycle, returned)`` is unobservable — later ``generate`` calls
+          behave exactly as if the skipped ones had been made.
+
+        The default returns ``cycle`` itself: "a packet may appear as early
+        as now", the conservative answer that disables idle-span batching
+        but never drops traffic.  (A default of ``None`` would claim the
+        source is silent forever and make engines skip its packets.)
+        """
+        return cycle
+
+    def sample_block(
+        self, start: int, horizon: int
+    ) -> tuple[int, dict[int, list[Packet]] | None]:
+        """Pre-sample the injections for a span of cycles at once.
+
+        Returns ``(until, packets_by_cycle)`` with ``start < until``:
+
+        * ``packets_by_cycle is None`` — the source cannot block-sample
+          this span; the caller must fall back to per-cycle ``generate``
+          calls for ``[start, until)``.  Nothing has been consumed.
+        * otherwise — the dict maps each cycle in ``[start, until)`` that
+          creates packets to those packets, and the source's internal
+          state (RNG, trace position, …) has advanced exactly as the
+          per-cycle ``generate`` calls over ``[start, until)`` would have
+          advanced it.  The caller must not call ``generate`` for cycles
+          in the covered span.
+
+        ``until`` never exceeds ``horizon``.  The default declines
+        (``(horizon, None)``), which is always correct.
+        """
+        return (horizon, None)
 
 
 @dataclass(frozen=True)

@@ -136,6 +136,17 @@ class Router:
             for port in self.input_ports
             for vc_index, ivc in enumerate(self.inputs[port])
         ]
+        # Occupied-VC tracking: the scan positions whose buffers hold flits,
+        # maintained at the two buffer mutation points (receive_flit /
+        # _traverse) so a saturated router walks only its occupied VCs
+        # instead of the full ports x VCs grid every cycle.  Positions (not
+        # (port, vc) pairs) so a sorted set reproduces the static scan
+        # order VC allocation and switch arbitration depend on.
+        self._scan_index: dict[tuple[Direction, int], int] = {
+            (port, vc_index): index
+            for index, (port, vc_index, _) in enumerate(self._vc_scan)
+        }
+        self._occupied_scan: set[int] = set()
         self.credits = CreditBook(self._neighbor_ports, num_vcs, buffer_depth)
         self._credit_levels = self.credits.levels
         self._routable_ports = frozenset(self._neighbor_ports)
@@ -197,6 +208,8 @@ class Router:
             raise RuntimeError(
                 f"buffer overflow at node {self.node} port {port.name} vc {vc}"
             )
+        if not buffer:
+            self._occupied_scan.add(self._scan_index[(port, vc)])
         buffer.append(flit)
         self.buffered_flits += 1
 
@@ -227,19 +240,24 @@ class Router:
         from its active set and divider table, so this entry point skips the
         re-checks and the per-router result list that :meth:`step` pays for.
 
-        The occupancy scan and the RC/VA stage share one pass: the pipeline
-        only ever acts on VCs holding flits, so the ports x VCs grid is
-        walked exactly once per cycle (the naive switch-allocation loop used
-        to rescan it once per output port).
+        The occupancy scan and the RC/VA stage share one pass over the
+        *occupied* VCs only: the ``_occupied_scan`` position set (maintained
+        where buffers mutate) replaces the ports x VCs grid walk, so a
+        saturated router pays for the VCs that hold flits, not for every
+        empty one it would have skipped.
         """
         idle = VCState.IDLE
         routed = VCState.ROUTED
-        occupied: list[tuple[Direction, int, InputVirtualChannel]] = []
-        for entry in self._vc_scan:
+        scan = self._vc_scan
+        occupied_scan = self._occupied_scan
+        if len(occupied_scan) == len(scan):
+            occupied = scan
+        else:
+            # Sorting the position set reproduces the static scan order the
+            # VC-allocation and arbitration stages are sensitive to.
+            occupied = [scan[index] for index in sorted(occupied_scan)]
+        for entry in occupied:
             ivc = entry[2]
-            if not ivc.buffer:
-                continue
-            occupied.append(entry)
             state = ivc.state
             if state is idle:
                 head = ivc.buffer[0]
@@ -377,6 +395,8 @@ class Router:
     ) -> Movement:
         ivc = self.inputs[in_port][vc_index]
         flit = ivc.buffer.popleft()
+        if not ivc.buffer:
+            self._occupied_scan.discard(self._scan_index[(in_port, vc_index)])
         self.buffered_flits -= 1
         out_vc = ivc.out_vc
         local = out_port is Direction.LOCAL

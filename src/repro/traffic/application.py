@@ -151,6 +151,24 @@ class PhasedWorkload:
             return max(hint, cycle)
         return phase_end
 
+    def sample_block(
+        self, start: int, horizon: int
+    ) -> tuple[int, dict[int, list[Packet]] | None]:
+        """Vectorised ``generate`` for the phase active at ``start``.
+
+        Delegates to the active phase's generator with the horizon clipped
+        at the end of the current phase occurrence, so one block never
+        crosses a phase boundary (the next phase has its own generator and
+        RNG stream); the caller simply samples the next block there.
+        """
+        index = self.phase_index_at(start)
+        if index is None:
+            # Finished non-repeating workload: silent forever, no draws.
+            return (horizon, {})
+        position = start % self._total_cycles if start >= self._total_cycles else start
+        phase_end = start + (self._phase_ends[index] - position)
+        return self._generators[index].sample_block(start, min(horizon, phase_end))
+
     def offered_load(self, cycle: int) -> float:
         index = self.phase_index_at(cycle)
         if index is None:

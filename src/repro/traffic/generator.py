@@ -9,6 +9,29 @@ from repro.noc.topology import Mesh
 from repro.traffic.injection import BernoulliInjection, InjectionProcess
 from repro.traffic.patterns import TrafficPattern, get_pattern
 
+try:  # numpy backs the vectorised sampler; without it sample_block declines.
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the package deps
+    np = None  # type: ignore[assignment]
+
+
+def _draw_uniform_block(rng: random.Random, count: int) -> "np.ndarray":
+    """Draw ``count`` uniforms from ``rng`` in one vectorised numpy call.
+
+    numpy's legacy ``RandomState`` shares CPython's Mersenne-Twister core
+    and its 53-bit double recipe, so transplanting the 625-word state makes
+    ``random_sample(count)`` bit-identical to ``count`` sequential
+    ``rng.random()`` calls; the advanced state is transplanted back, leaving
+    ``rng`` exactly where the sequential calls would have left it.
+    """
+    version, internal, gauss = rng.getstate()
+    state = np.random.RandomState()
+    state.set_state(("MT19937", np.array(internal[:624], dtype=np.uint32), internal[624]))
+    block = state.random_sample(count)
+    _, keys, pos, _, _ = state.get_state(legacy=True)
+    rng.setstate((version, tuple(int(word) for word in keys) + (int(pos),), gauss))
+    return block
+
 
 class TrafficGenerator:
     """Creates packets for the simulator (implements the TrafficSource protocol).
@@ -48,6 +71,7 @@ class TrafficGenerator:
         self.start_cycle = start_cycle
         self.end_cycle = end_cycle
         self._rng = random.Random(seed)
+        self._static_destinations: list[int] | None = None
 
     @classmethod
     def from_names(
@@ -113,6 +137,71 @@ class TrafficGenerator:
         if cycle < self.start_cycle:
             return self.start_cycle
         return cycle
+
+    def sample_block(
+        self, start: int, horizon: int
+    ) -> tuple[int, dict[int, list[Packet]] | None]:
+        """Vectorised ``generate``: pre-sample injections for ``[start, until)``.
+
+        Implements the :class:`~repro.noc.model.TrafficSource.sample_block`
+        protocol member.  Block sampling is stream-exact only when the
+        injection draw is a single uniform per node per cycle
+        (:class:`BernoulliInjection`) and the destination draw consumes no
+        RNG (``pattern.uses_rng`` is ``False`` — the fixed permutations);
+        anything else interleaves variable-length draws and the method
+        declines with ``(horizon, None)`` so the caller falls back to
+        per-cycle ``generate`` over the same span (identical stream either
+        way).  Window edges mirror ``generate``: before ``start_cycle`` and
+        past ``end_cycle`` the source is silent and draws nothing.
+        """
+        if horizon <= start:  # defensive: callers always pass horizon > start
+            return (start + 1, None)
+        if self.end_cycle is not None and start >= self.end_cycle:
+            return (horizon, {})
+        if start < self.start_cycle:
+            # Silent lead-in: generate() returns [] without touching the RNG.
+            return (min(self.start_cycle, horizon), {})
+        injection = self.injection
+        if (
+            np is None
+            or type(injection) is not BernoulliInjection
+            or self.pattern.uses_rng
+        ):
+            return (horizon, None)
+        if injection.is_quiescent():
+            # Never injects: the draws generate() would burn are unobservable
+            # (the same contract next_injection_cycle's None return relies on).
+            return (horizon, {})
+        until = horizon if self.end_cycle is None else min(horizon, self.end_cycle)
+        nodes = list(self.topology.nodes())
+        if self._static_destinations is None:
+            # uses_rng is False, so these calls consume nothing from _rng.
+            self._static_destinations = [
+                self.pattern.destination(node, self._rng) for node in nodes
+            ]
+        destinations = self._static_destinations
+        num_nodes = len(nodes)
+        block = _draw_uniform_block(self._rng, (until - start) * num_nodes)
+        hits = np.flatnonzero(block < injection.packet_probability)
+        packets_by_cycle: dict[int, list[Packet]] = {}
+        packet_size = self.packet_size
+        # flatnonzero ascends in (cycle, node) order — the same order the
+        # per-cycle generate() loop visits nodes in.
+        for flat in hits.tolist():
+            offset, index = divmod(flat, num_nodes)
+            node = nodes[index]
+            destination = destinations[index]
+            if destination == node:
+                continue
+            cycle = start + offset
+            packets_by_cycle.setdefault(cycle, []).append(
+                Packet(src=node, dst=destination, size=packet_size, creation_cycle=cycle)
+            )
+        if self.end_cycle is not None and until == self.end_cycle:
+            # Past end_cycle the source is silent forever: extend the covered
+            # span to the horizon without drawing.
+            until = horizon
+        return (until, packets_by_cycle)
 
     def offered_load(self, cycle: int = 0) -> float:
         """Nominal offered load (flits/node/cycle) at ``cycle``."""

@@ -59,6 +59,11 @@ class BernoulliInjection(InjectionProcess):
     def should_inject(self, node: int, cycle: int, rng: random.Random) -> bool:
         return rng.random() < self._probability
 
+    @property
+    def packet_probability(self) -> float:
+        """Per-node per-cycle packet-creation probability (``rate / size``)."""
+        return self._probability
+
     def offered_load(self, cycle: int) -> float:
         return self.rate
 

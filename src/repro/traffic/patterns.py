@@ -20,6 +20,12 @@ class TrafficPattern(ABC):
     """Maps a source node to the destination of its next packet."""
 
     name = "abstract"
+    #: Whether :meth:`destination` consumes draws from the RNG it is handed.
+    #: Patterns that never touch it (the fixed permutations) are *memoryless
+    #: and deterministic*, which lets the vectorised injection sampler
+    #: precompute each node's destination once per block.  Conservatively
+    #: ``True`` on the base class.
+    uses_rng = True
 
     def __init__(self, topology: Mesh) -> None:
         self.topology = topology
@@ -51,6 +57,7 @@ class TransposePattern(TrafficPattern):
     """(x, y) -> (y, x); requires a square grid."""
 
     name = "transpose"
+    uses_rng = False
 
     def __init__(self, topology: Mesh) -> None:
         super().__init__(topology)
@@ -73,6 +80,7 @@ class BitComplementPattern(TrafficPattern):
     """dst = bitwise complement of src (in log2(N) bits)."""
 
     name = "bit_complement"
+    uses_rng = False
 
     def __init__(self, topology: Mesh) -> None:
         super().__init__(topology)
@@ -86,6 +94,7 @@ class BitReversePattern(TrafficPattern):
     """dst = bit-reversal of src (in log2(N) bits)."""
 
     name = "bit_reverse"
+    uses_rng = False
 
     def __init__(self, topology: Mesh) -> None:
         super().__init__(topology)
@@ -104,6 +113,7 @@ class ShufflePattern(TrafficPattern):
     """dst = src rotated left by one bit (perfect shuffle)."""
 
     name = "shuffle"
+    uses_rng = False
 
     def __init__(self, topology: Mesh) -> None:
         super().__init__(topology)
@@ -118,6 +128,7 @@ class TornadoPattern(TrafficPattern):
     """(x, y) -> (x + ceil(W/2) - 1 mod W, y): adversarial for rings/tori."""
 
     name = "tornado"
+    uses_rng = False
 
     def destination(self, src: int, rng: random.Random) -> int:
         coord = self.topology.coordinates(src)
@@ -132,6 +143,7 @@ class NeighborPattern(TrafficPattern):
     """(x, y) -> (x + 1 mod W, y): nearest-neighbour traffic (best case)."""
 
     name = "neighbor"
+    uses_rng = False
 
     def destination(self, src: int, rng: random.Random) -> int:
         coord = self.topology.coordinates(src)

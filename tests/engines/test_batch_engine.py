@@ -1,0 +1,148 @@
+"""Tests for the batch engine: stacked replicas, lockstep, serial parity."""
+
+import pytest
+
+from repro.core import (
+    ExperimentConfig,
+    evaluate_controller,
+    evaluate_controller_batch,
+    run_controllers_lockstep,
+)
+from repro.engines import BatchEngine, build_engine
+from repro.engines.batch import LOCKSTEP_CHUNK_CYCLES
+from repro.exp.suites import build_policy
+from repro.noc import NoCModel, NoCSimulator, SimulatorConfig
+from repro.traffic.generator import TrafficGenerator
+
+
+def _model(*, seed=1, rate=0.15, width=4):
+    model = NoCModel(SimulatorConfig(width=width, seed=seed))
+    model.traffic = TrafficGenerator.from_names(
+        model.topology, "uniform", rate, packet_size=4, seed=seed
+    )
+    return model
+
+
+class TestConstruction:
+    def test_exactly_one_of_model_or_engines(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            BatchEngine()
+        model = _model()
+        with pytest.raises(ValueError, match="exactly one"):
+            BatchEngine(model, engines=[build_engine("numpy", model)])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            BatchEngine(engines=[])
+
+    def test_replicas_must_share_a_clock(self):
+        ahead = build_engine("numpy", _model(seed=1))
+        ahead.run(10)
+        behind = build_engine("numpy", _model(seed=2))
+        with pytest.raises(ValueError, match="same cycle"):
+            BatchEngine(engines=[ahead, behind])
+
+    def test_simulator_config_builds_a_batch_of_one(self):
+        simulator = NoCSimulator(SimulatorConfig(width=2, engine="batch"))
+        assert isinstance(simulator.engine, BatchEngine)
+        assert len(simulator.engine.engines) == 1
+        simulator.run(50)
+        assert simulator.cycle == 50
+
+    def test_stack_classmethod_builds_one_inner_engine_per_model(self):
+        batch = BatchEngine.stack([_model(seed=1), _model(seed=2)], inner="cycle")
+        assert len(batch.engines) == 2
+        assert all(engine.name == "cycle" for engine in batch.engines)
+
+
+class TestLockstepParity:
+    def test_each_replica_matches_its_solo_run(self):
+        """Replicas never interact: a stacked run's per-replica telemetry is
+        byte-identical to running each model alone, chunking included."""
+        seeds_rates = [(1, 0.05), (2, 0.2), (3, 0.35)]
+        cycles = LOCKSTEP_CHUNK_CYCLES * 2 + 57  # deliberately not a multiple
+        batch = BatchEngine(
+            engines=[build_engine("numpy", _model(seed=s, rate=r)) for s, r in seeds_rates]
+        )
+        batch.run(cycles)
+        for (seed, rate), engine in zip(seeds_rates, batch.engines):
+            solo = _model(seed=seed, rate=rate)
+            build_engine("numpy", solo).run(cycles)
+            assert engine.model.stats.snapshot() == solo.stats.snapshot()
+            assert engine.model.power.energy.total_pj == solo.power.energy.total_pj
+            assert engine.model.cycle == solo.cycle == cycles
+
+    def test_batch_of_one_matches_cycle_reference(self):
+        batched = NoCSimulator(SimulatorConfig(width=4, seed=6, engine="batch"))
+        reference = NoCSimulator(SimulatorConfig(width=4, seed=6))
+        for sim in (batched, reference):
+            sim.traffic = TrafficGenerator.from_names(
+                sim.topology, "uniform", 0.2, packet_size=4, seed=6
+            )
+        batched_telemetry = batched.run_epoch(500)
+        reference_telemetry = reference.run_epoch(500)
+        assert batched_telemetry.as_dict() == reference_telemetry.as_dict()
+
+    def test_run_epoch_all_matches_solo_run_epoch(self):
+        models = [_model(seed=4, rate=0.1), _model(seed=9, rate=0.25)]
+        batch = BatchEngine.stack(models)
+        stacked = batch.run_epoch_all(300)
+        for seed, rate, telemetry in ((4, 0.1, stacked[0]), (9, 0.25, stacked[1])):
+            simulator = NoCSimulator(SimulatorConfig(width=4, seed=seed))
+            simulator.traffic = TrafficGenerator.from_names(
+                simulator.topology, "uniform", rate, packet_size=4, seed=seed
+            )
+            assert telemetry.as_dict() == simulator.run_epoch(300).as_dict()
+
+    def test_on_cycle_hook_fires_once_per_shared_cycle(self):
+        batch = BatchEngine.stack([_model(seed=1), _model(seed=2)])
+        seen = []
+        batch.run(5, on_cycle=seen.append)
+        assert seen == [0, 1, 2, 3, 4]
+        assert all(engine.model.cycle == 5 for engine in batch.engines)
+
+
+class TestControllerLockstep:
+    def _experiment(self):
+        return ExperimentConfig.small()
+
+    def test_evaluate_controller_batch_matches_serial_evaluation(self):
+        """Acceptance: stacked eval replicas reproduce serial traces exactly
+        (records, rewards, telemetry — the suite parity contract)."""
+        experiment = self._experiment()
+        names = ["static-max", "static-min", "heuristic", "random"]
+        policies = [build_policy(name, experiment) for name in names]
+        stacked = evaluate_controller_batch(experiment, policies, num_epochs=4)
+        for name, trace in zip(names, stacked):
+            solo = evaluate_controller(
+                self._experiment(), build_policy(name, self._experiment()), num_epochs=4
+            )
+            assert trace.policy_name == solo.policy_name
+            assert trace.summary() == solo.summary()
+            assert [r.telemetry.as_dict() for r in trace.records] == [
+                r.telemetry.as_dict() for r in solo.records
+            ]
+            assert [r.action_index for r in trace.records] == [
+                r.action_index for r in solo.records
+            ]
+
+    def test_lockstep_requires_shared_epoch_cycles(self):
+        from repro.core.controller import SelfConfigController
+
+        experiment = self._experiment()
+        controllers = [
+            SelfConfigController(
+                simulator=experiment.build_simulator(seed_offset=10_000),
+                action_space=experiment.build_action_space(),
+                feature_extractor=experiment.build_feature_extractor(),
+                policy=build_policy("static-max", experiment),
+                reward_spec=experiment.reward,
+                epoch_cycles=cycles,
+            )
+            for cycles in (200, 300)
+        ]
+        with pytest.raises(ValueError, match="share epoch_cycles"):
+            run_controllers_lockstep(controllers, num_epochs=2)
+
+    def test_lockstep_empty_and_invalid_epochs(self):
+        assert run_controllers_lockstep([], num_epochs=3) == []

@@ -1,0 +1,219 @@
+"""Parity suite for the numpy engine: byte-identical to the cycle engine.
+
+The numpy engine's whole contract is "the cycle loop, faster": block
+sampling must consume the source RNG exactly as per-cycle ``generate``
+calls would, so every telemetry field — stats, energy floats, idle
+counters — matches the reference bit for bit, including across mid-run
+faults, per-node DVFS retunes, VC masking and engine swaps.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import (
+    EngineInfo,
+    NumpyEngine,
+    engine_info,
+    engine_infos,
+    engine_supports_batch,
+    get_engine_factory,
+    selectable_engine_names,
+)
+from repro.engines.numpy_engine import MIN_BLOCK_CYCLES
+from repro.exp import run_scenario, scenario_names
+from repro.noc import NoCSimulator, SimulatorConfig
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.injection import BernoulliInjection
+from repro.traffic.patterns import get_pattern
+
+
+def _simulator(engine: str, *, width=4, seed=3, rate=0.1, pattern="uniform",
+               start_cycle=0, end_cycle=None):
+    simulator = NoCSimulator(SimulatorConfig(width=width, seed=seed, engine=engine))
+    simulator.traffic = TrafficGenerator(
+        simulator.topology,
+        get_pattern(pattern, simulator.topology),
+        BernoulliInjection(rate, 4),
+        packet_size=4,
+        seed=seed,
+        start_cycle=start_cycle,
+        end_cycle=end_cycle,
+    )
+    return simulator
+
+
+def _assert_match(numpy_sim, cycle_sim):
+    assert numpy_sim.stats.snapshot() == cycle_sim.stats.snapshot()
+    assert numpy_sim.power.energy.leakage_pj == cycle_sim.power.energy.leakage_pj
+    assert numpy_sim.power.energy.total_pj == cycle_sim.power.energy.total_pj
+    assert numpy_sim.idle_cycles == cycle_sim.idle_cycles
+    assert numpy_sim.skipped_router_steps == cycle_sim.skipped_router_steps
+
+
+class TestRegistry:
+    def test_numpy_engine_registered_with_batch_capability(self):
+        assert get_engine_factory("numpy") is NumpyEngine
+        info = engine_info("numpy")
+        assert info == EngineInfo(name="numpy", supports_batch=True, selectable=True)
+        assert engine_supports_batch("numpy")
+        assert not engine_supports_batch("cycle")
+        assert not engine_supports_batch("event")
+
+    def test_selectable_names_offer_numpy_but_never_batch(self):
+        names = selectable_engine_names()
+        assert "numpy" in names
+        assert "auto" in names
+        assert "batch" not in names
+
+    def test_engine_infos_cover_all_builtins(self):
+        by_name = {info.name: info for info in engine_infos()}
+        assert set(by_name) >= {"cycle", "event", "numpy", "batch"}
+        assert by_name["batch"].selectable is False
+        assert by_name["batch"].supports_batch is True
+
+
+class TestNumpyEngineParity:
+    def test_steady_bernoulli_uniform_matches_cycle(self):
+        numpy_sim = _simulator("numpy", rate=0.2)
+        cycle_sim = _simulator("cycle", rate=0.2)
+        numpy_telemetry = numpy_sim.run_epoch(600)
+        cycle_telemetry = cycle_sim.run_epoch(600)
+        assert numpy_telemetry.as_dict() == cycle_telemetry.as_dict()
+        _assert_match(numpy_sim, cycle_sim)
+
+    def test_windowed_idle_spans_leap_exactly(self):
+        numpy_sim = _simulator("numpy", start_cycle=300, end_cycle=360, rate=0.3)
+        cycle_sim = _simulator("cycle", start_cycle=300, end_cycle=360, rate=0.3)
+        numpy_sim.run_epoch(600)
+        cycle_sim.run_epoch(600)
+        _assert_match(numpy_sim, cycle_sim)
+        assert numpy_sim.idle_cycles >= 300
+
+    def test_rng_pattern_falls_back_to_scalar_and_matches(self):
+        # The hotspot pattern draws from the RNG per destination, so the
+        # source declines block sampling; the engine's scalar fallback must
+        # consume the identical stream.
+        numpy_sim = _simulator("numpy", pattern="hotspot", rate=0.15)
+        cycle_sim = _simulator("cycle", pattern="hotspot", rate=0.15)
+        numpy_sim.run_epoch(400)
+        cycle_sim.run_epoch(400)
+        _assert_match(numpy_sim, cycle_sim)
+
+    def test_midrun_faults_dvfs_and_vc_masking_match(self):
+        """Acceptance: mutations between epochs — link faults, per-node DVFS,
+        VC masking — land between sampled blocks and stay byte-identical."""
+        sims = []
+        for engine in ("numpy", "cycle"):
+            simulator = _simulator(engine, rate=0.12, seed=11)
+            simulator.run_epoch(200)
+            simulator.fail_link(0, 1)
+            simulator.set_dvfs_level(5, 2)
+            simulator.set_dvfs_level(10, 1)
+            simulator.run_epoch(200)
+            simulator.set_enabled_vcs(1)
+            simulator.repair_link(0, 1)
+            simulator.run_epoch(200)
+            sims.append(simulator)
+        _assert_match(*sims)
+
+    def test_hooked_runs_step_per_cycle_and_match(self):
+        def retune(cycle, sim):
+            if cycle == 100:
+                sim.set_global_dvfs_level(3)
+
+        sims = []
+        for engine in ("numpy", "cycle"):
+            simulator = _simulator(engine, rate=0.1, seed=5)
+            simulator.run_epoch(
+                300, on_cycle=lambda cycle, sim=simulator: retune(cycle, sim)
+            )
+            sims.append(simulator)
+        _assert_match(*sims)
+
+    def test_engine_swap_midrun_hands_the_rng_over_exactly(self):
+        """At every _advance return the source RNG sits where per-cycle
+        execution left it, so numpy -> cycle mid-run equals pure cycle."""
+        swapped = _simulator("numpy", rate=0.2, seed=7)
+        swapped.run(250)
+        swapped.set_engine("cycle")
+        swapped.run(250)
+        reference = _simulator("cycle", rate=0.2, seed=7)
+        reference.run(500)
+        _assert_match(swapped, reference)
+
+    def test_short_advances_use_the_scalar_reference_loop(self):
+        numpy_sim = _simulator("numpy", rate=0.2, seed=13)
+        cycle_sim = _simulator("cycle", rate=0.2, seed=13)
+        for _ in range(6):
+            numpy_sim.run(MIN_BLOCK_CYCLES - 1)
+            cycle_sim.run(MIN_BLOCK_CYCLES - 1)
+        _assert_match(numpy_sim, cycle_sim)
+
+    def test_drain_works_on_the_numpy_engine(self):
+        simulator = _simulator("numpy", rate=0.2, end_cycle=40, seed=4)
+        simulator.run(40)
+        elapsed = simulator.drain()
+        assert simulator.buffered_flits == 0
+        assert simulator.source_queue_backlog == 0
+        assert elapsed >= 0
+
+
+class TestNumpyEngineHypothesis:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.0, max_value=0.45),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        pattern=st.sampled_from(["uniform", "transpose", "neighbor", "tornado"]),
+        gap=st.integers(min_value=0, max_value=120),
+        burst=st.integers(min_value=0, max_value=200),
+        cycles=st.integers(min_value=1, max_value=400),
+    )
+    def test_random_traffic_windows_match_cycle(
+        self, rate, seed, pattern, gap, burst, cycles
+    ):
+        numpy_sim = _simulator(
+            "numpy", rate=rate, seed=seed, pattern=pattern,
+            start_cycle=gap, end_cycle=gap + burst,
+        )
+        cycle_sim = _simulator(
+            "cycle", rate=rate, seed=seed, pattern=pattern,
+            start_cycle=gap, end_cycle=gap + burst,
+        )
+        numpy_telemetry = numpy_sim.run_epoch(cycles)
+        cycle_telemetry = cycle_sim.run_epoch(cycles)
+        assert numpy_telemetry.as_dict() == cycle_telemetry.as_dict()
+        _assert_match(numpy_sim, cycle_sim)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.02, max_value=0.3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        fault_cycle=st.integers(min_value=0, max_value=150),
+        level=st.integers(min_value=0, max_value=3),
+        vcs=st.integers(min_value=1, max_value=2),
+    )
+    def test_random_midrun_mutations_match_cycle(
+        self, rate, seed, fault_cycle, level, vcs
+    ):
+        sims = []
+        for engine in ("numpy", "cycle"):
+            simulator = _simulator(engine, rate=rate, seed=seed)
+            simulator.run(fault_cycle)
+            simulator.fail_link(0, 1)
+            simulator.set_dvfs_level(3, level)
+            simulator.set_enabled_vcs(vcs)
+            simulator.run_epoch(200)
+            sims.append(simulator)
+        _assert_match(*sims)
+
+
+class TestScenarioRegistryEquivalence:
+    @pytest.mark.parametrize("name", sorted(scenario_names()))
+    def test_numpy_engine_matches_cycle_engine_exactly(self, name):
+        """Acceptance: byte-identical ScenarioResult telemetry per scenario,
+        mirroring the event engine's equivalence suite."""
+        cycle_result = run_scenario(name, epochs=2, epoch_cycles=150)
+        numpy_result = run_scenario(name, epochs=2, epoch_cycles=150, engine="numpy")
+        assert numpy_result == cycle_result
+        assert numpy_result.to_json() == cycle_result.to_json()

@@ -1,0 +1,258 @@
+"""Tests for the batch-dispatch surface: Subtrial, grouping, suite parity."""
+
+import json
+
+import pytest
+
+import repro.exp.suites as suites
+from repro.cli import main
+from repro.exp.execution import ExecutionConfig
+from repro.exp.suites import (
+    BATCH_GROUP_AXES,
+    Subtrial,
+    SuiteSpec,
+    SuiteUnit,
+    diff_payloads,
+    expand_unit,
+    group_subtrials,
+    run_suite,
+    run_suite_subtrial,
+    subtrial_key,
+)
+
+
+class TestSubtrial:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown subtrial kind 'warp'"):
+            Subtrial("warp", {})
+
+    def test_unpacks_like_the_legacy_tuple(self):
+        kind, params = Subtrial("eval", {"policy": "random"})
+        assert kind == "eval"
+        assert params == {"policy": "random"}
+
+    def test_params_are_copied_from_the_caller(self):
+        source = {"policy": "random"}
+        subtrial = Subtrial("eval", source)
+        source["policy"] = "mutated"
+        assert subtrial.params == {"policy": "random"}
+
+    def test_wire_round_trip(self):
+        subtrial = Subtrial("sweep", {"rate": 0.1, "pattern": "uniform"})
+        assert Subtrial.from_wire(subtrial.to_wire()) == subtrial
+
+    def test_key_is_stable_and_agent_fingerprinted(self):
+        a = Subtrial("eval", {"policy": "random", "seed": 1})
+        b = Subtrial("eval", {"seed": 1, "policy": "random"})
+        assert a.key == b.key
+        assert a.key != Subtrial("eval", {"policy": "random", "seed": 2}).key
+        # The batch kind hashes member keys, not raw params.
+        batch = Subtrial("batch", {"subtrials": [a.to_wire()]})
+        assert batch.key != a.key
+        assert batch.key == Subtrial("batch", {"subtrials": [b.to_wire()]}).key
+
+    def test_coerce_accepts_subtrials_silently_and_warns_on_tuples(self):
+        subtrial = Subtrial("eval", {"policy": "random"})
+        assert Subtrial.coerce(subtrial, caller="test") is subtrial
+        with pytest.warns(DeprecationWarning, match="test.*deprecated"):
+            coerced = Subtrial.coerce(("eval", {"policy": "random"}), caller="test")
+        assert coerced == subtrial
+
+    def test_subtrial_key_shim_warns_on_tuples(self):
+        subtrial = Subtrial("eval", {"policy": "random"})
+        with pytest.warns(DeprecationWarning):
+            legacy = subtrial_key(("eval", {"policy": "random"}))
+        assert legacy == subtrial.key == subtrial_key(subtrial)
+
+    def test_run_suite_subtrial_shim_warns_on_tuples(self):
+        spec = SuiteUnit(
+            name="point",
+            kind="sweep",
+            params={"rates": [0.05], "warmup_cycles": 20, "measure_cycles": 40},
+        )
+        (subtrial,) = expand_unit(spec)
+        assert isinstance(subtrial, Subtrial)
+        fresh = run_suite_subtrial(subtrial)  # typed call: no warning
+        with pytest.warns(DeprecationWarning, match="run_suite_subtrial"):
+            legacy = run_suite_subtrial(tuple(subtrial))
+        assert legacy["rows"] == fresh["rows"]
+
+
+class TestGroupSubtrials:
+    def _sweeps(self, rates, **extra):
+        return [
+            Subtrial("sweep", {"pattern": "uniform", "rate": rate, **extra})
+            for rate in rates
+        ]
+
+    def test_partition_is_exact_and_order_preserving(self):
+        subtrials = self._sweeps([0.1, 0.2]) + [
+            Subtrial("train-eval", {"agent": "dqn"}),
+            Subtrial("eval", {"policy": "random"}),
+            Subtrial("eval", {"policy": "static-max"}),
+        ]
+        groups = group_subtrials(subtrials, max_group=8)
+        flat = [index for group in groups for index in group]
+        assert sorted(flat) == list(range(len(subtrials)))
+        assert [group[0] for group in groups] == sorted(group[0] for group in groups)
+        assert all(group == sorted(group) for group in groups)
+
+    def test_groups_split_on_params_outside_the_axes(self):
+        subtrials = self._sweeps([0.1, 0.2]) + self._sweeps([0.1, 0.2], width=8)
+        groups = group_subtrials(subtrials, max_group=8)
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_seed_and_rate_may_differ_within_a_sweep_group(self):
+        subtrials = [
+            Subtrial("sweep", {"pattern": "uniform", "rate": 0.1, "seed": 0}),
+            Subtrial("sweep", {"pattern": "uniform", "rate": 0.2, "seed": 5}),
+        ]
+        assert group_subtrials(subtrials) == [[0, 1]]
+
+    def test_max_group_chunks(self):
+        groups = group_subtrials(self._sweeps([0.1, 0.2, 0.3, 0.4, 0.5]), max_group=2)
+        assert groups == [[0, 1], [2, 3], [4]]
+        with pytest.raises(ValueError, match="positive"):
+            group_subtrials([], max_group=0)
+
+    def test_train_eval_is_never_grouped(self):
+        subtrials = [Subtrial("train-eval", {"agent": "dqn"})] * 3
+        assert group_subtrials(subtrials) == [[0], [1], [2]]
+        assert "train-eval" not in BATCH_GROUP_AXES
+
+
+class TestExecutionConfigBatch:
+    def test_validation_and_round_trip(self):
+        with pytest.raises(ValueError, match="batch"):
+            ExecutionConfig(batch=-1)
+        config = ExecutionConfig(batch=4)
+        assert ExecutionConfig.from_json(config.to_json()) == config
+        assert "batch" in json.loads(config.to_json())
+
+    def test_batch_is_excluded_from_the_fingerprint(self):
+        # Grouping only changes how subtrials ship, not what they compute,
+        # so a journal written at any batch setting resumes at any other.
+        assert ExecutionConfig(batch=8).fingerprint() == ExecutionConfig().fingerprint()
+
+    def test_old_wire_payloads_still_load(self):
+        payload = ExecutionConfig().to_dict()
+        del payload["batch"]
+        assert ExecutionConfig.from_dict(payload).batch == 0
+
+
+def _eval_suite(name="batch-parity-test"):
+    policies = ("static-max", "static-min", "heuristic", "random")
+    return SuiteSpec(
+        name=name,
+        description="batch dispatch parity fixture",
+        units=tuple(
+            SuiteUnit(
+                name=f"eval-{policy}",
+                kind="eval",
+                params={"policy": policy, "preset": "small", "num_epochs": 3},
+            )
+            for policy in policies
+        ),
+    )
+
+
+class TestSuiteBatchDispatch:
+    def test_batched_run_matches_cycle_reference(self):
+        reference = run_suite(_eval_suite(), config=ExecutionConfig(engine="cycle"))
+        batched = run_suite(
+            _eval_suite(), config=ExecutionConfig(engine="numpy", batch=4)
+        )
+        assert not diff_payloads(
+            reference.deterministic_payload(),
+            batched.deterministic_payload(),
+            ignore={"engine"},
+        )
+
+    def test_batch_engages_the_stacked_eval_path(self, monkeypatch):
+        calls = []
+        original = suites._stacked_eval_payloads
+
+        def spy(members):
+            result = original(members)
+            calls.append((len(members), result is not None))
+            return result
+
+        monkeypatch.setattr(suites, "_stacked_eval_payloads", spy)
+        run_suite(_eval_suite(), config=ExecutionConfig(engine="numpy", batch=4))
+        assert calls == [(4, True)]
+
+    def test_batch_is_ignored_without_engine_support(self, monkeypatch):
+        # config.batch with a non-batch engine must not group anything.
+        monkeypatch.setattr(
+            suites,
+            "group_subtrials",
+            lambda *a, **k: pytest.fail("grouping ran for a non-batch engine"),
+        )
+        run_suite(_eval_suite(), config=ExecutionConfig(engine="cycle", batch=4))
+
+    def test_journal_rows_are_member_level_and_resume_any_setting(self, tmp_path):
+        batched = run_suite(
+            _eval_suite(),
+            config=ExecutionConfig(engine="numpy", batch=4),
+            out_dir=tmp_path,
+        )
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / "batch-parity-test.journal.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        payload_rows = [row for row in rows if "journal" not in row]
+        assert len(payload_rows) == 4
+        assert all(row["kind"] == "eval" for row in payload_rows)
+        resumed = run_suite(
+            _eval_suite(),
+            config=ExecutionConfig(engine="numpy"),
+            out_dir=tmp_path,
+            resume=True,
+        )
+        assert resumed.resumed_subtrials == 4
+        assert not diff_payloads(
+            batched.deterministic_payload(), resumed.deterministic_payload()
+        )
+
+    def test_heterogeneous_batch_members_fall_back_sequentially(self):
+        members = [
+            Subtrial(
+                "sweep",
+                {
+                    "pattern": "uniform",
+                    "rate": 0.05,
+                    "warmup_cycles": 20,
+                    "measure_cycles": 40,
+                },
+            ),
+            Subtrial("eval", {"policy": "random", "preset": "small", "num_epochs": 2}),
+        ]
+        batch = Subtrial(
+            "batch", {"subtrials": [member.to_wire() for member in members]}
+        )
+        payload = run_suite_subtrial(batch)
+        parts = payload["batch"]
+        assert len(parts) == 2
+        for member, part in zip(members, parts):
+            solo = run_suite_subtrial(member)
+            assert part["rows"] == solo["rows"]
+
+    def test_empty_batch_subtrial_rejected(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            run_suite_subtrial(Subtrial("batch", {"subtrials": []}))
+
+
+class TestEnginesListCLI:
+    def test_engines_list_shows_capabilities(self, capsys):
+        assert main(["engines", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle (default)" in out
+        assert "numpy" in out
+        assert "batch" in out
+        assert "--engine accepts: cycle, event, numpy, auto" in out
+
+    def test_suite_run_rejects_the_batch_only_engine(self, capsys):
+        assert main(["suite", "run", "fig1-smoke", "--engine", "batch"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
