@@ -1,0 +1,85 @@
+"""Flow-level fast-forward vs the event engine on a large mesh.
+
+The flow engine exists for one reason: meshes where even the event
+calendar's cycle leaping is too slow.  This module times both engines on
+the same 16x16 transpose workload — the largest mesh the event engine
+finishes in benchmark-friendly time — and records the flow engine alone
+at 32x32 and 64x64 (the table4 scale-out sizes, where no exact engine is
+practical).  Results land in ``benchmarks/results/flow_scaling.json`` in
+the shared perf schema, each record carrying ``n_nodes`` and
+``injection_rate`` so ``perf report`` groups the trend by mesh size.
+
+One check rides along: the flow engine must clear 10x the event engine's
+cycles/sec at 16x16.  (Measured headroom is orders of magnitude beyond
+that — waterfilling solves once per discontinuity, not per cycle — so
+the floor only guards against the fast path silently degrading into a
+per-cycle loop.)  Throughput agreement between the two engines is
+covered by the tolerance tests in ``tests/engines/test_flow.py`` and the
+fig1-smoke flow-validation CI job, not re-asserted here.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.exp.bench import RESULTS_SCHEMA, perf_record
+from repro.noc.model import SimulatorConfig
+from repro.noc.network import NoCSimulator
+from repro.noc.topology import Mesh
+from repro.traffic.generator import TrafficGenerator
+
+PATTERN = "transpose"
+RATE = 0.02  # below transpose saturation (~2/width) even at 64x64
+EVENT_CYCLES = 1_000
+FLOW_CYCLES = 20_000
+SPEEDUP_FLOOR = 10.0
+
+
+def _measure(engine: str, width: int, cycles: int) -> dict:
+    config = SimulatorConfig(width=width, engine=engine)
+    traffic = TrafficGenerator.from_names(Mesh(width), PATTERN, RATE, seed=1)
+    sim = NoCSimulator(config, traffic)
+    start = time.perf_counter()
+    sim.run_epoch(cycles)
+    wall = time.perf_counter() - start
+    return perf_record(
+        f"{width}x{width}/{PATTERN}",
+        cycles,
+        wall,
+        engine=engine,
+        n_nodes=width * width,
+        injection_rate=RATE,
+    )
+
+
+@pytest.mark.bench
+def test_flow_scaling(report, results_dir):
+    event_record = _measure("event", 16, EVENT_CYCLES)
+    flow_record = _measure("flow", 16, FLOW_CYCLES)
+    scale_out = [_measure("flow", width, FLOW_CYCLES) for width in (32, 64)]
+
+    speedup = (
+        flow_record["cycles_per_s"] / event_record["cycles_per_s"]
+        if event_record["cycles_per_s"] and flow_record["cycles_per_s"]
+        else 0.0
+    )
+    artefact = {
+        "pattern": PATTERN,
+        "injection_rate": RATE,
+        "schema": list(RESULTS_SCHEMA),
+        "runs": [event_record, flow_record, *scale_out],
+        "speedup_at_16x16": speedup,
+    }
+    (results_dir / "flow_scaling.json").write_text(json.dumps(artefact, indent=2))
+    report(
+        "Flow-engine scaling — fast-forward vs event calendar (cycles/sec)",
+        json.dumps(artefact, indent=2),
+    )
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected the flow engine to clear {SPEEDUP_FLOOR:.0f}x the event "
+        f"engine's cycles/sec at 16x16, got {speedup:.2f}x"
+    )

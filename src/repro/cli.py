@@ -116,7 +116,13 @@ from repro.exp.service import (
     SuiteBroker,
     parse_workers_url,
 )
-from repro.exp.suites import DIFF_IGNORED_KEYS, JournalMismatchError, diff_payloads
+from repro.exp.suites import (
+    APPROX_DIFF_IGNORED_KEYS,
+    APPROX_DIFF_TOLERANCES,
+    DIFF_IGNORED_KEYS,
+    JournalMismatchError,
+    diff_payloads,
+)
 from repro.exp.telemetry import (
     DEFAULT_RESULTS_DIR,
     EnginePolicy,
@@ -425,6 +431,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY",
         help="additionally ignore this field everywhere (repeatable); "
         "wall-clock fields are always ignored",
+    )
+    suite_diff.add_argument(
+        "--tolerance",
+        dest="tolerances",
+        action="append",
+        default=[],
+        metavar="FIELD=EPS",
+        help="allow FIELD to differ by a relative epsilon "
+        "(|a-b| <= eps*max(|a|,|b|,1)) instead of byte parity (repeatable; "
+        "overrides the --approx preset for that field)",
+    )
+    suite_diff.add_argument(
+        "--approx",
+        action="store_true",
+        help="compare an approximate engine's artefact against an exact "
+        "one: preset per-field tolerances, engine/percentile fields ignored",
     )
 
     engines = subparsers.add_parser(
@@ -746,9 +768,10 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     config = execution_config_from_args(args, engine=engine)
     sink = TelemetrySink(args.telemetry) if args.telemetry else None
     if sink is not None and config.jobs > 1:
-        # The live tap holds an open file handle, which cannot pickle into
-        # pool workers; per-epoch rows therefore need the in-process path.
-        print("telemetry: per-epoch rows need --jobs 1; streaming perf rows only")
+        # Workers forward rows through a manager queue to a parent-side
+        # drainer (see run_scenarios), so the tap works at any --jobs;
+        # only the interleaving across scenarios is nondeterministic.
+        print("telemetry: parallel run — per-epoch row order is nondeterministic")
     try:
         results = run_scenarios(
             names,
@@ -758,18 +781,18 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
             epochs=args.epochs,
             epoch_cycles=args.epoch_cycles,
             engine_overrides=engine_overrides,
-            telemetry=sink if config.jobs == 1 else None,
+            telemetry=sink,
         )
         if sink is not None:
             for result in results:
                 override = (engine_overrides or {}).get(result.scenario, config.engine)
+                spec = get_scenario(result.scenario)
                 sink.emit(
                     {
                         "source": "perf",
                         "scenario": result.scenario,
-                        "engine": override
-                        or get_scenario(result.scenario).engine
-                        or "cycle",
+                        "engine": override or spec.engine or "cycle",
+                        "n_nodes": spec.width * (spec.height or spec.width),
                         "seed": result.seed,
                         "cycles": result.cycles,
                         "packets_delivered": result.packets_delivered,
@@ -791,6 +814,23 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tolerance_specs(specs: list[str]) -> dict[str, float]:
+    """Parse repeated ``FIELD=EPS`` flags into a tolerance mapping."""
+    tolerances: dict[str, float] = {}
+    for spec in specs:
+        field, separator, raw = spec.partition("=")
+        if not separator or not field:
+            raise ValueError(f"expected FIELD=EPS, got {spec!r}")
+        try:
+            eps = float(raw)
+        except ValueError:
+            raise ValueError(f"bad epsilon in {spec!r}: {raw!r} is not a number")
+        if eps < 0:
+            raise ValueError(f"epsilon must be non-negative in {spec!r}")
+        tolerances[field] = eps
+    return tolerances
+
+
 def _suite_diff(args: argparse.Namespace) -> int:
     """``suite diff A.json B.json``: row-by-row comparison, all fields."""
     payloads = []
@@ -801,11 +841,31 @@ def _suite_diff(args: argparse.Namespace) -> int:
             return 2
         payloads.append(json.loads(target.read_text(encoding="utf-8")))
     ignore = DIFF_IGNORED_KEYS | set(args.ignore)
-    differences = diff_payloads(payloads[0], payloads[1], ignore=ignore)
+    # --approx seeds the tolerance set for exact-vs-approximate engine
+    # comparisons; explicit --tolerance FIELD=EPS entries win over it.
+    # With neither flag, tolerances stay None and every field compares
+    # byte-exact — the default diff contract is unchanged.
+    tolerances: dict[str, float] | None = None
+    if args.approx:
+        tolerances = dict(APPROX_DIFF_TOLERANCES)
+        ignore = ignore | APPROX_DIFF_IGNORED_KEYS
+    if args.tolerances:
+        try:
+            overrides = _parse_tolerance_specs(args.tolerances)
+        except ValueError as error:
+            print(f"bad --tolerance: {error}", file=sys.stderr)
+            return 2
+        tolerances = {**(tolerances or {}), **overrides}
+    differences = diff_payloads(
+        payloads[0], payloads[1], ignore=ignore, tolerances=tolerances
+    )
+    mode = (
+        " within tolerances" if tolerances else " (wall-clock fields ignored)"
+    )
     if not differences:
         print(
-            f"suite diff: {args.artifact_a} and {args.artifact_b} are identical "
-            "(wall-clock fields ignored)"
+            f"suite diff: {args.artifact_a} and {args.artifact_b} are "
+            f"identical{mode}"
         )
         return 0
     print(f"suite diff: {len(differences)} difference(s)")
@@ -1261,6 +1321,9 @@ def cmd_engines(args: argparse.Namespace) -> int:
     stacked batch engine.  ``batch`` itself is registered unselectable —
     it only makes sense as an explicit N-replica configuration, so neither
     ``--engine`` nor the auto policy will ever pick it for a single sim.
+    ``approximate`` engines synthesize telemetry instead of simulating it
+    exactly; compare their artefacts with ``suite diff --approx``, never
+    byte parity, and the auto policy never picks them either.
     """
     del args
     rows = [
@@ -1269,13 +1332,15 @@ def cmd_engines(args: argparse.Namespace) -> int:
             + (" (default)" if info.name == DEFAULT_ENGINE else ""),
             "selectable": "yes" if info.selectable else "no",
             "batch": "yes" if info.supports_batch else "no",
+            "approximate": "yes" if info.approximate else "no",
         }
         for info in engine_infos()
     ]
     print(format_table(rows, title="Registered engines"))
     print(
         f"--engine accepts: {', '.join(selectable_engine_names())}; "
-        "'batch: yes' engines power suite --batch dispatch"
+        "'batch: yes' engines power suite --batch dispatch; "
+        "'approximate: yes' engines need suite diff --approx for comparison"
     )
     return 0
 

@@ -18,7 +18,12 @@ engines are telemetry-equivalent — statistics, energy floats and the
 * ``batch`` — :class:`BatchEngine`, N replica models advanced in lockstep
   by one process (``selectable=False``: never offered for a single sim,
   reachable as explicit configuration and through the suite engine's
-  batch-dispatch pass).
+  batch-dispatch pass);
+* ``flow`` — :class:`FlowEngine`, the *approximate* flow-level
+  fast-forward engine: max-min fair rate allocations advanced in single
+  leaps between traffic/DVFS/fault discontinuities
+  (``EngineInfo(approximate=True)`` — telemetry is synthesized, compare
+  with ``suite diff --approx``, never byte parity).
 
 New engines register through :func:`register_engine`, declare capabilities
 via :class:`EngineInfo`, and become available everywhere a name is
@@ -33,6 +38,7 @@ from repro.engines.base import (
     build_engine,
     engine_info,
     engine_infos,
+    engine_is_approximate,
     engine_names,
     engine_supports_batch,
     get_engine_factory,
@@ -44,12 +50,14 @@ from repro.engines.base import (
 from repro.engines.batch import BatchEngine
 from repro.engines.cycle import CycleEngine
 from repro.engines.event import EventEngine
+from repro.engines.flow import FlowEngine
 from repro.engines.numpy_engine import NumpyEngine
 
 register_engine("cycle", CycleEngine)
 register_engine("event", EventEngine)
 register_engine("numpy", NumpyEngine, supports_batch=True)
 register_engine("batch", BatchEngine, supports_batch=True, selectable=False)
+register_engine("flow", FlowEngine, approximate=True)
 
 __all__ = [
     "AUTO_ENGINE",
@@ -59,10 +67,12 @@ __all__ = [
     "Engine",
     "EngineInfo",
     "EventEngine",
+    "FlowEngine",
     "NumpyEngine",
     "build_engine",
     "engine_info",
     "engine_infos",
+    "engine_is_approximate",
     "engine_names",
     "engine_supports_batch",
     "get_engine_factory",

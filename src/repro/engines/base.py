@@ -68,11 +68,19 @@ class EngineInfo:
         backends register with ``selectable=False``: they stay reachable as
         explicit configuration (``SimulatorConfig(engine=...)`` builds a
         batch of one) but are never auto-selected.
+    ``approximate``
+        The engine trades the byte-identical telemetry contract for speed:
+        its statistics are synthesized from an analytical model rather than
+        simulated per flit.  Approximate engines must never be compared to
+        exact ones with byte parity — use ``suite diff --approx`` (or
+        explicit ``--tolerance FIELD=EPS`` bounds) instead — and
+        ``EnginePolicy`` never auto-selects them.
     """
 
     name: str
     supports_batch: bool = False
     selectable: bool = True
+    approximate: bool = False
 
 
 _REGISTRY: dict[str, Callable[["NoCModel"], Engine]] = {}
@@ -85,6 +93,7 @@ def register_engine(
     *,
     supports_batch: bool = False,
     selectable: bool = True,
+    approximate: bool = False,
     replace_existing: bool = False,
 ) -> None:
     """Add an engine factory (usually the class itself) under ``name``."""
@@ -93,7 +102,12 @@ def register_engine(
     if name in _REGISTRY and not replace_existing:
         raise ValueError(f"engine {name!r} is already registered")
     _REGISTRY[name] = factory
-    _INFO[name] = EngineInfo(name=name, supports_batch=supports_batch, selectable=selectable)
+    _INFO[name] = EngineInfo(
+        name=name,
+        supports_batch=supports_batch,
+        selectable=selectable,
+        approximate=approximate,
+    )
 
 
 def engine_names() -> tuple[str, ...]:
@@ -114,6 +128,11 @@ def engine_infos() -> tuple[EngineInfo, ...]:
 def engine_supports_batch(name: str) -> bool:
     """Whether the registry advertises lockstep replica batching for ``name``."""
     return engine_info(name).supports_batch
+
+
+def engine_is_approximate(name: str) -> bool:
+    """Whether ``name`` synthesizes telemetry instead of simulating it exactly."""
+    return engine_info(name).approximate
 
 
 def validate_engine_name(name: str) -> str:

@@ -9,8 +9,11 @@ happen and leaps over everything in between:
   member (the conservative default returns the queried cycle itself, which
   schedules an injection event every cycle);
 * **pipeline events** — while any flit is buffered in a router or queued at
-  an NI, the next cycle on which at least one DVFS clock divider fires
-  (cycles none fires are fully gated: no injection, no pipeline work);
+  an NI, the next cycle on which at least one *involved* router's DVFS
+  clock divider fires (a hierarchical per-router calendar: routers that
+  hold no flits and feed no nonempty NI queue cannot do work, so their
+  dividers no longer cap the leap — cycles on which no involved divider
+  fires are fully gated: no injection, no pipeline work);
 * **DVFS retunes** — an operating-point change invalidates the model's
   divider table (through the router observer hook PR 2 added).  Retunes can
   only happen *between* ``_advance`` invocations — ``on_cycle`` hooks force
@@ -94,15 +97,40 @@ class EventEngine:
             self._advance(model.cycle + 1)
 
     def _next_divider_fire(self, at: int) -> int:
-        """The earliest cycle ``>= at`` on which any distinct divider fires."""
-        best = None
-        for divider in self.model.divider_table():
-            remainder = at % divider
-            fire = at if remainder == 0 else at + (divider - remainder)
-            if fire == at:
-                return at
-            if best is None or fire < best:
-                best = fire
+        """The earliest cycle ``>= at`` on which any *involved* router fires.
+
+        The calendar is hierarchical: instead of one global distinct-divider
+        table (which let a single turbo router anywhere in the mesh cap
+        every leap, even with all parked flits sitting in powersave
+        routers), each router contributes its own next-fire cycle and only
+        the *involved* ones are consulted — routers holding flits
+        (``_active_routers``) plus routers whose NI source queues are
+        nonempty (``_nonempty_sources``; injection is divider-gated per
+        node).  A cycle on which only uninvolved dividers fire is an
+        execution no-op (``inject_from_sources`` skips empty sources,
+        ``step_routers`` skips inactive routers) and settles as part of the
+        gated span with identical accounting, so restricting the calendar
+        keeps telemetry bit-identical while leaping further on mixed-DVFS
+        meshes.  Involvement sets only *grow* during an executed cycle, and
+        every executed cycle reschedules against the grown sets, so a
+        scheduled fire can go stale early (harmless: the cycle settles as
+        gated) but never late.
+        """
+        routers = self.model.routers
+        best: int | None = None
+        seen: set[int] = set()
+        for involved in (self.model._active_routers, self.model._nonempty_sources):
+            for node in involved:
+                divider = routers[node].operating_point.divider
+                if divider in seen:
+                    continue
+                seen.add(divider)
+                remainder = at % divider
+                if remainder == 0:
+                    return at
+                fire = at + (divider - remainder)
+                if best is None or fire < best:
+                    best = fire
         return at if best is None else best
 
     def _advance(self, end: int) -> None:

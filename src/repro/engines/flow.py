@@ -1,0 +1,568 @@
+"""The flow-level fast-forward engine.
+
+Every other engine in the registry is *exact*: it executes (or provably
+batches) the flit-accurate pipeline and produces byte-identical telemetry.
+This engine is **approximate** (``EngineInfo(approximate=True)``): it never
+moves a flit.  Sustained traffic is modelled as per-flow rate allocations —
+max-min fair waterfilling over link capacities derived from the per-router
+DVFS operating points — and the clock advances in single leaps between
+*discontinuities*:
+
+* injection-rate or phase changes (``FlowProfile.until`` from the traffic
+  source's ``flow_profile`` protocol member);
+* ``fail_link`` / ``repair_link`` (the failed-link set is part of the
+  allocation fingerprint);
+* DVFS retunes (observed through the model's operating-point cache
+  sentinel — any retune invalidates it);
+* routing reconfiguration (``set_routing_algorithm``);
+* source quiescence and backlog drain (a saturated source's NI backlog
+  drains at its allocated rate; the exhaustion instant is a scheduled
+  discontinuity).
+
+Between discontinuities the allocation is constant, so a span of any length
+settles in O(distinct operating points) work: statistics are synthesized
+from integrated rates with ``record_cycles``-style bulk accounting plus
+fractional-carry integer commits, dynamic energy from per-point flit-rate
+aggregates, leakage as ``span * sum(per-cycle increments)``.
+
+What the approximation gets right and wrong (the documented contract the
+``suite diff --approx`` tolerances encode):
+
+* throughput, accepted ratio, hop counts and link utilization track the
+  exact engines closely at low-to-moderate load and at saturation
+  (waterfilling reproduces the max-min bottleneck structure of
+  dimension-ordered routing);
+* latency is an analytical M/D/1-style estimate (per-hop service at the
+  router's divider, tail serialization, a queueing inflation term and
+  Little's-law NI wait) — right shape and order, not cycle-accurate;
+* per-packet latency *percentiles* are unavailable (``NetworkStats
+  .latencies`` stays empty — counters only);
+* adaptive routing is collapsed to its deterministic first-candidate
+  spine, VC count and buffer depth are ignored, and leakage is a float
+  multiply rather than the exact per-cycle replay.
+
+The engine refuses traffic it cannot express as sustained flows (bursty
+MMPP injection, trace replay, randomised patterns past
+``FLOW_EXPANSION_BUDGET`` pairs) with a ``RuntimeError`` naming the exact
+engines as the fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.noc.model import NoCModel
+
+try:  # numpy accelerates waterfilling; the pure-python path is exact too.
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the package deps
+    np = None  # type: ignore[assignment]
+
+#: Convergence epsilon for waterfilling (absolute, rates are O(1) flits/cycle).
+_EPS = 1e-12
+#: A flow within this of its demand is demand-satisfied and frozen.
+_DEMAND_EPS = 1e-9
+#: Utilization is clamped below 1 in the queueing-delay term.
+_RHO_CAP = 0.97
+
+
+# ----------------------------------------------------------------------
+# pure flow-rate math (unit-tested directly, no model required)
+# ----------------------------------------------------------------------
+
+
+def waterfill(
+    demands: Sequence[float],
+    flow_links: Sequence[Sequence[int]],
+    capacities: Sequence[float],
+) -> list[float]:
+    """Max-min fair rate allocation with per-flow demand caps.
+
+    ``flow_links[f]`` lists the indices (into ``capacities``) of the
+    capacitated resources flow ``f`` traverses.  Progressive filling: every
+    unfrozen flow's rate rises at the same speed; a flow freezes when it
+    reaches its demand or when any of its links saturates.  The result is
+    the unique max-min fair allocation: no flow's rate can be raised
+    without lowering that of another flow with an equal-or-smaller rate.
+
+    Flows with zero demand — or crossing a zero-capacity (failed) link —
+    get rate 0.  Guaranteed: ``0 <= rate[f] <= demands[f]`` and for every
+    link ``sum(rates crossing it) <= capacity`` (within float epsilon).
+    """
+    if len(demands) != len(flow_links):
+        raise ValueError("demands and flow_links must have equal length")
+    if np is not None and len(demands) >= 64:
+        return _waterfill_numpy(demands, flow_links, capacities)
+    return _waterfill_python(demands, flow_links, capacities)
+
+
+def _waterfill_python(
+    demands: Sequence[float],
+    flow_links: Sequence[Sequence[int]],
+    capacities: Sequence[float],
+) -> list[float]:
+    remaining = list(capacities)
+    rates = [0.0] * len(demands)
+    active: set[int] = set()
+    for flow, links in enumerate(flow_links):
+        if demands[flow] > _EPS and all(remaining[link] > _EPS for link in links):
+            active.add(flow)
+    while active:
+        counts: dict[int, int] = {}
+        for flow in active:
+            for link in flow_links[flow]:
+                counts[link] = counts.get(link, 0) + 1
+        delta = min(demands[flow] - rates[flow] for flow in active)
+        for link, count in counts.items():
+            delta = min(delta, remaining[link] / count)
+        if delta > 0.0:
+            for flow in active:
+                rates[flow] += delta
+                for link in flow_links[flow]:
+                    remaining[link] -= delta
+        saturated = {link for link in counts if remaining[link] <= _DEMAND_EPS}
+        frozen = {
+            flow
+            for flow in active
+            if rates[flow] >= demands[flow] - _DEMAND_EPS
+            or any(link in saturated for link in flow_links[flow])
+        }
+        if not frozen:  # defensive: progress is otherwise guaranteed
+            break
+        active -= frozen
+    return rates
+
+
+def _waterfill_numpy(
+    demands: Sequence[float],
+    flow_links: Sequence[Sequence[int]],
+    capacities: Sequence[float],
+) -> list[float]:
+    demand = np.asarray(demands, dtype=float)
+    remaining = np.asarray(capacities, dtype=float).copy()
+    num_flows = len(demand)
+    num_links = len(remaining)
+    # Flat flow->link incidence (CSR-style), built once per allocation.
+    flow_idx = np.fromiter(
+        (flow for flow, links in enumerate(flow_links) for _ in links),
+        dtype=np.int64,
+    )
+    link_idx = np.fromiter(
+        (link for links in flow_links for link in links), dtype=np.int64
+    )
+    rates = np.zeros(num_flows)
+    active = demand > _EPS
+    if link_idx.size:
+        dead = remaining <= _EPS
+        if dead.any():
+            crosses_dead = (
+                np.bincount(flow_idx, weights=dead[link_idx], minlength=num_flows) > 0
+            )
+            active &= ~crosses_dead
+    # Each round freezes at least one flow, but the loop bound is defensive.
+    for _ in range(num_flows + num_links + 1):
+        if not active.any():
+            break
+        counts = np.bincount(
+            link_idx, weights=active[flow_idx].astype(float), minlength=num_links
+        )
+        used = counts > 0
+        delta = float((demand[active] - rates[active]).min())
+        if used.any():
+            delta = min(delta, float((remaining[used] / counts[used]).min()))
+        if delta > 0.0:
+            rates[active] += delta
+            remaining -= delta * counts
+        saturated = used & (remaining <= _DEMAND_EPS)
+        frozen = active & (rates >= demand - _DEMAND_EPS)
+        if link_idx.size and saturated.any():
+            on_saturated = (
+                np.bincount(flow_idx, weights=saturated[link_idx], minlength=num_flows)
+                > 0
+            )
+            frozen |= active & on_saturated
+        if not frozen.any():
+            break
+        active &= ~frozen
+    return rates.tolist()
+
+
+# ----------------------------------------------------------------------
+# allocation state
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Flow:
+    """One sustained flow in the current allocation."""
+
+    key: tuple[int, int]
+    demand: float  # offered flits/cycle from the profile (0 while draining)
+    rate: float = 0.0  # waterfilled allocation, flits/cycle
+    path: tuple[int, ...] | None = None  # None: no route (failed links)
+    transit: float = 0.0  # analytical network latency, cycles
+    max_divider: int = 1
+
+
+@dataclass
+class _Allocation:
+    """A constant rate allocation plus the precomputed span aggregates."""
+
+    flows: list[_Flow]
+    packet_size: int
+    horizon: int | None  # first cycle the allocation may change, or None
+    # fingerprint (cheap discontinuity detection)
+    traffic: object
+    routing_name: str
+    failed_links: frozenset[tuple[int, int]]
+    # per-cycle rate aggregates (constant over the allocation's lifetime)
+    created_packets: float = 0.0
+    injected_packets: float = 0.0
+    delivered_packets: float = 0.0
+    total_latency: float = 0.0
+    network_latency: float = 0.0
+    hops: float = 0.0
+    link_traversals: float = 0.0
+    occupancy: float = 0.0  # Little's-law in-network flits (constant)
+    base_queue: float = 0.0  # NI serialization backlog at zero contention
+    backlog_growth: float = 0.0  # d(total NI backlog)/dcycle (may be < 0)
+    energy_by_point: list[tuple[object, float, float, float]] = field(
+        default_factory=list
+    )  # (operating point, write rate, read+crossbar rate, link rate)
+    leakage_per_cycle: float = 0.0
+    idle: bool = False  # no flows, no backlog: spans are plain idle cycles
+
+
+class FlowEngine:
+    """Advance a :class:`NoCModel` by integrating per-flow rate allocations."""
+
+    name = "flow"
+
+    def __init__(self, model: NoCModel) -> None:
+        self.model = model
+        self._alloc: _Allocation | None = None
+        #: NI backlog per (src, dst) flow, in flits (float; saturated flows
+        #: accumulate here and drain when headroom returns).
+        self._backlog: dict[tuple[int, int], float] = {}
+        #: Fractional carries for integer stat commits, keyed by counter.
+        self._carry: dict[str, float] = {}
+
+    # -- telemetry contract (observability, mirrors the other engines) -----
+
+    @property
+    def idle_cycles(self) -> int:
+        return self.model.idle_cycles
+
+    @property
+    def skipped_router_steps(self) -> int:
+        return self.model.skipped_router_steps
+
+    # -- the leap loop ------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the simulation by exactly one cycle."""
+        alloc = self._current_allocation()
+        self._settle(alloc, 1)
+        self.model.cycle += 1
+
+    def run(self, cycles: int, *, on_cycle: Callable[[int], None] | None = None) -> None:
+        """Advance ``cycles`` cycles; ``on_cycle`` runs before each one.
+
+        Without a hook the clock leaps from discontinuity to discontinuity;
+        with one attached the engine steps cycle by cycle (the hook may
+        reconfigure the model, and every reconfiguration is a potential
+        discontinuity), re-validating the allocation fingerprint each step.
+        """
+        model = self.model
+        end = model.cycle + cycles
+        if on_cycle is None:
+            while model.cycle < end:
+                alloc = self._current_allocation()
+                target = end if alloc.horizon is None else min(end, alloc.horizon)
+                if target <= model.cycle:  # defensive: always make progress
+                    target = model.cycle + 1
+                self._settle(alloc, target - model.cycle)
+                model.cycle = target
+            return
+        while model.cycle < end:
+            on_cycle(model.cycle)
+            alloc = self._current_allocation()
+            self._settle(alloc, 1)
+            model.cycle += 1
+
+    # -- allocation lifecycle ----------------------------------------------
+
+    def _current_allocation(self) -> _Allocation:
+        alloc = self._alloc
+        model = self.model
+        if (
+            alloc is not None
+            and (alloc.horizon is None or model.cycle < alloc.horizon)
+            # The operating-point cache sentinel: any DVFS retune nulls it
+            # (and nothing else touches it while this engine is attached),
+            # so a primed cache means capacities are still current.
+            and model._distinct_dividers is not None
+            and model._routing_name == alloc.routing_name
+            and model._failed_links == alloc.failed_links
+            and model.traffic is alloc.traffic
+        ):
+            return alloc
+        alloc = self._compute_allocation()
+        self._alloc = alloc
+        return alloc
+
+    def _compute_allocation(self) -> _Allocation:
+        model = self.model
+        model.divider_table()  # prime the retune sentinel for this allocation
+        traffic = model.traffic
+        if traffic is None:
+            profile_flows: tuple = ()
+            until = None
+            packet_size = 1
+        else:
+            profile = traffic.flow_profile(model.cycle)
+            if profile is None:
+                raise RuntimeError(
+                    "the flow engine cannot express this traffic source as "
+                    "sustained flows (supported: Bernoulli injection with "
+                    "weight-expressible patterns, up to FLOW_EXPANSION_BUDGET "
+                    "src/dst pairs); run the exact cycle or event engine instead"
+                )
+            profile_flows = profile.flows
+            until = profile.until
+            packet_size = max(1, profile.packet_size)
+
+        backlog = self._backlog
+        flows: list[_Flow] = []
+        for src, dst, rate in profile_flows:
+            flows.append(_Flow(key=(src, dst), demand=rate))
+        listed = {flow.key for flow in flows}
+        for key, pending in backlog.items():
+            # Quiesced or re-phased flows with leftover NI backlog keep
+            # draining at whatever rate the allocation grants them.
+            if pending > _DEMAND_EPS and key not in listed:
+                flows.append(_Flow(key=key, demand=0.0))
+
+        alloc = _Allocation(
+            flows=flows,
+            packet_size=packet_size,
+            horizon=until,
+            traffic=traffic,
+            routing_name=model._routing_name,
+            failed_links=frozenset(model._failed_links),
+        )
+        self._solve(alloc)
+        return alloc
+
+    def _solve(self, alloc: _Allocation) -> None:
+        """Route, waterfill and precompute the span-settlement aggregates."""
+        model = self.model
+        routers = model.routers
+        backlog = self._backlog
+        alloc.leakage_per_cycle = sum(model._cycle_leakage_increments())
+        if not alloc.flows and not any(v > _DEMAND_EPS for v in backlog.values()):
+            alloc.idle = True
+            return
+
+        # Constraint index: one capacity per NI injection port, directed
+        # link and ejection port actually traversed.  Link capacity is the
+        # slower of the two endpoint routers (the sender forwards and the
+        # receiver releases at most one flit per fired cycle each).
+        constraint_index: dict[tuple, int] = {}
+        capacities: list[float] = []
+
+        def constraint(key: tuple, capacity: float) -> int:
+            index = constraint_index.get(key)
+            if index is None:
+                index = len(capacities)
+                constraint_index[key] = index
+                capacities.append(capacity)
+            return index
+
+        divider_of = {node: r.operating_point.divider for node, r in routers.items()}
+        demands: list[float] = []
+        flow_links: list[list[int]] = []
+        routed: list[_Flow] = []
+        for flow in alloc.flows:
+            flow.path = model.flow_route(*flow.key)
+            if flow.path is None:
+                continue  # undeliverable: rate stays 0, backlog grows
+            links = [constraint(("inj", flow.path[0]), 1.0 / divider_of[flow.path[0]])]
+            for a, b in zip(flow.path, flow.path[1:]):
+                capacity = 1.0 / max(divider_of[a], divider_of[b])
+                if (a, b) in alloc.failed_links:
+                    capacity = 0.0  # defensive: routes already avoid these
+                links.append(constraint(("link", a, b), capacity))
+            links.append(constraint(("ej", flow.path[-1]), 1.0 / divider_of[flow.path[-1]]))
+            # Backlogged flows are eager: they bid for their offered rate
+            # plus everything pending (capped by the links either way).
+            demands.append(flow.demand + backlog.get(flow.key, 0.0))
+            flow_links.append(links)
+            routed.append(flow)
+
+        rates = waterfill(demands, flow_links, capacities)
+        for flow, rate in zip(routed, rates):
+            flow.rate = rate
+
+        # Post-allocation link loads drive the queueing-delay estimate.
+        load = [0.0] * len(capacities)
+        for flow, links in zip(routed, flow_links):
+            for link in links:
+                load[link] += flow.rate
+
+        packet_size = alloc.packet_size
+        energy: dict[object, list[float]] = {}
+        earliest_drain: float | None = None
+        for flow in alloc.flows:
+            alloc.created_packets += flow.demand / packet_size
+            pending = backlog.get(flow.key, 0.0)
+            growth = flow.demand - flow.rate
+            alloc.backlog_growth += growth
+            if growth < -_EPS and pending > _DEMAND_EPS:
+                drain_cycles = pending / -growth
+                if earliest_drain is None or drain_cycles < earliest_drain:
+                    earliest_drain = drain_cycles
+            if flow.path is None or flow.rate <= _EPS:
+                continue
+            path = flow.path
+            hops = len(path) - 1
+            # Analytical latency: one switch traversal per node on the path
+            # (ejection included) at that node's divider, tail serialization
+            # behind the slowest divider, and an M/D/1-style queueing wait
+            # per traversed constraint.
+            transit = 0.0
+            max_divider = 1
+            for node in path:
+                divider = divider_of[node]
+                transit += divider
+                if divider > max_divider:
+                    max_divider = divider
+            flow.max_divider = max_divider
+            flow.transit = transit + (packet_size - 1) * max_divider
+            # Flits are buffered for the head transit, not the tail trail;
+            # NI queues hold the later flits of each packet while the NI
+            # serializes one flit per fired cycle.
+            alloc.occupancy += flow.rate * transit
+            alloc.base_queue += (
+                flow.rate * divider_of[path[0]] * (packet_size - 1) / 2.0
+            )
+            alloc.delivered_packets += flow.rate / packet_size
+            alloc.injected_packets += flow.rate / packet_size
+            alloc.hops += (flow.rate / packet_size) * hops
+            alloc.link_traversals += flow.rate * hops
+            # energy rates per operating point: a buffer write at every node
+            # on the path (NI injection at the source, link receive at the
+            # rest), a read+crossbar at every node (each movement out), and
+            # link energy at every node except the destination (sender pays).
+            for position, node in enumerate(path):
+                point = routers[node].operating_point
+                rates_for_point = energy.get(point)
+                if rates_for_point is None:
+                    rates_for_point = [0.0, 0.0, 0.0]
+                    energy[point] = rates_for_point
+                rates_for_point[0] += flow.rate
+                rates_for_point[1] += flow.rate
+                if position != hops:
+                    rates_for_point[2] += flow.rate
+        # Queueing inflation + NI wait need the per-flow link loads.
+        for flow, links in zip(routed, flow_links):
+            if flow.rate <= _EPS:
+                continue
+            wait = 0.0
+            for link in links:
+                capacity = capacities[link]
+                if capacity <= _EPS:
+                    continue
+                rho = min(load[link] / capacity, _RHO_CAP)
+                wait += (rho / (2.0 * (1.0 - rho))) / capacity
+            flow.transit += wait
+            alloc.occupancy += flow.rate * wait  # waiting flits sit buffered
+            packets = flow.rate / packet_size
+            alloc.network_latency += packets * flow.transit
+            # NI queueing wait is added at settle time — Little's law on the
+            # span-averaged backlog — so it tracks growth within long spans.
+            alloc.total_latency += packets * flow.transit
+        if earliest_drain is not None:
+            drain_at = self.model.cycle + max(1, int(earliest_drain) + 1)
+            if alloc.horizon is None or drain_at < alloc.horizon:
+                alloc.horizon = drain_at
+        alloc.energy_by_point = [
+            (point, rates_[0], rates_[1], rates_[2]) for point, rates_ in energy.items()
+        ]
+
+    # -- span settlement ----------------------------------------------------
+
+    def _commit(self, counter: str, amount: float) -> int:
+        """Integer commit with a fractional carry (amounts are >= 0)."""
+        value = self._carry.get(counter, 0.0) + amount
+        whole = int(value)
+        self._carry[counter] = value - whole
+        return whole
+
+    def _settle(self, alloc: _Allocation, span: int) -> None:
+        """Integrate ``span`` cycles of the allocation into the model."""
+        model = self.model
+        stats = model.stats
+        power = model.power
+        num_routers = len(model.routers)
+        model.skipped_router_steps += span * num_routers
+        power.energy.leakage_pj += alloc.leakage_per_cycle * span
+        if alloc.idle:
+            stats.record_idle_cycles(span)
+            model.idle_cycles += span
+            return
+        packet_size = alloc.packet_size
+        stats.record_cycles(span, 0, 0)
+        stats.occupancy_flit_cycles += self._commit(
+            "occupancy", alloc.occupancy * span
+        )
+        backlog_now = sum(self._backlog.values())
+        backlog_avg = max(0.0, backlog_now + alloc.backlog_growth * span / 2.0)
+        stats.source_queue_flit_cycles += self._commit(
+            "queued", (backlog_avg + alloc.base_queue) * span
+        )
+
+        created = self._commit("created", alloc.created_packets * span)
+        stats.packets_created += created
+        stats.flits_created += created * packet_size
+        injected = self._commit("injected", alloc.injected_packets * span)
+        # Keep the exact engines' invariants: created >= injected >= delivered.
+        injected = min(injected, stats.packets_created - stats.packets_injected)
+        stats.packets_injected += injected
+        stats.flits_injected += injected * packet_size
+        delivered = self._commit("delivered", alloc.delivered_packets * span)
+        delivered = min(delivered, stats.packets_injected - stats.packets_delivered)
+        stats.packets_delivered += delivered
+        stats.flits_delivered += delivered * packet_size
+        # Delivered packets waited avg_backlog / rate at their NI; summed
+        # over flows that collapses (Little's law) to backlog_avg / psize
+        # extra latency mass per cycle.
+        stats.total_latency_sum += self._commit(
+            "total_latency",
+            (alloc.total_latency + backlog_avg / packet_size) * span,
+        )
+        stats.network_latency_sum += self._commit(
+            "network_latency", alloc.network_latency * span
+        )
+        stats.hop_sum += self._commit("hops", alloc.hops * span)
+        stats.link_flit_traversals += self._commit(
+            "link_traversals", alloc.link_traversals * span
+        )
+        for point, write_rate, read_xbar_rate, link_rate in alloc.energy_by_point:
+            power.record_buffer_write(point, flits=write_rate * span)
+            power.record_buffer_read(point, flits=read_xbar_rate * span)
+            power.record_crossbar_traversal(point, flits=read_xbar_rate * span)
+            if link_rate:
+                power.record_link_traversal(point, flits=link_rate * span)
+        # Advance the per-flow NI backlogs (clamped at empty; the allocation
+        # horizon already stops the span at the first exhaustion).
+        backlog = self._backlog
+        for flow in alloc.flows:
+            growth = (flow.demand - flow.rate) * span
+            if growth > 0.0 or backlog.get(flow.key):
+                pending = backlog.get(flow.key, 0.0) + growth
+                if pending > _DEMAND_EPS:
+                    backlog[flow.key] = pending
+                else:
+                    backlog.pop(flow.key, None)

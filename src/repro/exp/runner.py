@@ -34,6 +34,8 @@ these paths byte-reproducibly in tests.
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -580,10 +582,33 @@ def run_trials(
 # ---------------------------------------------------------------------------
 
 
+class _QueueTap:
+    """Worker-side telemetry sink: forwards rows onto a manager queue.
+
+    A real :class:`~repro.exp.telemetry.TelemetrySink` holds an open file
+    handle and cannot pickle into pool workers; a ``multiprocessing``
+    *manager* queue proxy can.  Workers emit onto the proxy and the parent's
+    drainer thread writes to the real sink, so ``--telemetry`` works at any
+    ``jobs`` setting.
+    """
+
+    def __init__(self, queue) -> None:
+        self._queue = queue
+
+    def emit(self, row: Mapping) -> None:
+        self._queue.put(dict(row))
+
+
 def _scenario_trial(args: tuple) -> ScenarioResult:
-    spec, seed, epochs, epoch_cycles, engine = args
+    spec, seed, epochs, epoch_cycles, engine, *tail = args
+    tap = _QueueTap(tail[0]) if tail else None
     return run_scenario(
-        spec, seed=seed, epochs=epochs, epoch_cycles=epoch_cycles, engine=engine
+        spec,
+        seed=seed,
+        epochs=epochs,
+        epoch_cycles=epoch_cycles,
+        engine=engine,
+        telemetry=tap,
     )
 
 
@@ -621,9 +646,14 @@ def run_scenarios(
     and never depend on ``jobs``.  Results are ordered by (name, repeat).
 
     ``telemetry`` streams :func:`run_scenario`'s live per-epoch rows to a
-    sink (anything with ``emit(row)``) — in-process only: a sink holds an
-    open file handle, which cannot pickle into pool workers, so with
-    ``jobs > 1`` the tap is rejected rather than silently dropped.
+    sink (anything with ``emit(row)``) at any ``jobs`` setting.  With
+    ``jobs == 1`` rows arrive in trial order, exactly as the sequential
+    loop produces them.  With ``jobs > 1`` workers forward rows through a
+    manager queue to a parent-side drainer thread, so *row order across
+    trials is nondeterministic* (each trial's own rows stay in epoch
+    order), and a retried trial's earlier rows remain in the stream — the
+    tap is observability, not an artefact; simulated results are unchanged
+    either way.
     """
     if isinstance(engine, Mapping):
         # Legacy per-scenario mapping: route to engine_overrides (the
@@ -637,11 +667,6 @@ def run_scenarios(
     )
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
-    if telemetry is not None and config.jobs > 1:
-        raise ValueError(
-            "a telemetry sink cannot cross process boundaries; use jobs=1 "
-            "with telemetry (or tap the per-unit records instead)"
-        )
     overrides = dict(engine_overrides or {})
     engine_by_name = {name: overrides.get(name, config.engine) for name in names}
     # Ship the full spec (not just the name) so runtime-registered scenarios
@@ -658,7 +683,7 @@ def run_scenarios(
         for name in names
         for repeat in range(repeats)
     ]
-    if telemetry is not None:
+    if telemetry is not None and config.jobs <= 1:
         return [
             run_scenario(
                 spec,
@@ -670,6 +695,34 @@ def run_scenarios(
             )
             for spec, trial_seed_value, trial_epochs, trial_epoch_cycles, trial_engine in trials
         ]
+    if telemetry is not None:
+        # Parallel tap: workers emit onto a manager-queue proxy (picklable,
+        # unlike the sink's file handle) and this drainer thread writes to
+        # the real sink.  Row order across trials is nondeterministic.
+        manager = multiprocessing.Manager()
+        queue = manager.Queue()
+
+        def _drain() -> None:
+            while True:
+                row = queue.get()
+                if row is None:
+                    return
+                telemetry.emit(row)
+
+        drainer = threading.Thread(target=_drain, name="telemetry-drain", daemon=True)
+        drainer.start()
+        try:
+            return run_trials(
+                _scenario_trial,
+                [trial + (queue,) for trial in trials],
+                jobs=config.jobs,
+                policy=config.supervision,
+                chaos=config.chaos,
+            )
+        finally:
+            queue.put(None)
+            drainer.join()
+            manager.shutdown()
     return run_trials(
         _scenario_trial,
         trials,

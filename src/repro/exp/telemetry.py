@@ -95,6 +95,8 @@ TELEMETRY_FIELDS = (
     "repeat",
     "epoch",
     "rate",
+    "n_nodes",
+    "injection_rate",
     "rows",
     "cycles",
     "packets_delivered",
@@ -250,7 +252,18 @@ def records_from_telemetry(rows: Iterable[Mapping]) -> list[dict]:
             continue
         record = {
             key: row[key]
-            for key in ("scenario", "suite", "kind", "engine", "seed", "rate", "cycles", "wall_s")
+            for key in (
+                "scenario",
+                "suite",
+                "kind",
+                "engine",
+                "seed",
+                "rate",
+                "n_nodes",
+                "injection_rate",
+                "cycles",
+                "wall_s",
+            )
             if row.get(key) is not None
         }
         # Keep an explicit null rate: it marks the sample unmeasurable (below
@@ -400,6 +413,12 @@ class TrendSeries:
     engine: str
     samples: tuple[float, ...]
     sources: tuple[str, ...]
+    #: Mesh size (routers) and fixed injection rate of the workload, when
+    #: its records carry them (newer records do); ``perf report`` groups
+    #: the trend table by mesh size so a 4x4 microbench and a 64x64
+    #: scale-out run never read as one comparison.
+    n_nodes: int | None = None
+    injection_rate: float | None = None
 
     @property
     def best(self) -> float:
@@ -431,6 +450,7 @@ class TrendSeries:
         return {
             "scenario": self.scenario,
             "engine": self.engine or "-",
+            "n_nodes": self.n_nodes,
             "samples": len(self.samples),
             "best": self.best,
             "median": self.median,
@@ -455,17 +475,30 @@ class TrendReport:
         """One series per (scenario, engine); one sample per artefact."""
         skipped = list(skipped)
         by_key: dict[tuple[str, str], list[tuple[str, float]]] = {}
+        shapes: dict[tuple[str, str], tuple[int | None, float | None]] = {}
         for label, records in artifacts:
             for key, cycles_per_s in sorted(
                 _best_by_key_tolerant(records, label, skipped).items()
             ):
                 by_key.setdefault(key, []).append((label, cycles_per_s))
+            for record in records:
+                if not isinstance(record, Mapping) or "scenario" not in record:
+                    continue
+                key = record_key(record)
+                if key not in shapes and record.get("n_nodes") is not None:
+                    rate = record.get("injection_rate")
+                    shapes[key] = (
+                        int(record["n_nodes"]),
+                        float(rate) if rate is not None else None,
+                    )
         series = tuple(
             TrendSeries(
                 scenario=scenario,
                 engine=engine,
                 samples=tuple(sample for _, sample in samples),
                 sources=tuple(label for label, _ in samples),
+                n_nodes=shapes.get((scenario, engine), (None, None))[0],
+                injection_rate=shapes.get((scenario, engine), (None, None))[1],
             )
             for (scenario, engine), samples in sorted(by_key.items())
         )
@@ -568,10 +601,21 @@ class TrendReport:
         if not self.series:
             lines.append("(no perf records found — nothing to report)")
         else:
-            lines.append("")
-            lines.append(
-                format_table(self.rows(), title="Throughput trend (cycles/s)")
-            )
+            # Group the trend by mesh size: cycles/s at 4x4 and at 64x64 are
+            # different regimes, so each size gets its own table.  Series
+            # whose records predate the n_nodes field land in one unsized
+            # table at the end.
+            by_size: dict[int | None, list[dict]] = {}
+            for series in self.series:
+                by_size.setdefault(series.n_nodes, []).append(series.row())
+            for n_nodes in sorted(by_size, key=lambda size: (size is None, size)):
+                title = (
+                    "Throughput trend (cycles/s)"
+                    if n_nodes is None
+                    else f"Throughput trend — {n_nodes} routers (cycles/s)"
+                )
+                lines.append("")
+                lines.append(format_table(by_size[n_nodes], title=title))
             matrix = self.win_matrix()
             engines = sorted({engine for entries in matrix.values() for engine in entries})
             winners = self.winners()
@@ -645,10 +689,15 @@ class EnginePolicy:
         self.report = report
         self.default = default
         if engines is None:
-            # Selectable engines only: a batch-only backend is never a
-            # sensible auto choice for a single sim, however well its
-            # samples score.
-            engines = tuple(info.name for info in engine_infos() if info.selectable)
+            # Selectable *exact* engines only: a batch-only backend is never
+            # a sensible auto choice for a single sim, and an approximate
+            # engine must be an explicit opt-in — its synthesized telemetry
+            # would silently replace exact results, however fast it is.
+            engines = tuple(
+                info.name
+                for info in engine_infos()
+                if info.selectable and not info.approximate
+            )
         self.engines = tuple(engines)
 
     @classmethod

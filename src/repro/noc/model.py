@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.noc.dvfs import DVFS_LEVELS_DEFAULT, OperatingPoint
 from repro.noc.link import Link
@@ -36,6 +36,9 @@ from repro.noc.router import Movement, Router
 from repro.noc.routing import SelectionPolicy, get_routing_algorithm
 from repro.noc.stats import EpochTelemetry, NetworkStats
 from repro.noc.topology import Direction, Mesh, Torus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.traffic.generator import FlowProfile
 
 
 class TrafficSource(Protocol):
@@ -90,6 +93,19 @@ class TrafficSource(Protocol):
         (``(horizon, None)``), which is always correct.
         """
         return (horizon, None)
+
+    def flow_profile(self, cycle: int) -> "FlowProfile | None":
+        """Sustained per-flow injection rates from ``cycle`` onwards.
+
+        The flow engine's traffic extraction (see
+        :class:`repro.traffic.generator.FlowProfile`).  A source that
+        returns a profile promises that, between ``cycle`` and the
+        profile's ``until``, its long-run behaviour is the listed set of
+        constant-rate flows.  The default declines (``None``): the source
+        cannot express its traffic as sustained flows and the flow engine
+        refuses to run it.
+        """
+        return None
 
 
 @dataclass(frozen=True)
@@ -523,6 +539,64 @@ class NoCModel:
                 )
         self._leakage_increments = increments
         return increments
+
+    # ------------------------------------------------------------------
+    # flow abstraction queries (the flow engine's inputs)
+    # ------------------------------------------------------------------
+
+    def link_capacity(self, src: int, dst: int) -> float:
+        """Sustainable flits per *global* cycle over the directed link
+        ``src -> dst``: the sender moves at most one flit over each output
+        port per fired cycle and fires once every ``divider`` cycles;
+        failed links carry nothing.  Raises ``ValueError`` for links the
+        topology does not have."""
+        self._require_link(src, dst)
+        if (src, dst) in self._failed_links:
+            return 0.0
+        return 1.0 / self.routers[src].operating_point.divider
+
+    def local_port_capacity(self, node: int) -> float:
+        """Sustainable flits per global cycle through ``node``'s local port
+        (NI injection and ejection are both gated by the node's divider)."""
+        return 1.0 / self.routers[node].operating_point.divider
+
+    def flow_route(self, src: int, dst: int) -> tuple[int, ...] | None:
+        """Node path a sustained ``src -> dst`` flow follows under the
+        current routing configuration, or ``None`` when failed links leave
+        no usable direction.
+
+        Adaptive algorithms return several candidates per hop; a sustained
+        flow takes the first unblocked one (the deterministic
+        ``SelectionPolicy.FIRST`` spine) — part of the flow abstraction's
+        documented approximation, since congestion-adaptive selection
+        spreads real traffic across siblings.
+        """
+        topology = self.topology
+        routers = self.routers
+        neighbor_of = self._neighbor_of
+        path = [src]
+        current = src
+        limit = topology.num_nodes  # minimal routes never revisit a node
+        while current != dst:
+            router = routers[current]
+            candidates = router.routing(topology, current, src, dst)
+            step = None
+            for candidate in candidates:
+                if candidate is Direction.LOCAL:
+                    continue  # only valid once current == dst
+                if candidate in router.blocked_ports:
+                    continue
+                if (current, candidate) not in neighbor_of:
+                    continue
+                step = candidate
+                break
+            if step is None:
+                return None
+            current = neighbor_of[(current, step)]
+            path.append(current)
+            if len(path) > limit:
+                return None  # defensive: routing is wandering, not minimal
+        return tuple(path)
 
     # ------------------------------------------------------------------
     # telemetry

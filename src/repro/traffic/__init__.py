@@ -12,7 +12,7 @@
 """
 
 from repro.traffic.application import Phase, PhasedWorkload, default_phases
-from repro.traffic.generator import TrafficGenerator
+from repro.traffic.generator import FLOW_EXPANSION_BUDGET, FlowProfile, TrafficGenerator
 from repro.traffic.injection import BernoulliInjection, BurstyInjection, InjectionProcess
 from repro.traffic.patterns import (
     PATTERN_NAMES,
@@ -31,6 +31,8 @@ from repro.traffic.trace import TraceRecord, TraceTrafficSource, record_trace
 
 __all__ = [
     "BernoulliInjection",
+    "FLOW_EXPANSION_BUDGET",
+    "FlowProfile",
     "BitComplementPattern",
     "BitReversePattern",
     "BurstyInjection",

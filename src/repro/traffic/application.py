@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.noc.packet import Packet
 from repro.noc.topology import Mesh
-from repro.traffic.generator import TrafficGenerator
+from repro.traffic.generator import FlowProfile, TrafficGenerator
 
 
 @dataclass(frozen=True)
@@ -168,6 +168,26 @@ class PhasedWorkload:
         position = start % self._total_cycles if start >= self._total_cycles else start
         phase_end = start + (self._phase_ends[index] - position)
         return self._generators[index].sample_block(start, min(horizon, phase_end))
+
+    def flow_profile(self, cycle: int) -> FlowProfile | None:
+        """Sustained per-flow rates for the phase active at ``cycle``.
+
+        Delegates to the active phase's generator with the profile's
+        ``until`` clipped at the end of the current phase occurrence (the
+        next phase has its own pattern and rate), mirroring how
+        ``sample_block`` never crosses a phase boundary.
+        """
+        index = self.phase_index_at(cycle)
+        if index is None:
+            # Finished non-repeating workload: silent forever.
+            return FlowProfile((), None, 1)
+        profile = self._generators[index].flow_profile(cycle)
+        if profile is None:
+            return None
+        position = cycle % self._total_cycles if cycle >= self._total_cycles else cycle
+        phase_end = cycle + (self._phase_ends[index] - position)
+        until = phase_end if profile.until is None else min(profile.until, phase_end)
+        return FlowProfile(profile.flows, until, profile.packet_size)
 
     def offered_load(self, cycle: int) -> float:
         index = self.phase_index_at(cycle)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+from typing import NamedTuple
 
 from repro.noc.packet import Packet
 from repro.noc.topology import Mesh
@@ -31,6 +32,31 @@ def _draw_uniform_block(rng: random.Random, count: int) -> "np.ndarray":
     _, keys, pos, _, _ = state.get_state(legacy=True)
     rng.setstate((version, tuple(int(word) for word in keys) + (int(pos),), gauss))
     return block
+
+
+#: Per-pair flow expansion cap for :meth:`TrafficGenerator.flow_profile`.
+#: Randomised patterns expand to one flow per (src, dst) pair — O(N²) for a
+#: uniform pattern — which stays tractable up to a 16×16 mesh (65_280 pairs)
+#: and explodes past it; above the budget the profile declines and the flow
+#: engine reports the source as unextractable at that scale.
+FLOW_EXPANSION_BUDGET = 66_000
+
+
+class FlowProfile(NamedTuple):
+    """Sustained traffic as per-flow injection rates over a span of cycles.
+
+    ``flows`` holds ``(src, dst, rate)`` triples with ``rate`` in flits per
+    *global* cycle (injection draws happen every cycle regardless of DVFS
+    gating); ``until`` is the first cycle at which the profile may change —
+    a phase boundary or the source's activity-window edge — or ``None``
+    when it holds forever.  ``packet_size`` is the flits-per-packet the
+    flows are chopped into (packet counts and serialization latency depend
+    on it).
+    """
+
+    flows: tuple[tuple[int, int, float], ...]
+    until: int | None
+    packet_size: int = 1
 
 
 class TrafficGenerator:
@@ -202,6 +228,42 @@ class TrafficGenerator:
             # span to the horizon without drawing.
             until = horizon
         return (until, packets_by_cycle)
+
+    def flow_profile(self, cycle: int) -> FlowProfile | None:
+        """Sustained per-flow rates from ``cycle``, or ``None`` if unsupported.
+
+        The flow engine's traffic extraction.  Window edges mirror
+        ``generate``: before ``start_cycle`` the source is silent (empty
+        profile holding until the window opens), past ``end_cycle`` it is
+        silent forever.  Extraction requires a rate the engine can treat as
+        sustained — a :class:`BernoulliInjection` (the memoryless constant
+        process; bursty ON/OFF state is per-node history the rate model
+        cannot express) and a pattern whose ``destination_weights`` exists.
+        Randomised patterns expand one flow per (src, dst) pair and decline
+        past :data:`FLOW_EXPANSION_BUDGET` flows.
+        """
+        if self.end_cycle is not None and cycle >= self.end_cycle:
+            return FlowProfile((), None, self.packet_size)
+        if cycle < self.start_cycle:
+            return FlowProfile((), self.start_cycle, self.packet_size)
+        injection = self.injection
+        if type(injection) is not BernoulliInjection:
+            return None
+        until = self.end_cycle
+        if injection.is_quiescent():
+            return FlowProfile((), until, self.packet_size)
+        rate = injection.packet_probability * self.packet_size
+        flows: list[tuple[int, int, float]] = []
+        for node in self.topology.nodes():
+            weights = self.pattern.destination_weights(node)
+            if weights is None:
+                return None
+            for dst, weight in weights.items():
+                if weight > 0.0:
+                    flows.append((node, dst, rate * weight))
+            if len(flows) > FLOW_EXPANSION_BUDGET:
+                return None
+        return FlowProfile(tuple(flows), until, self.packet_size)
 
     def offered_load(self, cycle: int = 0) -> float:
         """Nominal offered load (flits/node/cycle) at ``cycle``."""

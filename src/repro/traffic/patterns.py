@@ -38,6 +38,25 @@ class TrafficPattern(ABC):
         """Whether the pattern maps ``src`` onto itself (such packets are skipped)."""
         return self.destination(src, rng) == src
 
+    def destination_weights(self, src: int) -> dict[int, float] | None:
+        """Long-run destination distribution for packets from ``src``.
+
+        The flow engine's traffic extraction: a mapping from destination to
+        the fraction of ``src``'s packets it receives (weights sum to at
+        most 1.0 — self-directed mass is dropped, exactly as ``generate``
+        skips self-directed packets), or ``None`` when the pattern cannot
+        express its long-run behaviour as a static distribution.  Fixed
+        permutations (``uses_rng`` is ``False``) concentrate all weight on
+        their single deterministic destination; randomised patterns must
+        override this to stay flow-extractable.
+        """
+        if not self.uses_rng:
+            # Deterministic patterns consume nothing from the RNG they are
+            # handed, so a throwaway instance observes the fixed mapping.
+            dst = self.destination(src, random.Random(0))
+            return {} if dst == src else {dst: 1.0}
+        return None
+
 
 class UniformRandomPattern(TrafficPattern):
     """Each packet goes to a destination chosen uniformly among the other nodes."""
@@ -51,6 +70,13 @@ class UniformRandomPattern(TrafficPattern):
 
     def is_self_directed(self, src: int, rng: random.Random) -> bool:
         return False
+
+    def destination_weights(self, src: int) -> dict[int, float] | None:
+        num_nodes = self.topology.num_nodes
+        if num_nodes < 2:
+            return {}
+        weight = 1.0 / (num_nodes - 1)
+        return {dst: weight for dst in range(num_nodes) if dst != src}
 
 
 class TransposePattern(TrafficPattern):
@@ -189,6 +215,22 @@ class HotspotPattern(TrafficPattern):
 
     def is_self_directed(self, src: int, rng: random.Random) -> bool:
         return False
+
+    def destination_weights(self, src: int) -> dict[int, float] | None:
+        weights: dict[int, float] = {}
+        # Mirror destination(): the hotspot fraction spreads over the
+        # non-self hotspots (falling back to all of them when src is the
+        # only one), the rest is uniform; self-directed mass is dropped.
+        choices = [node for node in self.hotspots if node != src] or self.hotspots
+        hotspot_share = self.hotspot_fraction / len(choices)
+        for node in choices:
+            weights[node] = weights.get(node, 0.0) + hotspot_share
+        uniform = self._uniform.destination_weights(src) or {}
+        remainder = 1.0 - self.hotspot_fraction
+        for node, weight in uniform.items():
+            weights[node] = weights.get(node, 0.0) + remainder * weight
+        weights.pop(src, None)
+        return weights
 
 
 _PATTERN_CLASSES: dict[str, type[TrafficPattern]] = {

@@ -1,0 +1,214 @@
+"""Tolerance-aware artefact diffing, mesh-shape telemetry and the parallel
+telemetry tap — the observability surface the approximate flow engine
+plugs into."""
+
+import json
+
+from repro.cli import main
+from repro.exp.execution import ExecutionConfig
+from repro.exp.runner import run_scenarios
+from repro.exp.suites import (
+    APPROX_DIFF_TOLERANCES,
+    diff_payloads,
+    unit_shape,
+    _within_tolerance,
+)
+from repro.exp.telemetry import (
+    TELEMETRY_FIELDS,
+    TelemetrySink,
+    TrendReport,
+    read_telemetry,
+    records_from_telemetry,
+)
+
+
+class TestToleranceDiff:
+    def test_default_diff_stays_byte_exact(self):
+        a = {"rows": [{"throughput": 0.1500}]}
+        b = {"rows": [{"throughput": 0.1501}]}
+        assert diff_payloads(a, b) != []
+        assert diff_payloads(a, a) == []
+
+    def test_tolerance_relaxes_named_numeric_fields_only(self):
+        a = {"rows": [{"throughput": 0.150, "seed": 3}]}
+        b = {"rows": [{"throughput": 0.151, "seed": 4}]}
+        differences = diff_payloads(a, b, tolerances={"throughput": 0.05})
+        # throughput passes within eps; seed still compares exactly.
+        assert len(differences) == 1
+        assert "seed" in differences[0]
+
+    def test_beyond_epsilon_still_fails_and_names_the_epsilon(self):
+        a = {"throughput": 0.10}
+        b = {"throughput": 0.20}
+        differences = diff_payloads(a, b, tolerances={"throughput": 0.05})
+        assert len(differences) == 1
+        assert "eps=0.05" in differences[0]
+
+    def test_relative_with_absolute_floor(self):
+        # Near-zero pairs compare against the 1.0 floor, not relatively.
+        assert _within_tolerance(0.0, 0.004, 0.01)
+        assert not _within_tolerance(0.0, 0.5, 0.01)
+        assert _within_tolerance(100.0, 105.0, 0.05)
+        assert not _within_tolerance(100.0, 110.0, 0.05)
+
+    def test_booleans_never_compare_tolerantly(self):
+        a = {"converged": True}
+        b = {"converged": False}
+        assert diff_payloads(a, b, tolerances={"converged": 1.0}) != []
+
+    def test_tolerances_recurse_into_rows_and_lists(self):
+        a = {"units": [{"rows": [{"average_latency": 10.0}]}]}
+        b = {"units": [{"rows": [{"average_latency": 12.0}]}]}
+        assert diff_payloads(a, b, tolerances={"average_latency": 0.5}) == []
+        assert diff_payloads(a, b) != []
+
+    def test_approx_preset_covers_the_flow_engines_deviating_fields(self):
+        for field in ("throughput", "average_total_latency", "energy_total_pj"):
+            assert field in APPROX_DIFF_TOLERANCES
+
+
+class TestSuiteDiffCli:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_cli_tolerance_flag(self, tmp_path, capsys):
+        a = self._write(tmp_path / "a.json", {"rows": [{"throughput": 0.150}]})
+        b = self._write(tmp_path / "b.json", {"rows": [{"throughput": 0.152}]})
+        assert main(["suite", "diff", a, b]) == 1
+        assert main(["suite", "diff", a, b, "--tolerance", "throughput=0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "within tolerances" in out
+
+    def test_cli_approx_preset(self, tmp_path):
+        a = self._write(
+            tmp_path / "cycle.json",
+            {"rows": [{"average_latency": 10.0, "engine": "cycle"}]},
+        )
+        b = self._write(
+            tmp_path / "flow.json",
+            {"rows": [{"average_latency": 13.0, "engine": "flow"}]},
+        )
+        # Exact diff: latency and engine both differ.
+        assert main(["suite", "diff", a, b]) == 1
+        # --approx: latency within the preset eps, engine ignored.
+        assert main(["suite", "diff", a, b, "--approx"]) == 0
+
+    def test_cli_explicit_tolerance_overrides_approx_preset(self, tmp_path):
+        a = self._write(tmp_path / "a.json", {"average_latency": 10.0})
+        b = self._write(tmp_path / "b.json", {"average_latency": 13.0})
+        assert main(["suite", "diff", a, b, "--approx"]) == 0
+        assert (
+            main(
+                ["suite", "diff", a, b, "--approx", "--tolerance", "average_latency=0.01"]
+            )
+            == 1
+        )
+
+    def test_cli_rejects_malformed_tolerance(self, tmp_path, capsys):
+        a = self._write(tmp_path / "a.json", {})
+        assert main(["suite", "diff", a, a, "--tolerance", "nonsense"]) == 2
+        assert "FIELD=EPS" in capsys.readouterr().err
+
+
+class TestMeshShapeTelemetry:
+    def test_telemetry_schema_carries_mesh_shape(self):
+        assert "n_nodes" in TELEMETRY_FIELDS
+        assert "injection_rate" in TELEMETRY_FIELDS
+
+    def test_unit_shape_defaults_and_overrides(self):
+        assert unit_shape({}) == (16, None)
+        assert unit_shape({"width": 8}) == (64, None)
+        assert unit_shape({"width": 64, "traffic": {"pattern": "transpose", "rate": 0.02}}) == (
+            4096,
+            0.02,
+        )
+        assert unit_shape({"rate": 0.15}) == (16, 0.15)
+
+    def test_perf_records_round_trip_mesh_shape(self):
+        rows = [
+            {
+                "source": "perf",
+                "scenario": "8x8/static-max",
+                "engine": "flow",
+                "n_nodes": 64,
+                "injection_rate": 0.02,
+                "cycles": 1000,
+                "wall_s": 0.5,
+                "cycles_per_s": 2000.0,
+            }
+        ]
+        records = records_from_telemetry(rows)
+        assert records[0]["n_nodes"] == 64
+        assert records[0]["injection_rate"] == 0.02
+
+    def test_trend_report_groups_by_mesh_size(self):
+        artifacts = [
+            (
+                "a.json",
+                [
+                    {"scenario": "s4", "engine": "cycle", "n_nodes": 16,
+                     "cycles_per_s": 1000.0},
+                    {"scenario": "s64", "engine": "flow", "n_nodes": 4096,
+                     "cycles_per_s": 9000.0},
+                ],
+            )
+        ]
+        report = TrendReport.from_artifacts(artifacts)
+        by_scenario = {series.scenario: series for series in report.series}
+        assert by_scenario["s4"].n_nodes == 16
+        assert by_scenario["s64"].n_nodes == 4096
+        text = report.format_text()
+        assert "16 routers" in text
+        assert "4096 routers" in text
+
+    def test_legacy_records_without_shape_still_report(self):
+        artifacts = [("a.json", [{"scenario": "s", "cycles_per_s": 10.0}])]
+        report = TrendReport.from_artifacts(artifacts)
+        assert report.series[0].n_nodes is None
+        assert "Throughput trend (cycles/s)" in report.format_text()
+
+
+class TestParallelTelemetry:
+    def test_run_scenarios_streams_epoch_rows_across_jobs(self, tmp_path):
+        path = tmp_path / "tap.jsonl"
+        with TelemetrySink(path) as sink:
+            results = run_scenarios(
+                ["powersave-idle", "diurnal-ramp"],
+                config=ExecutionConfig(jobs=2),
+                epochs=2,
+                epoch_cycles=150,
+                telemetry=sink,
+            )
+        assert len(results) == 2
+        rows = read_telemetry(path)
+        # Per-epoch rows from both scenarios made it through the queue;
+        # order across scenarios is explicitly nondeterministic.
+        assert {row["scenario"] for row in rows} == {"powersave-idle", "diurnal-ramp"}
+        assert all(row["source"] == "epoch" for row in rows)
+
+    def test_sequential_results_match_parallel_results(self, tmp_path):
+        kwargs = dict(epochs=2, epoch_cycles=150)
+        with TelemetrySink(tmp_path / "seq.jsonl") as sink:
+            sequential = run_scenarios(
+                ["powersave-idle"], config=ExecutionConfig(jobs=1),
+                telemetry=sink, **kwargs,
+            )
+        with TelemetrySink(tmp_path / "par.jsonl") as sink:
+            parallel = run_scenarios(
+                ["powersave-idle"], config=ExecutionConfig(jobs=2),
+                telemetry=sink, **kwargs,
+            )
+        def _strip_wall_clock(payload):
+            return {
+                key: value
+                for key, value in payload.items()
+                if key not in ("wall_s", "wall_time_s", "cycles_per_s", "cycles_per_second")
+            }
+
+        assert _strip_wall_clock(sequential[0].to_dict()) == _strip_wall_clock(
+            parallel[0].to_dict()
+        )
+        seq_rows = [_strip_wall_clock(row) for row in read_telemetry(tmp_path / "seq.jsonl")]
+        par_rows = [_strip_wall_clock(row) for row in read_telemetry(tmp_path / "par.jsonl")]
+        assert seq_rows == par_rows  # single scenario: same rows, same order

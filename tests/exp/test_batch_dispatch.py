@@ -251,7 +251,9 @@ class TestEnginesListCLI:
         assert "cycle (default)" in out
         assert "numpy" in out
         assert "batch" in out
-        assert "--engine accepts: cycle, event, numpy, auto" in out
+        assert "flow" in out
+        assert "approximate" in out
+        assert "--engine accepts: cycle, event, flow, numpy, auto" in out
 
     def test_suite_run_rejects_the_batch_only_engine(self, capsys):
         assert main(["suite", "run", "fig1-smoke", "--engine", "batch"]) == 2

@@ -60,13 +60,22 @@ class TestRunTrials:
         assert default_chunk_size(0, 1) == 1
         assert default_chunk_size(-3, 4) == 1
 
-    def test_telemetry_with_parallel_jobs_rejected(self):
-        class Sink:
-            def emit(self, row):  # pragma: no cover - never reached
-                raise AssertionError("sink must not be used")
+    def test_telemetry_streams_across_parallel_jobs(self):
+        # Worker rows cross process boundaries through the manager-queue
+        # tap; the parent's drainer feeds this in-process sink.  (The
+        # sequential/parallel row-equivalence contract lives in
+        # tests/exp/test_approx_diff.py.)
+        rows = []
 
-        with pytest.raises(ValueError, match="cannot cross process boundaries"):
-            run_scenarios(["uniform"], jobs=2, telemetry=Sink())
+        class Sink:
+            def emit(self, row):
+                rows.append(row)
+
+        [result] = run_scenarios(
+            ["uniform"], jobs=2, epochs=1, epoch_cycles=100, telemetry=Sink()
+        )
+        assert result.scenario == "uniform"
+        assert rows and all(row["scenario"] == "uniform" for row in rows)
 
     def test_telemetry_streams_in_process(self):
         rows = []
